@@ -1,0 +1,35 @@
+// Figure 3: effect of GPU partition size (GPU(1)..GPU(7)) on compute
+// utilization and latency at batch size 8, for MobileNet / ResNet / BERT.
+//
+// Paper expectation: utilization falls monotonically with partition size;
+// latency rises as partitions shrink, mildly for MobileNet and most
+// steeply for BERT (latency is reported normalized to GPU(7), as in the
+// paper's right axis).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace pe;
+  bench::PrintHeader(
+      "Figure 3: utilization & latency vs partition size (batch 8)",
+      "latency normalized to GPU(7); utilization in percent");
+
+  for (const std::string model : {"mobilenet", "resnet", "bert"}) {
+    core::TestbedConfig config;
+    config.model_name = model;
+    const core::Testbed tb(config);
+    const auto& profile = tb.profile();
+
+    Table t({"partition", "utilization %", "latency (norm)", "latency (ms)"});
+    const double base = profile.LatencySec(7, 8);
+    for (int gpcs : {1, 2, 3, 4, 7}) {
+      t.AddRow({"GPU(" + std::to_string(gpcs) + ")",
+                Table::Num(100.0 * profile.Utilization(gpcs, 8), 1),
+                Table::Num(profile.LatencySec(gpcs, 8) / base, 2),
+                Table::Num(1e3 * profile.LatencySec(gpcs, 8), 2)});
+    }
+    std::cout << "--- " << model << " ---\n";
+    t.Print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

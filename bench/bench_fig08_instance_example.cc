@@ -1,0 +1,48 @@
+// Figure 8: the paper's worked example of deriving the number of instances
+// per partition size.  Two GPU types with knees B1=2 / B2=4, batch PDF
+// {20%, 20%, 40%, 20%}, and the profiled throughputs of the paper's table:
+// small GPU 40/20 queries/sec at batch 1/2, large GPU 30/20 at batch 3/4.
+// Expected demand ratio: 1.5 small : 2.33 large (the paper rounds the
+// aggregate to "2.3 large GPUs").
+#include "bench/bench_util.h"
+
+#include "partition/paris.h"
+#include "profile/profile_table.h"
+#include "workload/batch_dist.h"
+
+int main() {
+  using namespace pe;
+  bench::PrintHeader("Figure 8: PARIS instance-count derivation example",
+                     "reproduces the paper's 1.5 : 2.3 small:large ratio");
+
+  profile::ProfileTable profile("fig8", {1, 7}, {1, 2, 3, 4});
+  profile.Set(1, 1, {1.0 / 40.0, 0.5});
+  profile.Set(1, 2, {1.0 / 20.0, 0.85});
+  profile.Set(1, 3, {1.0 / 15.0, 0.9});
+  profile.Set(1, 4, {1.0 / 10.0, 0.95});
+  profile.Set(7, 1, {1.0 / 60.0, 0.2});
+  profile.Set(7, 2, {1.0 / 50.0, 0.4});
+  profile.Set(7, 3, {1.0 / 30.0, 0.6});
+  profile.Set(7, 4, {1.0 / 20.0, 0.85});
+
+  workload::EmpiricalBatchDist dist({20, 20, 40, 20});
+  partition::ParisConfig config;
+  config.knee_mode = profile::KneeMode::kAbsolute;
+  partition::ParisPartitioner paris(profile, dist, config);
+  const auto d = paris.Derive(14);
+
+  Table t({"GPU type", "knee", "R_k (GPU-sec/query)", "x100 queries",
+           "instances (14 GPCs)"});
+  const char* names[] = {"Small (1 GPC)", "Large (7 GPCs)"};
+  for (std::size_t k = 0; k < 2; ++k) {
+    t.AddRow({names[k], Table::Int(d.knees[k]), Table::Num(d.ratios[k], 4),
+              Table::Num(d.ratios[k] * 100, 2),
+              Table::Int(d.instances[k])});
+  }
+  t.Print(std::cout);
+  std::cout << "\nPaper expectation: per 100 queries, 1.50 small and 2.33 "
+               "large GPUs of demand (ratio 1 : 1.56).\n";
+  std::cout << "Measured ratio: 1 : "
+            << Table::Num(d.ratios[1] / d.ratios[0], 2) << "\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 11: p95 tail latency vs latency-bounded throughput for the four
+// headline designs -- GPU(7)+FIFS, GPU(max)+FIFS, PARIS+FIFS, PARIS+ELSA --
+// for each of the five models.  Each design is swept across offered-load
+// fractions of its own latency-bounded throughput; the SLA line is the
+// vertical line of the paper's plots.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace pe;
+  bench::PrintHeader("Figure 11: p95 tail latency vs throughput",
+                     "one block per model; (x, y) = (achieved qps, p95 ms)");
+
+  const std::vector<double> fractions = {0.5, 0.7, 0.85, 0.95, 1.0, 1.1};
+  auto search = bench::DefaultSearch();
+
+  for (const std::string& model : bench::PaperModels()) {
+    core::TestbedConfig config;
+    config.model_name = model;
+    const core::Testbed tb(config);
+    const double sla_ms = TicksToMs(tb.sla_target());
+
+    const auto gpu_max = core::BestHomogeneous(
+        tb, core::SchedulerKind::kFifs, sla_ms, search);
+
+    struct Case {
+      std::string label;
+      partition::PartitionPlan plan;
+      core::SchedulerKind kind;
+    };
+    std::vector<Case> cases;
+    cases.push_back(
+        {"GPU(7)+FIFS", tb.PlanHomogeneous(7), core::SchedulerKind::kFifs});
+    if (gpu_max.partition_gpcs != 7 && gpu_max.partition_gpcs != 0) {
+      cases.push_back({"GPU(max)=GPU(" +
+                           std::to_string(gpu_max.partition_gpcs) + ")+FIFS",
+                       tb.PlanHomogeneous(gpu_max.partition_gpcs),
+                       core::SchedulerKind::kFifs});
+    }
+    cases.push_back(
+        {"PARIS+FIFS", tb.PlanParis(), core::SchedulerKind::kFifs});
+    cases.push_back(
+        {"PARIS+ELSA", tb.PlanParis(), core::SchedulerKind::kElsa});
+
+    std::cout << "--- " << model << " (SLA " << Table::Num(sla_ms, 1)
+              << " ms) ---\n";
+    Table t({"design", "offered qps", "achieved qps", "p95 ms", "viol. %",
+             "util %"});
+    for (const auto& c : cases) {
+      const auto curve = core::TailLatencyCurve(tb, c.plan, c.kind, fractions,
+                                                sla_ms, search);
+      for (const auto& p : curve) {
+        t.AddRow({c.label, Table::Num(p.offered_qps, 0),
+                  Table::Num(p.achieved_qps, 0), Table::Num(p.p95_ms, 2),
+                  Table::Num(100 * p.violation_rate, 1),
+                  Table::Num(100 * p.utilization, 1)});
+      }
+    }
+    t.Print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 12: latency-bounded throughput of all eight design points,
+// normalized to GPU(7)+FIFS, per model.
+//
+// Paper expectations (shape, not absolute): no homogeneous GPU(N) wins
+// universally; PARIS+ELSA is best or tied-best everywhere; ELSA lifts both
+// Random and PARIS partitions; BERT favors large partitions (GPU(max) =
+// GPU(7)) while the lightweight models favor small/medium ones.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace pe;
+  bench::PrintHeader(
+      "Figure 12: latency-bounded throughput (normalized to GPU(7)+FIFS)",
+      "absolute qps in parentheses; p95 bound = SLA target");
+
+  auto search = bench::DefaultSearch();
+
+  Table t({"design", "shufflenet", "mobilenet", "resnet", "bert",
+           "conformer"});
+  std::vector<std::vector<std::string>> cells;
+
+  bool first_model = true;
+  for (const std::string& model : bench::PaperModels()) {
+    core::TestbedConfig config;
+    config.model_name = model;
+    const core::Testbed tb(config);
+    const double sla_ms = TicksToMs(tb.sla_target());
+    const auto designs = bench::PaperDesigns(tb);
+
+    double base_qps = 0.0;
+    std::size_t row = 0;
+    for (const auto& d : designs) {
+      const auto r = core::LatencyBoundedThroughput(tb, d.plan, d.kind,
+                                                    sla_ms, search);
+      if (d.label == "GPU(7)+FIFS") base_qps = r.qps;
+      if (first_model) cells.push_back({d.label});
+      const double norm = base_qps > 0 ? r.qps / base_qps : 0.0;
+      cells[row++].push_back(Table::Num(norm, 2) + " (" +
+                             Table::Num(r.qps, 0) + ")");
+    }
+    first_model = false;
+  }
+  for (auto& row : cells) t.AddRow(row);
+  t.Print(std::cout);
+  std::cout << "\nNote: designs whose p95 exceeds the SLA even when idle "
+               "(small homogeneous partitions on heavy models) report 0.\n";
+  return 0;
+}

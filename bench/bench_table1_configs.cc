@@ -1,0 +1,41 @@
+// Table I: homogeneous vs heterogeneous GPU partition configurations per
+// model -- instance counts and GPC totals for GPU(1,2,3,7), Random, and
+// PARIS, plus the number of physical A100s.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace pe;
+  bench::PrintHeader("Table I: server configurations per model",
+                     "counts as '#instances (#GPCs)'; PARIS/Random show "
+                     "their heterogeneous layout");
+
+  Table t({"design", "shufflenet", "mobilenet", "resnet", "bert",
+           "conformer"});
+  std::vector<std::vector<std::string>> rows(7);
+  rows[0] = {"GPU(1)"};
+  rows[1] = {"GPU(2)"};
+  rows[2] = {"GPU(3)"};
+  rows[3] = {"GPU(7)"};
+  rows[4] = {"Random"};
+  rows[5] = {"PARIS"};
+  rows[6] = {"# of A100"};
+
+  for (const std::string& model : bench::PaperModels()) {
+    core::TestbedConfig config;
+    config.model_name = model;
+    const core::Testbed tb(config);
+    int r = 0;
+    for (int size : {1, 2, 3, 7}) {
+      const auto plan = tb.PlanHomogeneous(size);
+      rows[static_cast<std::size_t>(r++)].push_back(
+          std::to_string(plan.NumInstances()) + " (" +
+          std::to_string(plan.TotalGpcs()) + ")");
+    }
+    rows[4].push_back(tb.PlanRandom().Summary());
+    rows[5].push_back(tb.PlanParis().Summary());
+    rows[6].push_back(std::to_string(tb.table1().num_gpus));
+  }
+  for (auto& row : rows) t.AddRow(row);
+  t.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "core/server_builder.h"
+
+namespace pe::bench {
+
+inline const std::vector<std::string>& PaperModels() {
+  static const std::vector<std::string> kModels = {
+      "shufflenet", "mobilenet", "resnet", "bert", "conformer"};
+  return kModels;
+}
+
+// A named (plan, scheduler) design point.
+struct Design {
+  std::string label;
+  partition::PartitionPlan plan;
+  core::SchedulerKind kind = core::SchedulerKind::kFifs;
+};
+
+// The paper's six evaluated design families (Section VI) minus GPU(max),
+// which callers derive via core::BestHomogeneous.
+inline std::vector<Design> PaperDesigns(const core::Testbed& tb,
+                                        bool include_gpu4 = false) {
+  std::vector<Design> designs;
+  for (int size : {7, 3, 2, 1}) {
+    designs.push_back({"GPU(" + std::to_string(size) + ")+FIFS",
+                       tb.PlanHomogeneous(size),
+                       core::SchedulerKind::kFifs});
+  }
+  if (include_gpu4) {
+    designs.push_back(
+        {"GPU(4)+FIFS", tb.PlanHomogeneous(4), core::SchedulerKind::kFifs});
+  }
+  designs.push_back(
+      {"Random+FIFS", tb.PlanRandom(), core::SchedulerKind::kFifs});
+  designs.push_back(
+      {"Random+ELSA", tb.PlanRandom(), core::SchedulerKind::kElsa});
+  designs.push_back(
+      {"PARIS+FIFS", tb.PlanParis(), core::SchedulerKind::kFifs});
+  designs.push_back(
+      {"PARIS+ELSA", tb.PlanParis(), core::SchedulerKind::kElsa});
+  return designs;
+}
+
+inline core::SearchOptions DefaultSearch() {
+  core::SearchOptions so;
+  so.num_queries = 4000;
+  so.iterations = 9;
+  return so;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& note) {
+  std::cout << "==================================================\n"
+            << title << "\n" << note << "\n"
+            << "==================================================\n\n";
+}
+
+}  // namespace pe::bench

@@ -1,0 +1,93 @@
+#include "common/args.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pe {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string body = token.substr(2);
+      const auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        options_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[body] = argv[++i];
+      } else {
+        options_[body] = "";  // bare flag
+      }
+    } else {
+      positionals_.push_back(token);
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::Subcommand() const {
+  if (positionals_.empty()) return std::nullopt;
+  return positionals_.front();
+}
+
+std::vector<std::string> ArgParser::Positionals() const {
+  if (positionals_.size() <= 1) return {};
+  return {positionals_.begin() + 1, positionals_.end()};
+}
+
+bool ArgParser::HasFlag(const std::string& key) const {
+  return options_.count(key) > 0;
+}
+
+std::optional<std::string> ArgParser::GetString(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  return GetString(key).value_or(fallback);
+}
+
+double ArgParser::GetDouble(const std::string& key, double fallback) const {
+  const auto v = GetString(key);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + ": expected a number, got '" +
+                                *v + "'");
+  }
+}
+
+long long ArgParser::GetInt(const std::string& key, long long fallback) const {
+  const auto v = GetString(key);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long long parsed = std::stoll(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + ": expected an integer, got '" +
+                                *v + "'");
+  }
+}
+
+std::vector<std::string> ArgParser::UnknownKeys(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : options_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      unknown.push_back(key);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace pe

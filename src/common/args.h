@@ -1,0 +1,49 @@
+// Minimal command-line argument parsing for the CLI tool and benches.
+//
+// Supports "--key value", "--key=value" and bare flags ("--verbose"); the
+// first non-flag token is the subcommand, remaining bare tokens are
+// positional.  No external dependencies; deterministic error messages.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pe {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  // Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+  // First positional token, if any (conventionally the subcommand).
+  std::optional<std::string> Subcommand() const;
+
+  // Positional tokens after the subcommand.
+  std::vector<std::string> Positionals() const;
+
+  bool HasFlag(const std::string& key) const;
+
+  std::optional<std::string> GetString(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+  // Throws std::invalid_argument on malformed numbers.
+  double GetDouble(const std::string& key, double fallback) const;
+  long long GetInt(const std::string& key, long long fallback) const;
+
+  // All unrecognized "--key"s given the set of known keys; used for
+  // friendly error reporting.
+  std::vector<std::string> UnknownKeys(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::string program_;
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> options_;  // key -> value ("" for flag)
+};
+
+}  // namespace pe

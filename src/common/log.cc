@@ -1,0 +1,34 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace pe {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace internal {
+
+void Emit(LogLevel level, const std::string& message) {
+  std::cerr << '[' << LevelName(level) << "] " << message << '\n';
+}
+
+}  // namespace internal
+}  // namespace pe

@@ -1,0 +1,39 @@
+// Minimal leveled logger.
+//
+// The simulator is a library, so logging is off by default (kWarn) and
+// controlled globally; there is no global mutable state other than the
+// level, and output goes to stderr to keep stdout clean for bench tables.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Sets/gets the global log threshold.  Messages below the threshold are
+// discarded without formatting cost (the macro checks level first).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message);
+}  // namespace internal
+
+}  // namespace pe
+
+#define PE_LOG(level_enum, expr)                                    \
+  do {                                                              \
+    if (static_cast<int>(level_enum) >=                             \
+        static_cast<int>(::pe::GetLogLevel())) {                    \
+      std::ostringstream pe_log_oss_;                               \
+      pe_log_oss_ << expr;                                          \
+      ::pe::internal::Emit(level_enum, pe_log_oss_.str());          \
+    }                                                               \
+  } while (0)
+
+#define PE_DEBUG(expr) PE_LOG(::pe::LogLevel::kDebug, expr)
+#define PE_INFO(expr) PE_LOG(::pe::LogLevel::kInfo, expr)
+#define PE_WARN(expr) PE_LOG(::pe::LogLevel::kWarn, expr)
+#define PE_ERROR(expr) PE_LOG(::pe::LogLevel::kError, expr)

@@ -1,0 +1,82 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace pe {
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  assert(row.size() <= header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << CsvEscape(row[c]);
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace pe

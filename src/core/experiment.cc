@@ -1,0 +1,118 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pe::core {
+namespace {
+
+double ProbeP95(const Testbed& testbed, const partition::PartitionPlan& plan,
+                SchedulerKind kind, double rate_qps,
+                const SearchOptions& options, sched::ElsaParams elsa) {
+  auto scheduler = testbed.MakeScheduler(kind, elsa);
+  RunOptions run;
+  run.rate_qps = rate_qps;
+  run.num_queries = options.num_queries;
+  run.seed = options.seed;
+  const auto stats =
+      testbed.Run(plan, *scheduler, run).Stats(testbed.sla_target());
+  return stats.p95_latency_ms;
+}
+
+}  // namespace
+
+ThroughputResult LatencyBoundedThroughput(const Testbed& testbed,
+                                          const partition::PartitionPlan& plan,
+                                          SchedulerKind kind,
+                                          double tail_bound_ms,
+                                          const SearchOptions& options,
+                                          sched::ElsaParams elsa) {
+  assert(tail_bound_ms > 0.0);
+  // Bracket: grow the offered rate geometrically until the bound breaks.
+  double lo = 0.0;
+  double hi = options.initial_rate_qps;
+  double p95_lo = 0.0;
+  for (;;) {
+    const double p95 = ProbeP95(testbed, plan, kind, hi, options, elsa);
+    if (p95 > tail_bound_ms) break;
+    lo = hi;
+    p95_lo = p95;
+    hi *= 2.0;
+    if (hi > options.max_rate_qps) {
+      // Even the cap satisfies the bound; report the cap.
+      return ThroughputResult{options.max_rate_qps, p95};
+    }
+  }
+  if (lo == 0.0) {
+    // The initial rate already violates the bound: search down instead.
+    hi = options.initial_rate_qps;
+    lo = hi / 1024.0;
+    const double p95 = ProbeP95(testbed, plan, kind, lo, options, elsa);
+    if (p95 > tail_bound_ms) {
+      // Unachievable even at negligible load.
+      return ThroughputResult{0.0, p95};
+    }
+    p95_lo = p95;
+  }
+  // Bisect [lo, hi].
+  for (int i = 0; i < options.iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double p95 = ProbeP95(testbed, plan, kind, mid, options, elsa);
+    if (p95 > tail_bound_ms) {
+      hi = mid;
+    } else {
+      lo = mid;
+      p95_lo = p95;
+    }
+  }
+  return ThroughputResult{lo, p95_lo};
+}
+
+std::vector<RatePoint> TailLatencyCurve(const Testbed& testbed,
+                                        const partition::PartitionPlan& plan,
+                                        SchedulerKind kind,
+                                        const std::vector<double>& load_fractions,
+                                        double tail_bound_ms,
+                                        const SearchOptions& options) {
+  const ThroughputResult bound =
+      LatencyBoundedThroughput(testbed, plan, kind, tail_bound_ms, options);
+  std::vector<RatePoint> points;
+  points.reserve(load_fractions.size());
+  for (double f : load_fractions) {
+    const double rate = std::max(1e-3, f * bound.qps);
+    auto scheduler = testbed.MakeScheduler(kind);
+    RunOptions run;
+    run.rate_qps = rate;
+    run.num_queries = options.num_queries;
+    run.seed = options.seed;
+    const auto stats =
+        testbed.Run(plan, *scheduler, run).Stats(testbed.sla_target());
+    RatePoint p;
+    p.offered_qps = rate;
+    p.achieved_qps = stats.achieved_qps;
+    p.p95_ms = stats.p95_latency_ms;
+    p.mean_ms = stats.mean_latency_ms;
+    p.violation_rate = stats.sla_violation_rate;
+    p.utilization = stats.mean_worker_utilization;
+    points.push_back(p);
+  }
+  return points;
+}
+
+HomogeneousChoice BestHomogeneous(const Testbed& testbed, SchedulerKind kind,
+                                  double tail_bound_ms,
+                                  const SearchOptions& options) {
+  HomogeneousChoice best;
+  for (int size : {1, 2, 3, 7}) {
+    const auto plan = testbed.PlanHomogeneous(size);
+    const auto result =
+        LatencyBoundedThroughput(testbed, plan, kind, tail_bound_ms, options);
+    if (result.qps > best.qps) {
+      best.qps = result.qps;
+      best.partition_gpcs = size;
+    }
+  }
+  return best;
+}
+
+}  // namespace pe::core

@@ -1,0 +1,70 @@
+// Experiment harness for the paper's evaluation metrics.
+//
+//  * LatencyBoundedThroughput: the paper's Figure 12 metric -- the maximum
+//    offered load (queries/sec) at which the p95 tail latency stays within
+//    the bound.  Found by exponential growth + bisection over offered rate.
+//  * TailLatencyCurve: the paper's Figure 11 -- (achieved throughput, p95)
+//    points across an offered-load sweep.
+//  * BestHomogeneous: the paper's GPU(max) -- the homogeneous design with
+//    the highest latency-bounded throughput, found by brute force exactly
+//    as the paper describes system architects would have to.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/server_builder.h"
+
+namespace pe::core {
+
+struct SearchOptions {
+  std::size_t num_queries = 6000;
+  std::uint64_t seed = 7;
+  // Bisection iterations after bracketing; 10 gives <0.1% rate resolution.
+  int iterations = 10;
+  double initial_rate_qps = 4.0;
+  double max_rate_qps = 1.0e6;
+};
+
+struct ThroughputResult {
+  double qps = 0.0;             // latency-bounded throughput
+  double p95_at_qps_ms = 0.0;   // tail latency at that load
+};
+
+// Max offered rate whose p95 latency (ms) stays <= `tail_bound_ms`.
+// Uses a fresh scheduler instance per probe run.
+ThroughputResult LatencyBoundedThroughput(
+    const Testbed& testbed, const partition::PartitionPlan& plan,
+    SchedulerKind kind, double tail_bound_ms,
+    const SearchOptions& options = SearchOptions{},
+    sched::ElsaParams elsa = sched::ElsaParams{});
+
+struct RatePoint {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  double p95_ms = 0.0;
+  double mean_ms = 0.0;
+  double violation_rate = 0.0;
+  double utilization = 0.0;
+};
+
+// Sweeps offered load over `load_fractions` x the design's latency-bounded
+// throughput and reports one point per load level.
+std::vector<RatePoint> TailLatencyCurve(
+    const Testbed& testbed, const partition::PartitionPlan& plan,
+    SchedulerKind kind, const std::vector<double>& load_fractions,
+    double tail_bound_ms, const SearchOptions& options = SearchOptions{});
+
+struct HomogeneousChoice {
+  int partition_gpcs = 0;   // the GPU(max) size
+  double qps = 0.0;         // its latency-bounded throughput
+};
+
+// Brute-force GPU(max): best homogeneous size among {1, 2, 3, 7} under the
+// given scheduler (the paper excludes GPU(4) because 7 GPCs/GPU strand 3
+// GPCs per A100 under GPU(4) homogeneous partitioning).
+HomogeneousChoice BestHomogeneous(
+    const Testbed& testbed, SchedulerKind kind, double tail_bound_ms,
+    const SearchOptions& options = SearchOptions{});
+
+}  // namespace pe::core

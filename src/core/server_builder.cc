@@ -1,0 +1,122 @@
+#include "core/server_builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "partition/homogeneous.h"
+#include "partition/random_partition.h"
+#include "perf/model_zoo.h"
+#include "profile/profiler.h"
+#include "sched/baselines.h"
+#include "sched/fifs.h"
+#include "workload/arrival.h"
+
+namespace pe::core {
+
+const char* ToString(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifs: return "FIFS";
+    case SchedulerKind::kElsa: return "ELSA";
+    case SchedulerKind::kJsq: return "JSQ";
+    case SchedulerKind::kGreedyFastest: return "GreedyFastest";
+  }
+  return "?";
+}
+
+namespace {
+
+profile::ProfileTable BuildProfile(const perf::DnnModel& model,
+                                   const perf::RooflineEngine& engine,
+                                   int max_batch) {
+  profile::Profiler profiler(engine);
+  // Profile at least up to batch 64 so knee detection sees the plateau even
+  // when the serving distribution is capped lower.
+  const auto config = profile::ProfilerConfig::Default(std::max(64, max_batch));
+  return profiler.Profile(model, config);
+}
+
+}  // namespace
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(std::move(config)),
+      model_(perf::BuildModelByName(config_.model_name)),
+      engine_(config_.gpu, config_.roofline),
+      profile_(BuildProfile(model_, engine_, config_.max_batch)),
+      dist_(std::make_unique<workload::LogNormalBatchDist>(
+          config_.dist_median, config_.dist_sigma, config_.max_batch)),
+      table1_(Table1For(config_.model_name)),
+      cluster_(table1_.num_gpus, config_.gpu),
+      sla_target_(SlaTarget(profile_, config_.max_batch, config_.sla_n)) {}
+
+int Testbed::BudgetFor(int homogeneous_size) const {
+  return homogeneous_size == 7 ? table1_.gpc_budget_gpu7 : table1_.gpc_budget;
+}
+
+partition::PartitionPlan Testbed::PlanHomogeneous(int partition_gpcs) const {
+  partition::HomogeneousPartitioner p(partition_gpcs);
+  return p.Plan(cluster_, BudgetFor(partition_gpcs));
+}
+
+partition::PartitionPlan Testbed::PlanRandom(std::uint64_t seed) const {
+  partition::RandomPartitioner p(seed);
+  return p.Plan(cluster_, table1_.gpc_budget);
+}
+
+partition::PartitionPlan Testbed::PlanParis() const {
+  partition::ParisPartitioner p(profile_, *dist_, config_.paris);
+  return p.Plan(cluster_, table1_.gpc_budget);
+}
+
+std::unique_ptr<sched::Scheduler> Testbed::MakeScheduler(
+    SchedulerKind kind, sched::ElsaParams elsa) const {
+  switch (kind) {
+    case SchedulerKind::kFifs:
+      return std::make_unique<sched::FifsScheduler>();
+    case SchedulerKind::kElsa:
+      return std::make_unique<sched::ElsaScheduler>(profile_, sla_target_,
+                                                    elsa);
+    case SchedulerKind::kJsq:
+      return std::make_unique<sched::JsqScheduler>();
+    case SchedulerKind::kGreedyFastest:
+      return std::make_unique<sched::GreedyFastestScheduler>(profile_);
+  }
+  throw std::invalid_argument("MakeScheduler: unknown kind");
+}
+
+sim::LatencyFn Testbed::ActualLatency() const {
+  // Bind copies so the function stays valid independently of this Testbed.
+  return [engine = engine_, model = model_](int gpcs, int batch) {
+    return engine.LatencySec(model, gpcs, batch);
+  };
+}
+
+sim::SimResult Testbed::Run(const partition::PartitionPlan& plan,
+                            sched::Scheduler& scheduler,
+                            const RunOptions& options) const {
+  if (plan.instance_gpcs.empty()) {
+    throw std::invalid_argument("Testbed::Run: empty partition plan");
+  }
+  Rng rng(options.seed);
+  workload::PoissonArrivals arrivals(options.rate_qps);
+  const workload::QueryTrace trace =
+      workload::GenerateTrace(arrivals, *dist_, options.num_queries, rng);
+
+  sim::ServerConfig sc;
+  sc.partition_gpcs = plan.instance_gpcs;
+  sc.sla_target = sla_target_;
+  sc.latency_noise_sigma = config_.latency_noise_sigma;
+  sc.seed = options.seed ^ 0xA5A5A5A5ULL;
+  sc.frontend = config_.frontend;
+
+  sim::InferenceServer server(sc, profile_, scheduler, ActualLatency());
+  return server.Run(trace);
+}
+
+sim::ServerStats Testbed::RunStats(const partition::PartitionPlan& plan,
+                                   SchedulerKind kind,
+                                   const RunOptions& options) const {
+  auto scheduler = MakeScheduler(kind);
+  return Run(plan, *scheduler, options).Stats(sla_target_);
+}
+
+}  // namespace pe::core

@@ -1,0 +1,45 @@
+#include "hw/gpu_spec.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pe::hw {
+
+PartitionResources GpuSpec::Partition(int partition_gpcs) const {
+  assert(IsValidPartitionSize(partition_gpcs));
+  PartitionResources r;
+  r.gpcs = partition_gpcs;
+  r.sms = partition_gpcs * sms_per_gpc;
+  r.peak_flops = static_cast<double>(r.sms) * peak_flops_per_sm;
+  const double mem_frac = static_cast<double>(MemorySlicesFor(partition_gpcs)) /
+                          static_cast<double>(memory_slices);
+  r.dram_bw = dram_bw * mem_frac;
+  r.l2_bytes = l2_bytes * mem_frac;
+  return r;
+}
+
+int GpuSpec::MemorySlicesFor(int partition_gpcs) const {
+  // Mirrors A100 MIG profiles: 1g.5gb, 2g.10gb, 3g.20gb, 4g.20gb, 7g.40gb.
+  switch (partition_gpcs) {
+    case 1: return 1;
+    case 2: return 2;
+    case 3: return 4;
+    case 4: return 4;
+    case 7: return 8;
+    default:
+      assert(false && "invalid MIG partition size");
+      return 0;
+  }
+}
+
+const std::vector<int>& GpuSpec::ValidPartitionSizes() {
+  static const std::vector<int> kSizes = {1, 2, 3, 4, 7};
+  return kSizes;
+}
+
+bool GpuSpec::IsValidPartitionSize(int gpcs) {
+  const auto& sizes = ValidPartitionSizes();
+  return std::find(sizes.begin(), sizes.end(), gpcs) != sizes.end();
+}
+
+}  // namespace pe::hw

@@ -1,0 +1,52 @@
+// Reconfigurable GPU hardware description (Section II-C of the paper).
+//
+// The paper uses NVIDIA A100: seven GPCs of compute, eight L2/DRAM memory
+// slices, reconfigurable via MIG into partitions of {1, 2, 3, 4, 7} GPCs.
+// This module captures the *resources* a partition of a given size owns;
+// the performance model in perf/ turns those resources into latency and
+// utilization figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pe::hw {
+
+// Resources owned by one GPU partition (a "GPU instance" in MIG terms).
+struct PartitionResources {
+  int gpcs = 0;              // compute slices
+  int sms = 0;               // streaming multiprocessors
+  double peak_flops = 0.0;   // aggregate peak FLOP/s across the SMs
+  double dram_bw = 0.0;      // DRAM bandwidth, bytes/s
+  double l2_bytes = 0.0;     // L2 capacity, bytes
+};
+
+// Whole-GPU specification.  Defaults model an NVIDIA A100-SXM4-40GB.
+struct GpuSpec {
+  std::string name = "A100";
+  int gpcs = 7;                      // compute slices per GPU
+  int memory_slices = 8;             // L2/DRAM slices per GPU
+  int sms_per_gpc = 14;              // 98 usable SMs across 7 GPCs
+  // TF32 tensor-core peak per SM (~141 TFLOP/s across 98 SMs).  The paper's
+  // stack (PyTorch 1.7 + cuDNN 8) runs FP32 models via TF32 on Ampere.
+  double peak_flops_per_sm = 1.44e12;
+  double dram_bw = 1555e9;           // bytes/s (HBM2, full GPU)
+  double l2_bytes = 40e6;            // 40 MB L2 (full GPU)
+
+  // Returns the resources of a partition with `gpcs` compute slices.
+  // Memory slices follow the real MIG profile table:
+  //   1 GPC -> 1/8, 2 -> 2/8, 3 -> 4/8, 4 -> 4/8, 7 -> 8/8.
+  // (3g and 4g profiles both receive half the memory on A100.)
+  PartitionResources Partition(int gpcs) const;
+
+  // Memory slices granted to a partition of the given compute size.
+  int MemorySlicesFor(int gpcs) const;
+
+  // Partition sizes MIG supports, ascending: {1, 2, 3, 4, 7}.
+  static const std::vector<int>& ValidPartitionSizes();
+
+  // True if `gpcs` is a valid MIG partition size.
+  static bool IsValidPartitionSize(int gpcs);
+};
+
+}  // namespace pe::hw

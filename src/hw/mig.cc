@@ -1,0 +1,154 @@
+#include "hw/mig.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace pe::hw {
+
+const std::vector<int>& LegalStartSlots(int gpcs) {
+  static const std::vector<int> kOne = {0, 1, 2, 3, 4, 5, 6};
+  static const std::vector<int> kTwo = {0, 2, 4};
+  static const std::vector<int> kThree = {0, 4};
+  static const std::vector<int> kFour = {0};
+  static const std::vector<int> kSeven = {0};
+  static const std::vector<int> kNone = {};
+  switch (gpcs) {
+    case 1: return kOne;
+    case 2: return kTwo;
+    case 3: return kThree;
+    case 4: return kFour;
+    case 7: return kSeven;
+    default: return kNone;
+  }
+}
+
+MigLayout::MigLayout(const GpuSpec& spec)
+    : spec_(spec), occupied_(static_cast<std::size_t>(spec.gpcs), false) {}
+
+bool MigLayout::SlotRangeFree(int start, int len) const {
+  if (start + len > spec_.gpcs) return false;
+  for (int i = start; i < start + len; ++i) {
+    if (occupied_[static_cast<std::size_t>(i)]) return false;
+  }
+  return true;
+}
+
+void MigLayout::MarkRange(int start, int len, bool value) {
+  for (int i = start; i < start + len; ++i) {
+    occupied_[static_cast<std::size_t>(i)] = value;
+  }
+}
+
+std::optional<Placement> MigLayout::TryPlace(int gpcs) {
+  for (int slot : LegalStartSlots(gpcs)) {
+    if (SlotRangeFree(slot, gpcs)) {
+      MarkRange(slot, gpcs, true);
+      Placement p{gpcs, slot};
+      placements_.push_back(p);
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+bool MigLayout::Remove(const Placement& p) {
+  auto it = std::find(placements_.begin(), placements_.end(), p);
+  if (it == placements_.end()) return false;
+  MarkRange(p.start_slot, p.gpcs, false);
+  placements_.erase(it);
+  return true;
+}
+
+int MigLayout::used_gpcs() const {
+  int used = 0;
+  for (const auto& p : placements_) used += p.gpcs;
+  return used;
+}
+
+std::vector<int> MigLayout::InstanceSizes() const {
+  std::vector<int> sizes;
+  sizes.reserve(placements_.size());
+  for (const auto& p : placements_) sizes.push_back(p.gpcs);
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+std::string MigLayout::ToString() const {
+  std::ostringstream oss;
+  oss << '[';
+  auto sorted = placements_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Placement& a, const Placement& b) {
+              return a.start_slot < b.start_slot;
+            });
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) oss << ' ';
+    oss << sorted[i].gpcs << '@' << sorted[i].start_slot;
+  }
+  oss << ']';
+  return oss.str();
+}
+
+bool MigLayout::CanPlaceAll(const std::vector<int>& sizes,
+                            const GpuSpec& spec) {
+  // Backtracking over placement order: try to place each remaining size at
+  // each of its legal slots.  The search space is tiny (<= 7 instances).
+  std::vector<int> remaining = sizes;
+  std::sort(remaining.begin(), remaining.end(), std::greater<int>());
+  std::vector<bool> occupied(static_cast<std::size_t>(spec.gpcs), false);
+
+  std::function<bool(std::size_t)> place = [&](std::size_t idx) -> bool {
+    if (idx == remaining.size()) return true;
+    const int g = remaining[idx];
+    if (!GpuSpec::IsValidPartitionSize(g)) return false;
+    for (int slot : LegalStartSlots(g)) {
+      bool free = slot + g <= spec.gpcs;
+      for (int i = slot; free && i < slot + g; ++i) {
+        free = !occupied[static_cast<std::size_t>(i)];
+      }
+      if (!free) continue;
+      for (int i = slot; i < slot + g; ++i) {
+        occupied[static_cast<std::size_t>(i)] = true;
+      }
+      if (place(idx + 1)) return true;
+      for (int i = slot; i < slot + g; ++i) {
+        occupied[static_cast<std::size_t>(i)] = false;
+      }
+    }
+    return false;
+  };
+  return place(0);
+}
+
+std::vector<std::vector<int>> MigLayout::EnumerateFeasibleMultisets(
+    const GpuSpec& spec) {
+  // Enumerate all multisets of valid sizes with total <= spec.gpcs, then
+  // filter by placement feasibility.  Sizes sorted descending for stable
+  // output.
+  std::set<std::vector<int>> result;
+  const auto& sizes = GpuSpec::ValidPartitionSizes();
+  std::vector<int> current;
+  std::function<void(std::size_t, int)> rec = [&](std::size_t idx,
+                                                  int budget) {
+    if (CanPlaceAll(current, spec)) {
+      auto sorted = current;
+      std::sort(sorted.begin(), sorted.end(), std::greater<int>());
+      result.insert(sorted);
+    }
+    if (idx == sizes.size()) return;
+    rec(idx + 1, budget);  // skip this size
+    // Iterate over ascending sizes; take one more of sizes[idx] if it fits.
+    if (sizes[idx] <= budget) {
+      current.push_back(sizes[idx]);
+      rec(idx, budget - sizes[idx]);
+      current.pop_back();
+    }
+  };
+  rec(0, spec.gpcs);
+  return {result.begin(), result.end()};
+}
+
+}  // namespace pe::hw

@@ -1,0 +1,101 @@
+#include "online/elastic_server.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "online/traffic_estimator.h"
+#include "sim/metrics.h"
+
+namespace pe::online {
+
+ElasticServerSim::ElasticServerSim(RepartitionController& controller,
+                                   const profile::ProfileTable& profile,
+                                   SchedulerFactory scheduler_factory,
+                                   sim::LatencyFn actual_latency,
+                                   SimTime sla_target,
+                                   std::size_t queries_per_epoch)
+    : controller_(controller),
+      profile_(profile),
+      scheduler_factory_(std::move(scheduler_factory)),
+      actual_latency_(std::move(actual_latency)),
+      sla_target_(sla_target),
+      queries_per_epoch_(queries_per_epoch) {
+  assert(queries_per_epoch_ > 0);
+}
+
+ElasticResult ElasticServerSim::Run(const workload::QueryTrace& trace) {
+  ElasticResult result;
+  std::vector<sim::QueryRecord> all_records;
+  all_records.reserve(trace.size());
+
+  TrafficEstimator estimator(profile_.max_batch());
+  // Extra delay accumulated by reconfigurations: arrivals shift later.
+  SimTime reconfig_shift = 0;
+
+  const auto& queries = trace.queries();
+  for (std::size_t begin = 0; begin < queries.size();
+       begin += queries_per_epoch_) {
+    const std::size_t end =
+        std::min(begin + queries_per_epoch_, queries.size());
+
+    bool reconfigured = false;
+    if (begin > 0) {
+      if (controller_.MaybeRepartition(estimator)) {
+        reconfigured = true;
+        reconfig_shift += controller_.config().reconfig_downtime;
+        ++result.reconfigurations;
+      }
+    }
+
+    // Epoch-local trace: arrivals re-based to the epoch start, dense ids.
+    // Queries that arrived during a reconfiguration window pile up at 0.
+    const SimTime epoch_origin = queries[begin].arrival + reconfig_shift;
+    std::vector<workload::Query> epoch_queries;
+    epoch_queries.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      workload::Query q = queries[i];
+      q.id = i - begin;
+      q.arrival = std::max<SimTime>(0, q.arrival + reconfig_shift -
+                                           epoch_origin);
+      epoch_queries.push_back(q);
+    }
+    workload::QueryTrace epoch_trace(std::move(epoch_queries));
+
+    sim::ServerConfig sc;
+    sc.partition_gpcs = controller_.current_plan().instance_gpcs;
+    sc.sla_target = sla_target_;
+    sc.seed = 0xE1A5 + begin;
+    auto scheduler = scheduler_factory_();
+    sim::InferenceServer server(sc, profile_, *scheduler, actual_latency_);
+    auto epoch_result = server.Run(epoch_trace);
+
+    // Feed the estimator with what was served this epoch.
+    for (const auto& q : epoch_trace.queries()) estimator.Observe(q.batch);
+
+    // Re-base records to global time and collect.
+    EpochStats es;
+    es.queries = epoch_result.records.size();
+    es.reconfigured = reconfigured;
+    es.layout = controller_.current_plan().instance_gpcs;
+    const auto stats = sim::ComputeStats(epoch_result.records, sla_target_,
+                                         /*warmup_fraction=*/0.0);
+    es.p95_ms = stats.p95_latency_ms;
+    es.violation_rate = stats.sla_violation_rate;
+    result.epochs.push_back(std::move(es));
+
+    for (auto& r : epoch_result.records) {
+      r.id += begin;
+      r.arrival += epoch_origin;
+      r.dispatched += epoch_origin;
+      r.started += epoch_origin;
+      r.finished += epoch_origin;
+      all_records.push_back(r);
+    }
+  }
+
+  result.total = sim::ComputeStats(all_records, sla_target_,
+                                   /*warmup_fraction=*/0.0);
+  return result;
+}
+
+}  // namespace pe::online

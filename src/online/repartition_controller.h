@@ -1,0 +1,71 @@
+// Epoch-based elastic re-partitioning controller (extension).
+//
+// The paper derives one PARIS configuration offline.  In production the
+// batch-size distribution drifts (time of day, service popularity); this
+// controller closes the loop: at every epoch boundary it compares the live
+// PMF from the TrafficEstimator against the PMF the current plan was built
+// for, and if the total-variation drift exceeds a threshold it re-runs
+// PARIS and -- if the resulting layout actually differs -- orders a
+// reconfiguration.  MIG reconfiguration is not free (instances must drain
+// and be re-created), which the elastic simulator charges as downtime.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "hw/cluster.h"
+#include "online/traffic_estimator.h"
+#include "partition/paris.h"
+#include "partition/partitioner.h"
+#include "profile/profile_table.h"
+
+namespace pe::online {
+
+struct ElasticConfig {
+  // Minimum observations before the estimator is trusted.
+  std::size_t min_observations = 500;
+  // Total-variation drift (vs the PMF of the current plan) that triggers
+  // re-partitioning.
+  double drift_threshold = 0.10;
+  // Downtime charged per reconfiguration (drain + MIG re-create).
+  SimTime reconfig_downtime = MsToTicks(2000.0);
+};
+
+class RepartitionController {
+ public:
+  // `profile` must outlive the controller.  `initial_dist` seeds the first
+  // plan (e.g. yesterday's traffic or a provisioning guess).
+  RepartitionController(const profile::ProfileTable& profile,
+                        hw::Cluster cluster, int gpc_budget,
+                        const workload::BatchDistribution& initial_dist,
+                        partition::ParisConfig paris = {},
+                        ElasticConfig config = {});
+
+  const partition::PartitionPlan& current_plan() const { return plan_; }
+  const std::vector<double>& current_pmf() const { return plan_pmf_; }
+  int reconfigurations() const { return reconfigurations_; }
+  const ElasticConfig& config() const { return config_; }
+
+  // Epoch-boundary decision.  Returns the new plan if a reconfiguration is
+  // warranted (and commits to it), nullopt to keep the current plan.
+  std::optional<partition::PartitionPlan> MaybeRepartition(
+      const TrafficEstimator& estimator);
+
+  // Drift of the live traffic vs the committed plan's PMF.
+  double DriftOf(const TrafficEstimator& estimator) const;
+
+ private:
+  const profile::ProfileTable& profile_;
+  hw::Cluster cluster_;
+  int gpc_budget_;
+  partition::ParisConfig paris_config_;
+  ElasticConfig config_;
+  partition::PartitionPlan plan_;
+  std::vector<double> plan_pmf_;
+  int reconfigurations_ = 0;
+
+  partition::PartitionPlan PlanFor(const workload::BatchDistribution& dist);
+};
+
+}  // namespace pe::online

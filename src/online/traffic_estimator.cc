@@ -1,0 +1,73 @@
+#include "online/traffic_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pe::online {
+
+TrafficEstimator::TrafficEstimator(int max_batch, std::size_t window)
+    : max_batch_(max_batch),
+      window_(window),
+      counts_(static_cast<std::size_t>(max_batch) + 1, 0) {
+  if (max_batch < 1) {
+    throw std::invalid_argument("TrafficEstimator: max_batch < 1");
+  }
+  if (window < 1) {
+    throw std::invalid_argument("TrafficEstimator: window < 1");
+  }
+}
+
+void TrafficEstimator::Observe(int batch) {
+  const int clamped = std::clamp(batch, 1, max_batch_);
+  recent_.push_back(clamped);
+  ++counts_[static_cast<std::size_t>(clamped)];
+  if (recent_.size() > window_) {
+    const int evicted = recent_.front();
+    recent_.pop_front();
+    assert(counts_[static_cast<std::size_t>(evicted)] > 0);
+    --counts_[static_cast<std::size_t>(evicted)];
+  }
+}
+
+std::vector<double> TrafficEstimator::Pmf() const {
+  std::vector<double> pmf(counts_.size(), 0.0);
+  if (recent_.empty()) return pmf;
+  const double n = static_cast<double>(recent_.size());
+  for (std::size_t b = 1; b < counts_.size(); ++b) {
+    pmf[b] = static_cast<double>(counts_[b]) / n;
+  }
+  return pmf;
+}
+
+workload::EmpiricalBatchDist TrafficEstimator::Snapshot() const {
+  if (recent_.empty()) {
+    throw std::logic_error("TrafficEstimator::Snapshot: no observations");
+  }
+  std::vector<double> weights(static_cast<std::size_t>(max_batch_), 0.0);
+  for (std::size_t b = 1; b < counts_.size(); ++b) {
+    weights[b - 1] = static_cast<double>(counts_[b]);
+  }
+  return workload::EmpiricalBatchDist(std::move(weights));
+}
+
+double TrafficEstimator::TotalVariation(
+    const std::vector<double>& other_pmf) const {
+  const auto mine = Pmf();
+  const std::size_t n = std::max(mine.size(), other_pmf.size());
+  double tv = 0.0;
+  for (std::size_t b = 1; b < n; ++b) {
+    const double a = b < mine.size() ? mine[b] : 0.0;
+    const double o = b < other_pmf.size() ? other_pmf[b] : 0.0;
+    tv += std::abs(a - o);
+  }
+  return 0.5 * tv;
+}
+
+void TrafficEstimator::Clear() {
+  recent_.clear();
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+}  // namespace pe::online

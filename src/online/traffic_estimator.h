@@ -1,0 +1,55 @@
+// Online batch-size distribution estimation.
+//
+// The paper notes (Section IV-B) that the batch-size PDF "can readily be
+// generated in the inference server by collecting the number of input
+// batch sizes serviced within a given period of time, which PARIS can
+// utilize as a proxy for the batch size distribution".  This module
+// implements that collector: a sliding window over the most recent
+// observations, an empirical PMF snapshot for PARIS, and a total-variation
+// drift metric for deciding when the live distribution has moved far
+// enough from the one the server was partitioned for.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "workload/batch_dist.h"
+
+namespace pe::online {
+
+class TrafficEstimator {
+ public:
+  // `max_batch`: largest batch size tracked (larger observations clamp).
+  // `window`: number of most recent queries retained.
+  explicit TrafficEstimator(int max_batch, std::size_t window = 10000);
+
+  int max_batch() const { return max_batch_; }
+  std::size_t window() const { return window_; }
+  std::size_t count() const { return recent_.size(); }
+  bool empty() const { return recent_.empty(); }
+
+  // Records one served query's batch size.
+  void Observe(int batch);
+
+  // Empirical PMF over [1, max_batch]; index 0 unused.  All zeros when no
+  // observations have been made.
+  std::vector<double> Pmf() const;
+
+  // Snapshot usable as a PARIS input.  Requires count() > 0.
+  workload::EmpiricalBatchDist Snapshot() const;
+
+  // Total-variation distance between this window's PMF and another PMF
+  // (same indexing convention).  Ranges over [0, 1].
+  double TotalVariation(const std::vector<double>& other_pmf) const;
+
+  void Clear();
+
+ private:
+  int max_batch_;
+  std::size_t window_;
+  std::deque<int> recent_;
+  std::vector<std::size_t> counts_;  // index = batch size
+};
+
+}  // namespace pe::online

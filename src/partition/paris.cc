@@ -1,0 +1,217 @@
+#include "partition/paris.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "partition/homogeneous.h"
+
+namespace pe::partition {
+namespace {
+
+std::string Fmt3(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+ParisPartitioner::ParisPartitioner(const profile::ProfileTable& profile,
+                                   const workload::BatchDistribution& dist,
+                                   ParisConfig config)
+    : profile_(profile), dist_(dist), config_(config) {}
+
+ParisDerivation ParisPartitioner::Derive(int gpc_budget) const {
+  if (gpc_budget < 1) {
+    throw std::invalid_argument("ParisPartitioner: budget must be >= 1");
+  }
+  ParisDerivation d;
+  d.partition_sizes = profile_.partition_sizes();
+  const std::size_t n = d.partition_sizes.size();
+  assert(n > 0);
+
+  // Step A: MaxBatch_knee per partition size (monotone, last covers the
+  // profiled max batch).  The relative-knee plateau is referenced at the
+  // distribution's max batch so the segmentation is meaningful within the
+  // range of batches that will actually be served.
+  d.knees = profile_.AllKnees(config_.knee_threshold, config_.knee_mode,
+                              dist_.max_batch());
+
+  // Step B: relative instance demand per size over its batch segment.
+  // Segments partition [1, dist_max]; the last segment absorbs any batch
+  // sizes beyond the last knee.
+  const int dist_max = dist_.max_batch();
+  d.ratios.assign(n, 0.0);
+  int prev = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    int hi = std::min(d.knees[k], dist_max);
+    if (k + 1 == n) hi = dist_max;
+    for (int b = prev + 1; b <= hi; ++b) {
+      const double p = dist_.Pdf(b);
+      if (p <= 0.0) continue;
+      const double tput = profile_.ThroughputQps(d.partition_sizes[k], b);
+      if (tput > 0.0) d.ratios[static_cast<std::size_t>(k)] += p / tput;
+    }
+    prev = std::max(prev, hi);
+  }
+
+  // Step C: absolute instance counts.
+  double sum_r = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum_r += static_cast<double>(d.partition_sizes[k]) * d.ratios[k];
+  }
+  if (sum_r <= 0.0) {
+    throw std::runtime_error(
+        "ParisPartitioner: distribution has no mass over profiled batches");
+  }
+  d.scale_c = static_cast<double>(gpc_budget) / sum_r;
+
+  std::vector<double> exact(n);
+  for (std::size_t k = 0; k < n; ++k) exact[k] = d.scale_c * d.ratios[k];
+
+  // Largest-remainder rounding under the GPC budget.
+  d.instances.assign(n, 0);
+  int used = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    d.instances[k] = static_cast<int>(std::floor(exact[k]));
+    used += d.instances[k] * d.partition_sizes[k];
+  }
+  assert(used <= gpc_budget);
+  for (;;) {
+    int leftover = gpc_budget - used;
+    // Candidate with the largest fractional remainder whose size fits.
+    double best_frac = 0.0;
+    std::size_t best_k = n;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (d.partition_sizes[k] > leftover) continue;
+      const double frac = exact[k] - std::floor(exact[k]);
+      if (d.ratios[k] > 0.0 && frac > best_frac) {
+        best_frac = frac;
+        best_k = k;
+      }
+    }
+    if (best_k == n) break;
+    ++d.instances[best_k];
+    exact[best_k] = std::floor(exact[best_k]);  // remainder consumed
+    used += d.partition_sizes[best_k];
+  }
+  // Backfill remaining GPCs with the highest-demand size that still fits,
+  // so budget is not stranded (the extra capacity relieves the hottest
+  // segment).
+  for (;;) {
+    const int leftover = gpc_budget - used;
+    if (leftover <= 0) break;
+    double best_r = 0.0;
+    std::size_t best_k = n;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (d.partition_sizes[k] > leftover) continue;
+      if (d.ratios[k] > best_r) {
+        best_r = d.ratios[k];
+        best_k = k;
+      }
+    }
+    if (best_k == n) break;
+    ++d.instances[best_k];
+    used += d.partition_sizes[best_k];
+  }
+
+  // Segment-coverage guarantee: every segment with traffic gets at least
+  // one dedicated instance ("each GPU partition now has a dedicated batch
+  // range segment", Section IV-B) -- otherwise its batches have no partition
+  // sized for them and tail latency collapses.  Free the GPCs by shrinking
+  // the most-populated smaller allocations.
+  for (std::size_t k = n; k-- > 0;) {
+    if (d.ratios[k] <= 0.0 || d.instances[k] > 0) continue;
+    const int need = d.partition_sizes[k];
+    int freed = gpc_budget - used;
+    std::vector<int> taken(n, 0);
+    while (freed < need) {
+      // Donor: the size with the most instances beyond its own minimum.
+      std::size_t donor = n;
+      int donor_count = 1;  // must keep at least one instance per segment
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == k) continue;
+        const int keep = d.ratios[j] > 0.0 ? 1 : 0;
+        if (d.instances[j] - taken[j] > std::max(donor_count, keep)) {
+          donor = j;
+          donor_count = d.instances[j] - taken[j];
+        }
+      }
+      if (donor == n) break;
+      ++taken[donor];
+      freed += d.partition_sizes[donor];
+    }
+    if (freed >= need) {
+      for (std::size_t j = 0; j < n; ++j) {
+        d.instances[j] -= taken[j];
+        used -= taken[j] * d.partition_sizes[j];
+      }
+      d.instances[k] = 1;
+      used += need;
+      // Re-backfill any slack created by the donation.
+      for (;;) {
+        const int leftover = gpc_budget - used;
+        if (leftover <= 0) break;
+        double best_r = 0.0;
+        std::size_t best_j = n;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (d.partition_sizes[j] > leftover) continue;
+          if (d.ratios[j] > best_r) {
+            best_r = d.ratios[j];
+            best_j = j;
+          }
+        }
+        if (best_j == n) break;
+        ++d.instances[best_j];
+        used += d.partition_sizes[best_j];
+      }
+    }
+  }
+
+  // Degenerate safeguard: at least one instance overall.
+  if (std::accumulate(d.instances.begin(), d.instances.end(), 0) == 0) {
+    const std::size_t k_best = static_cast<std::size_t>(
+        std::max_element(d.ratios.begin(), d.ratios.end()) - d.ratios.begin());
+    // Choose the largest size that fits the budget at or below k_best.
+    for (std::size_t k = k_best + 1; k-- > 0;) {
+      if (d.partition_sizes[k] <= gpc_budget) {
+        d.instances[k] = 1;
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+PartitionPlan ParisPartitioner::Plan(const hw::Cluster& cluster,
+                                     int gpc_budget) {
+  const int budget = std::min(gpc_budget, cluster.total_gpcs());
+  const ParisDerivation d = Derive(budget);
+
+  std::vector<int> sizes;
+  for (std::size_t k = 0; k < d.partition_sizes.size(); ++k) {
+    for (int i = 0; i < d.instances[k]; ++i) {
+      sizes.push_back(d.partition_sizes[k]);
+    }
+  }
+  std::ostringstream why;
+  why << "PARIS knees={";
+  for (std::size_t k = 0; k < d.knees.size(); ++k) {
+    if (k > 0) why << ',';
+    why << "GPU(" << d.partition_sizes[k] << "):" << d.knees[k];
+  }
+  why << "} ratios={";
+  for (std::size_t k = 0; k < d.ratios.size(); ++k) {
+    if (k > 0) why << ',';
+    why << Fmt3(d.ratios[k]);
+  }
+  why << "} C=" << Fmt3(d.scale_c);
+  return MakePlan(cluster, std::move(sizes), why.str());
+}
+
+}  // namespace pe::partition

@@ -1,0 +1,37 @@
+// Partitioner interface: maps a GPC budget to a multiset of GPU partition
+// sizes, realizable on the physical cluster under MIG placement rules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+
+namespace pe::partition {
+
+// The outcome of a partitioning decision.
+struct PartitionPlan {
+  // Instance sizes (GPCs per instance), descending.
+  std::vector<int> instance_gpcs;
+  // Concrete placement on the physical cluster.
+  hw::ClusterLayout layout;
+  // Free-form rationale for logs/benches (e.g. PARIS's R_k ratios).
+  std::string rationale;
+
+  int TotalGpcs() const;
+  int NumInstances() const { return static_cast<int>(instance_gpcs.size()); }
+  std::string Summary() const;  // e.g. "6xGPU(1) 4xGPU(2) 2xGPU(3) 1xGPU(4)"
+};
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  // Produces a plan using at most `gpc_budget` GPCs of `cluster`.
+  // Throws std::runtime_error if no feasible plan exists.
+  virtual PartitionPlan Plan(const hw::Cluster& cluster, int gpc_budget) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace pe::partition

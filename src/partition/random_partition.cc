@@ -1,0 +1,41 @@
+#include "partition/random_partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "hw/gpu_spec.h"
+#include "partition/homogeneous.h"
+
+namespace pe::partition {
+
+RandomPartitioner::RandomPartitioner(std::uint64_t seed) : seed_(seed) {}
+
+PartitionPlan RandomPartitioner::Plan(const hw::Cluster& cluster,
+                                      int gpc_budget) {
+  Rng rng(seed_);
+  const int budget = std::min(gpc_budget, cluster.total_gpcs());
+
+  // Random valid sizes drawn until the budget is exhausted; any residual
+  // too small for the drawn size is filled with GPU(1)s.
+  const auto& valid = hw::GpuSpec::ValidPartitionSizes();
+  std::vector<int> sizes;
+  int remaining = budget;
+  while (remaining > 0) {
+    std::vector<int> fitting;
+    for (int s : valid) {
+      if (s <= remaining) fitting.push_back(s);
+    }
+    const int pick = fitting[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(fitting.size()) - 1))];
+    sizes.push_back(pick);
+    remaining -= pick;
+  }
+  std::ostringstream why;
+  why << "random heterogeneous draw, seed=" << seed_ << ", budget=" << budget;
+  // PackWithRepair keeps the total GPC count while fixing draws that violate
+  // MIG placement (e.g. two GPU(4) landing on one GPU).
+  return MakePlan(cluster, std::move(sizes), why.str());
+}
+
+}  // namespace pe::partition

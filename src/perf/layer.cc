@@ -1,0 +1,168 @@
+#include "perf/layer.h"
+
+#include <cassert>
+
+namespace pe::perf {
+
+const char* ToString(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kDepthwiseConv: return "dwconv";
+    case LayerKind::kGemm: return "gemm";
+    case LayerKind::kAttention: return "attention";
+    case LayerKind::kElementwise: return "elementwise";
+    case LayerKind::kNormalization: return "normalization";
+    case LayerKind::kPool: return "pool";
+    case LayerKind::kMemoryOp: return "memory";
+  }
+  return "?";
+}
+
+Layer Conv2d(std::string name, int h, int w, int c, int k, int r, int s,
+             int stride, double dtype) {
+  assert(stride >= 1);
+  const int ho = (h + stride - 1) / stride;
+  const int wo = (w + stride - 1) / stride;
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kConv;
+  l.flops_per_sample = 2.0 * static_cast<double>(k) * c * r * s * ho * wo;
+  l.weight_bytes = static_cast<double>(k) * c * r * s * dtype;
+  l.io_bytes_per_sample =
+      (static_cast<double>(h) * w * c + static_cast<double>(ho) * wo * k) *
+      dtype;
+  l.gemm_m_per_sample = static_cast<double>(ho) * wo;
+  l.gemm_n = k;
+  return l;
+}
+
+Layer DepthwiseConv2d(std::string name, int h, int w, int c, int r, int s,
+                      int stride, double dtype) {
+  assert(stride >= 1);
+  const int ho = (h + stride - 1) / stride;
+  const int wo = (w + stride - 1) / stride;
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kDepthwiseConv;
+  l.flops_per_sample = 2.0 * static_cast<double>(c) * r * s * ho * wo;
+  l.weight_bytes = static_cast<double>(c) * r * s * dtype;
+  l.io_bytes_per_sample =
+      (static_cast<double>(h) * w * c + static_cast<double>(ho) * wo * c) *
+      dtype;
+  l.gemm_m_per_sample = static_cast<double>(ho) * wo;
+  l.gemm_n = c;
+  return l;
+}
+
+Layer Linear(std::string name, int tokens_per_sample, int in_features,
+             int out_features, double dtype) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kGemm;
+  l.flops_per_sample = 2.0 * static_cast<double>(tokens_per_sample) *
+                       in_features * out_features;
+  l.weight_bytes = static_cast<double>(in_features) * out_features * dtype;
+  l.io_bytes_per_sample =
+      static_cast<double>(tokens_per_sample) * (in_features + out_features) *
+      dtype;
+  l.gemm_m_per_sample = tokens_per_sample;
+  l.gemm_n = out_features;
+  return l;
+}
+
+Layer AttentionScores(std::string name, int seq, int d_head, int heads,
+                      double dtype) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kAttention;
+  l.flops_per_sample =
+      2.0 * static_cast<double>(seq) * seq * d_head * heads;
+  l.weight_bytes = 0.0;
+  l.io_bytes_per_sample =
+      (2.0 * seq * d_head + static_cast<double>(seq) * seq) * heads * dtype;
+  l.gemm_m_per_sample = seq;
+  l.gemm_n = seq;
+  l.groups = heads;
+  return l;
+}
+
+Layer AttentionContext(std::string name, int seq, int d_head, int heads,
+                       double dtype) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kAttention;
+  l.flops_per_sample =
+      2.0 * static_cast<double>(seq) * seq * d_head * heads;
+  l.weight_bytes = 0.0;
+  l.io_bytes_per_sample =
+      (static_cast<double>(seq) * seq + 2.0 * seq * d_head) * heads * dtype;
+  l.gemm_m_per_sample = seq;
+  l.gemm_n = d_head;
+  l.groups = heads;
+  return l;
+}
+
+namespace {
+
+// Shared shape for elementwise-like layers: tiles cover 128x128 element
+// blocks so that small tensors under-occupy large partitions, as real
+// elementwise kernels do.
+void FillElementwiseGeometry(Layer& l, double elems) {
+  l.gemm_m_per_sample = elems / 128.0;
+  l.gemm_n = 128.0;
+}
+
+}  // namespace
+
+Layer Elementwise(std::string name, double elems, double flops_per_elem,
+                  double dtype) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kElementwise;
+  l.flops_per_sample = elems * flops_per_elem;
+  l.weight_bytes = 0.0;
+  l.io_bytes_per_sample = 2.0 * elems * dtype;  // read + write
+  FillElementwiseGeometry(l, elems);
+  return l;
+}
+
+Layer Normalization(std::string name, double elems, double flops_per_elem,
+                    double dtype) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kNormalization;
+  l.flops_per_sample = elems * flops_per_elem;
+  l.weight_bytes = 0.0;
+  l.io_bytes_per_sample = 2.0 * elems * dtype;
+  FillElementwiseGeometry(l, elems);
+  return l;
+}
+
+Layer Pool2d(std::string name, int h, int w, int c, int r, int s, int stride,
+             double dtype) {
+  const int ho = (h + stride - 1) / stride;
+  const int wo = (w + stride - 1) / stride;
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kPool;
+  l.flops_per_sample = static_cast<double>(ho) * wo * c * r * s;
+  l.weight_bytes = 0.0;
+  l.io_bytes_per_sample =
+      (static_cast<double>(h) * w * c + static_cast<double>(ho) * wo * c) *
+      dtype;
+  FillElementwiseGeometry(l, static_cast<double>(ho) * wo * c);
+  return l;
+}
+
+Layer MemoryOp(std::string name, double bytes_per_sample) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kMemoryOp;
+  l.flops_per_sample = bytes_per_sample / 16.0;  // address arithmetic
+  l.weight_bytes = 0.0;
+  l.io_bytes_per_sample = bytes_per_sample;
+  FillElementwiseGeometry(l, bytes_per_sample / 4.0);
+  return l;
+}
+
+}  // namespace pe::perf

@@ -1,0 +1,97 @@
+// Layer-level cost descriptors.
+//
+// The paper's methodology profiles real DNNs (PyTorch eager mode on A100
+// MIG partitions).  We replace the measurement with an analytical model:
+// each network is described as a sequence of layers, and each layer is
+// reduced to the quantities a roofline + occupancy model needs:
+//
+//   * flops_per_sample    -- arithmetic work per batch element
+//   * weight_bytes        -- parameter traffic, paid once per invocation
+//                            (assumed L2-resident within a layer)
+//   * io_bytes_per_sample -- activation read+write traffic per element
+//   * tile geometry       -- a GEMM-view (M rows per sample, N cols,
+//                            independent groups) from which the number of
+//                            thread-block tiles, and hence SM occupancy and
+//                            wave quantization, is derived.
+//
+// Factory functions construct layers from semantic parameters (conv shapes,
+// linear dims, attention dims), keeping the model zoo readable and auditable.
+#pragma once
+
+#include <string>
+
+namespace pe::perf {
+
+// Broad kernel families; each maps to an achievable fraction of per-SM peak
+// in its compute-bound inner loop (see RooflineParams::EfficiencyFor).
+enum class LayerKind {
+  kConv,           // dense convolution (im2col GEMM view)
+  kDepthwiseConv,  // depthwise convolution: very low arithmetic density
+  kGemm,           // dense matrix multiply / fully connected
+  kAttention,      // batched attention matmuls (scores / context)
+  kElementwise,    // activation, residual add, BN inference, scaling
+  kNormalization,  // layer norm / softmax style row reductions
+  kPool,           // pooling
+  kMemoryOp,       // pure data movement: shuffle, concat, embedding lookup
+};
+
+const char* ToString(LayerKind kind);
+
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::kGemm;
+
+  double flops_per_sample = 0.0;
+  double weight_bytes = 0.0;
+  double io_bytes_per_sample = 0.0;
+
+  // GEMM-view tile geometry: an invocation at batch b spawns
+  //   ceil(gemm_m_per_sample * b / tile_m) * ceil(gemm_n / tile_n) * groups
+  // thread-block tiles.
+  double gemm_m_per_sample = 1.0;
+  double gemm_n = 1.0;
+  int groups = 1;
+};
+
+// ---- Factory functions -------------------------------------------------
+
+// Dense 2D convolution: input HxWxC, K output channels, RxS kernel, given
+// stride.  `dtype` is the element size in bytes.
+Layer Conv2d(std::string name, int h, int w, int c, int k, int r, int s,
+             int stride, double dtype);
+
+// Depthwise 2D convolution over C channels.
+Layer DepthwiseConv2d(std::string name, int h, int w, int c, int r, int s,
+                      int stride, double dtype);
+
+// Linear layer applied to `tokens_per_sample` positions (1 for CNN heads,
+// seq_len for transformers): in_features -> out_features.
+Layer Linear(std::string name, int tokens_per_sample, int in_features,
+             int out_features, double dtype);
+
+// Batched attention score computation: per head, (seq x d_head) x
+// (d_head x seq) -> seq x seq.
+Layer AttentionScores(std::string name, int seq, int d_head, int heads,
+                      double dtype);
+
+// Batched attention context: per head, (seq x seq) x (seq x d_head).
+Layer AttentionContext(std::string name, int seq, int d_head, int heads,
+                       double dtype);
+
+// Elementwise op over `elems` elements per sample with `flops_per_elem`
+// arithmetic (e.g. ReLU 1, BN inference 2, GELU 8, residual add 1).
+Layer Elementwise(std::string name, double elems, double flops_per_elem,
+                  double dtype);
+
+// Row-reduction style op (softmax, layernorm) over `elems` per sample.
+Layer Normalization(std::string name, double elems, double flops_per_elem,
+                    double dtype);
+
+// Pooling over an HxWxC input with an RxS window and given stride.
+Layer Pool2d(std::string name, int h, int w, int c, int r, int s, int stride,
+             double dtype);
+
+// Pure data-movement op over `bytes_per_sample` (shuffle/concat/lookup).
+Layer MemoryOp(std::string name, double bytes_per_sample);
+
+}  // namespace pe::perf

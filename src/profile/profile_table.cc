@@ -1,0 +1,148 @@
+#include "profile/profile_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pe::profile {
+
+ProfileTable::ProfileTable(std::string model_name,
+                           std::vector<int> partition_sizes,
+                           std::vector<int> batch_sizes)
+    : model_name_(std::move(model_name)),
+      partition_sizes_(std::move(partition_sizes)),
+      batch_sizes_(std::move(batch_sizes)) {
+  assert(std::is_sorted(partition_sizes_.begin(), partition_sizes_.end()));
+  assert(std::is_sorted(batch_sizes_.begin(), batch_sizes_.end()));
+}
+
+int ProfileTable::max_batch() const {
+  return batch_sizes_.empty() ? 0 : batch_sizes_.back();
+}
+
+void ProfileTable::Set(int gpcs, int batch, ProfileEntry entry) {
+  entries_[{gpcs, batch}] = entry;
+}
+
+bool ProfileTable::Has(int gpcs, int batch) const {
+  return entries_.count({gpcs, batch}) > 0;
+}
+
+const ProfileEntry& ProfileTable::At(int gpcs, int batch) const {
+  auto it = entries_.find({gpcs, batch});
+  if (it == entries_.end()) {
+    throw std::out_of_range("ProfileTable: no entry for gpcs=" +
+                            std::to_string(gpcs) +
+                            " batch=" + std::to_string(batch));
+  }
+  return it->second;
+}
+
+namespace {
+
+// Smallest profiled batch >= `batch`, clamped to the largest profiled one.
+int SnapBatch(const std::vector<int>& batches, int batch) {
+  assert(!batches.empty());
+  auto it = std::lower_bound(batches.begin(), batches.end(), batch);
+  if (it == batches.end()) return batches.back();
+  return *it;
+}
+
+}  // namespace
+
+double ProfileTable::LatencySec(int gpcs, int batch) const {
+  return At(gpcs, SnapBatch(batch_sizes_, batch)).latency_sec;
+}
+
+double ProfileTable::Utilization(int gpcs, int batch) const {
+  return At(gpcs, SnapBatch(batch_sizes_, batch)).utilization;
+}
+
+double ProfileTable::ThroughputQps(int gpcs, int batch) const {
+  return At(gpcs, SnapBatch(batch_sizes_, batch)).throughput_qps();
+}
+
+int ProfileTable::MaxBatchKnee(int gpcs, double threshold, KneeMode mode,
+                               int reference_batch) const {
+  assert(!batch_sizes_.empty());
+  double target = threshold;
+  if (mode == KneeMode::kRelative) {
+    const int ref = reference_batch > 0
+                        ? SnapBatch(batch_sizes_, reference_batch)
+                        : batch_sizes_.back();
+    target = threshold * At(gpcs, ref).utilization;
+  }
+  for (int b : batch_sizes_) {
+    if (At(gpcs, b).utilization >= target) return b;
+  }
+  return batch_sizes_.back();
+}
+
+std::vector<int> ProfileTable::AllKnees(double threshold, KneeMode mode,
+                                        int reference_batch) const {
+  std::vector<int> knees;
+  knees.reserve(partition_sizes_.size());
+  for (int g : partition_sizes_) {
+    knees.push_back(MaxBatchKnee(g, threshold, mode, reference_batch));
+  }
+  // Enforce monotonicity in partition size.
+  for (std::size_t i = 1; i < knees.size(); ++i) {
+    knees[i] = std::max(knees[i], knees[i - 1]);
+  }
+  if (!knees.empty()) knees.back() = max_batch();
+  return knees;
+}
+
+void ProfileTable::SaveCsv(std::ostream& os) const {
+  os << "model,gpcs,batch,latency_sec,utilization\n";
+  for (const auto& [key, entry] : entries_) {
+    os << model_name_ << ',' << key.first << ',' << key.second << ','
+       << entry.latency_sec << ',' << entry.utilization << '\n';
+  }
+}
+
+ProfileTable ProfileTable::LoadCsv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("ProfileTable::LoadCsv: empty input");
+  }
+  std::string model_name;
+  std::map<std::pair<int, int>, ProfileEntry> entries;
+  std::vector<int> gpcs_list;
+  std::vector<int> batch_list;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string field;
+    std::getline(ls, field, ',');
+    model_name = field;
+    std::getline(ls, field, ',');
+    const int gpcs = std::stoi(field);
+    std::getline(ls, field, ',');
+    const int batch = std::stoi(field);
+    ProfileEntry e;
+    std::getline(ls, field, ',');
+    e.latency_sec = std::stod(field);
+    std::getline(ls, field, ',');
+    e.utilization = std::stod(field);
+    entries[{gpcs, batch}] = e;
+    gpcs_list.push_back(gpcs);
+    batch_list.push_back(batch);
+  }
+  auto uniq_sort = [](std::vector<int>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  uniq_sort(gpcs_list);
+  uniq_sort(batch_list);
+  ProfileTable table(model_name, gpcs_list, batch_list);
+  for (const auto& [key, entry] : entries) {
+    table.Set(key.first, key.second, entry);
+  }
+  return table;
+}
+
+}  // namespace pe::profile

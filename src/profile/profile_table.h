@@ -1,0 +1,91 @@
+// The paper's one-time profiling lookup table (Section IV-C):
+// (GPU partition size, batch size) -> {latency, utilization, throughput}.
+//
+// Both PARIS (Algorithm 1 inputs Util[], Throughput[]) and ELSA
+// (T_estimated lookups, Eq. 1-2) consume this table, never the performance
+// model directly -- mirroring the deployment flow on real hardware where the
+// table is measured once (~5 minutes per the paper) and then reused.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pe::profile {
+
+struct ProfileEntry {
+  double latency_sec = 0.0;
+  double utilization = 0.0;  // SM-busy fraction in [0, 1]
+
+  // Effective inference throughput in queries/sec: a query is one batch, so
+  // this is 1 / latency (cf. the paper's Figure 8 example where batch-1
+  // latency 25 ms -> 40 queries/sec).
+  double throughput_qps() const {
+    return latency_sec > 0.0 ? 1.0 / latency_sec : 0.0;
+  }
+};
+
+// MaxBatch_knee derivation mode (see DESIGN.md):
+//  * kAbsolute: first batch with util >= threshold (Algorithm 1, line 8).
+//  * kRelative: first batch with util >= threshold * util(max batch); total
+//    even when a partition's plateau sits below the absolute threshold.
+enum class KneeMode { kAbsolute, kRelative };
+
+class ProfileTable {
+ public:
+  ProfileTable() = default;
+  ProfileTable(std::string model_name, std::vector<int> partition_sizes,
+               std::vector<int> batch_sizes);
+
+  const std::string& model_name() const { return model_name_; }
+  const std::vector<int>& partition_sizes() const { return partition_sizes_; }
+  const std::vector<int>& batch_sizes() const { return batch_sizes_; }
+  int max_batch() const;
+
+  void Set(int gpcs, int batch, ProfileEntry entry);
+  bool Has(int gpcs, int batch) const;
+
+  // Returns the profiled entry; exact match required (throws
+  // std::out_of_range otherwise).
+  const ProfileEntry& At(int gpcs, int batch) const;
+
+  // Latency with lookup semantics used by the scheduler: exact batch match
+  // if profiled, otherwise the nearest profiled batch >= `batch` (a batch
+  // between grid points costs as much as the next grid point), clamping to
+  // the largest profiled batch.
+  double LatencySec(int gpcs, int batch) const;
+  double Utilization(int gpcs, int batch) const;
+  double ThroughputQps(int gpcs, int batch) const;
+
+  // MaxBatch_knee for a partition size (Algorithm 1 Step A): the first
+  // profiled batch whose utilization crosses the threshold; falls back to
+  // the largest profiled batch if never crossed.  In kRelative mode the
+  // plateau is the utilization at `reference_batch` (<= 0 means the largest
+  // profiled batch); callers serving a capped distribution pass its max
+  // batch so knees are meaningful within the served range.
+  int MaxBatchKnee(int gpcs, double threshold = 0.8,
+                   KneeMode mode = KneeMode::kRelative,
+                   int reference_batch = 0) const;
+
+  // Knees for every partition size, ascending by size, made non-decreasing
+  // (a larger partition never gets a smaller knee than a smaller one, which
+  // Algorithm 1 implicitly assumes when segmenting), with the largest
+  // partition's knee clamped up to the max profiled batch so the segments
+  // cover the whole distribution.
+  std::vector<int> AllKnees(double threshold = 0.8,
+                            KneeMode mode = KneeMode::kRelative,
+                            int reference_batch = 0) const;
+
+  // CSV round trip: columns model,gpcs,batch,latency_sec,utilization.
+  void SaveCsv(std::ostream& os) const;
+  static ProfileTable LoadCsv(std::istream& is);
+
+ private:
+  std::string model_name_;
+  std::vector<int> partition_sizes_;  // ascending
+  std::vector<int> batch_sizes_;      // ascending
+  std::map<std::pair<int, int>, ProfileEntry> entries_;
+};
+
+}  // namespace pe::profile

@@ -1,0 +1,35 @@
+#include "profile/profiler.h"
+
+#include <algorithm>
+
+#include "hw/gpu_spec.h"
+
+namespace pe::profile {
+
+ProfilerConfig ProfilerConfig::Default(int max_batch) {
+  ProfilerConfig c;
+  c.partition_sizes = hw::GpuSpec::ValidPartitionSizes();
+  // Dense grid up to 8, then even steps: captures the knee position with
+  // single-batch resolution where it matters.
+  for (int b = 1; b <= std::min(8, max_batch); ++b) c.batch_sizes.push_back(b);
+  for (int b = 10; b <= max_batch; b += 2) c.batch_sizes.push_back(b);
+  if (c.batch_sizes.back() != max_batch) c.batch_sizes.push_back(max_batch);
+  return c;
+}
+
+Profiler::Profiler(perf::RooflineEngine engine) : engine_(std::move(engine)) {}
+
+ProfileTable Profiler::Profile(const perf::DnnModel& model,
+                               const ProfilerConfig& config) const {
+  ProfileTable table(model.name(), config.partition_sizes,
+                     config.batch_sizes);
+  for (int gpcs : config.partition_sizes) {
+    for (int batch : config.batch_sizes) {
+      const perf::ModelTiming t = engine_.Time(model, gpcs, batch);
+      table.Set(gpcs, batch, ProfileEntry{t.latency_sec, t.utilization});
+    }
+  }
+  return table;
+}
+
+}  // namespace pe::profile

@@ -1,0 +1,43 @@
+#include "sched/baselines.h"
+
+#include <cassert>
+#include <limits>
+
+namespace pe::sched {
+
+int JsqScheduler::OnQueryArrival(const workload::Query& query,
+                                 const std::vector<WorkerState>& workers) {
+  (void)query;
+  assert(!workers.empty());
+  SimTime best_wait = std::numeric_limits<SimTime>::max();
+  int best = workers.front().index;
+  for (const auto& w : workers) {
+    if (w.wait_ticks < best_wait) {
+      best_wait = w.wait_ticks;
+      best = w.index;
+    }
+  }
+  return best;
+}
+
+GreedyFastestScheduler::GreedyFastestScheduler(
+    const profile::ProfileTable& profile)
+    : profile_(profile) {}
+
+int GreedyFastestScheduler::OnQueryArrival(
+    const workload::Query& query, const std::vector<WorkerState>& workers) {
+  assert(!workers.empty());
+  double t_min = std::numeric_limits<double>::infinity();
+  int best = workers.front().index;
+  for (const auto& w : workers) {
+    const double t = TicksToSec(w.wait_ticks) +
+                     profile_.LatencySec(w.gpcs, query.batch);
+    if (t < t_min) {
+      t_min = t;
+      best = w.index;
+    }
+  }
+  return best;
+}
+
+}  // namespace pe::sched

@@ -1,0 +1,37 @@
+// Additional scheduling baselines beyond the paper's FIFS, used by the
+// ablation benches:
+//
+//  * JsqScheduler     -- join-shortest-queue by estimated wait time;
+//    heterogeneity-aware about load but not about the query's own cost.
+//  * GreedyFastestScheduler -- always minimizes Twait + Testimated,new,
+//    i.e. ELSA with Step A removed.  Isolates the contribution of ELSA's
+//    "prefer the smallest partition with slack" rule (utilization-driven).
+#pragma once
+
+#include "profile/profile_table.h"
+#include "sched/scheduler.h"
+
+namespace pe::sched {
+
+class JsqScheduler final : public Scheduler {
+ public:
+  int OnQueryArrival(const workload::Query& query,
+                     const std::vector<WorkerState>& workers) override;
+  bool UsesCentralQueue() const override { return false; }
+  std::string name() const override { return "JSQ"; }
+};
+
+class GreedyFastestScheduler final : public Scheduler {
+ public:
+  explicit GreedyFastestScheduler(const profile::ProfileTable& profile);
+
+  int OnQueryArrival(const workload::Query& query,
+                     const std::vector<WorkerState>& workers) override;
+  bool UsesCentralQueue() const override { return false; }
+  std::string name() const override { return "GreedyFastest"; }
+
+ private:
+  const profile::ProfileTable& profile_;
+};
+
+}  // namespace pe::sched

@@ -1,0 +1,55 @@
+#include "sched/elsa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace pe::sched {
+
+ElsaScheduler::ElsaScheduler(const profile::ProfileTable& profile,
+                             SimTime sla_target, ElsaParams params)
+    : profile_(profile), sla_target_(sla_target), params_(params) {
+  assert(sla_target_ > 0);
+}
+
+double ElsaScheduler::SlackSec(const WorkerState& worker, int batch) const {
+  const double t_wait = TicksToSec(worker.wait_ticks);
+  const double t_new = profile_.LatencySec(worker.gpcs, batch);
+  return TicksToSec(sla_target_) -
+         params_.alpha * (t_wait + params_.beta * t_new);
+}
+
+int ElsaScheduler::OnQueryArrival(const workload::Query& query,
+                                  const std::vector<WorkerState>& workers) {
+  assert(!workers.empty());
+
+  // Step A: smallest partition whose predicted slack is positive.  Workers
+  // are visited in ascending (gpcs, index) order regardless of their order
+  // in the vector.
+  std::vector<const WorkerState*> sorted;
+  sorted.reserve(workers.size());
+  for (const auto& w : workers) sorted.push_back(&w);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const WorkerState* a, const WorkerState* b) {
+              if (a->gpcs != b->gpcs) return a->gpcs < b->gpcs;
+              return a->index < b->index;
+            });
+  for (const WorkerState* w : sorted) {
+    if (SlackSec(*w, query.batch) > 0.0) return w->index;
+  }
+
+  // Step B: no partition satisfies the SLA; pick minimum completion time.
+  double t_min = std::numeric_limits<double>::infinity();
+  int best = sorted.front()->index;
+  for (const WorkerState* w : sorted) {
+    const double t = TicksToSec(w->wait_ticks) +
+                     profile_.LatencySec(w->gpcs, query.batch);
+    if (t < t_min) {
+      t_min = t;
+      best = w->index;
+    }
+  }
+  return best;
+}
+
+}  // namespace pe::sched

@@ -1,0 +1,59 @@
+// ELSA: ELastic Scheduling Algorithm (paper Section IV-C, Algorithm 2).
+//
+// For an arriving query, ELSA predicts the SLA slack it would have on each
+// partition (Eq. 1-2):
+//
+//   Twait      = sum(Testimated,queued) + Tremaining,current
+//   SLA slack  = SLAtarget - alpha * (Twait + beta * Testimated,new)
+//
+// Step A: walk partitions in ascending size order and bind the query to the
+// first one whose predicted slack is positive -- preferring small partitions
+// maximizes GPU utilization when slack allows.
+// Step B: if no partition can meet the SLA, bind to the partition with the
+// minimum completion time (Twait + Testimated,new), evacuating the doomed
+// query as fast as possible so it disturbs other queries the least.
+//
+// Testimated comes from the one-time profiled lookup table; Twait comes in
+// precomputed through WorkerState (the server derives it from the same
+// table plus the in-flight query's elapsed timestamp).
+#pragma once
+
+#include "profile/profile_table.h"
+#include "sched/scheduler.h"
+
+namespace pe::sched {
+
+struct ElsaParams {
+  // Tuning knobs of Eq. 2 ("configurable parameters we employ to tune the
+  // SLA slack predictor"); 1.0/1.0 makes the predictor exact under
+  // noise-free execution.
+  double alpha = 1.0;
+  double beta = 1.0;
+};
+
+class ElsaScheduler final : public Scheduler {
+ public:
+  // `profile` must outlive the scheduler.  `sla_target` is the model's SLA
+  // target (Section V: N x the max-batch latency on GPU(7)).
+  ElsaScheduler(const profile::ProfileTable& profile, SimTime sla_target,
+                ElsaParams params = ElsaParams{});
+
+  int OnQueryArrival(const workload::Query& query,
+                     const std::vector<WorkerState>& workers) override;
+  bool UsesCentralQueue() const override { return false; }
+  std::string name() const override { return "ELSA"; }
+
+  SimTime sla_target() const { return sla_target_; }
+  const ElsaParams& params() const { return params_; }
+
+  // Predicted slack of scheduling `batch` on a worker (exposed for tests
+  // and for the slack-visualisation example).
+  double SlackSec(const WorkerState& worker, int batch) const;
+
+ private:
+  const profile::ProfileTable& profile_;
+  SimTime sla_target_;
+  ElsaParams params_;
+};
+
+}  // namespace pe::sched

@@ -1,0 +1,23 @@
+#include "sched/fifs.h"
+
+namespace pe::sched {
+
+int FifsScheduler::OnQueryArrival(const workload::Query& query,
+                                  const std::vector<WorkerState>& workers) {
+  (void)query;
+  // Ties among several idle GPUs are broken toward the largest partition --
+  // the most charitable reading of FIFS on a heterogeneous server.  The
+  // Figure 5(b) pathology still occurs whenever the only idle GPUs are
+  // small ones, which is exactly the loaded regime the paper targets.
+  int best = kNoAssignment;
+  int best_gpcs = -1;
+  for (const auto& w : workers) {
+    if (w.idle && w.gpcs > best_gpcs) {
+      best = w.index;
+      best_gpcs = w.gpcs;
+    }
+  }
+  return best;
+}
+
+}  // namespace pe::sched

@@ -1,0 +1,26 @@
+// First-idle first-serve (FIFS): the paper's baseline policy (Section III-C),
+// as employed by NVIDIA Triton-style multi-GPU servers.  An arriving query
+// is dispatched to an idle GPU if one exists; otherwise it waits in the
+// central FIFO and the first GPU to become idle takes it.
+//
+// FIFS is heterogeneity-unaware in the sense that it never *waits* for a
+// better-suited GPU: any idle GPU absorbs the query immediately.  Among
+// several idle GPUs we break ties toward the largest partition (the most
+// charitable reading); Figure 5(b)'s pathology -- a heavy query landing on
+// a small GPU because that is the only idle one -- still occurs whenever
+// the server is loaded.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace pe::sched {
+
+class FifsScheduler final : public Scheduler {
+ public:
+  int OnQueryArrival(const workload::Query& query,
+                     const std::vector<WorkerState>& workers) override;
+  bool UsesCentralQueue() const override { return true; }
+  std::string name() const override { return "FIFS"; }
+};
+
+}  // namespace pe::sched

@@ -1,0 +1,52 @@
+// Scheduler interface.
+//
+// The inference server calls the scheduler at two points:
+//  * when a query arrives: the scheduler may bind it to a partition's local
+//    queue immediately (ELSA-style) or leave it in the server's central
+//    FIFO (FIFS-style) by returning kNoAssignment;
+//  * when a partition goes idle with a non-empty central queue: servers
+//    with central-queue schedulers hand the head query to that partition
+//    ("first idle, first serve").
+//
+// Schedulers see workers through WorkerState snapshots; `wait_ticks` is the
+// paper's Twait (Eq. 1): the estimated execution time of everything queued
+// locally plus the estimated remainder of the in-flight query, both derived
+// from the profiled lookup table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "workload/trace.h"
+
+namespace pe::sched {
+
+struct WorkerState {
+  int index = 0;
+  int gpcs = 0;
+  bool idle = true;             // not executing and local queue empty
+  SimTime wait_ticks = 0;       // Twait per Eq. 1
+  std::size_t queue_length = 0;
+};
+
+// Sentinel: leave the query in the central queue.
+inline constexpr int kNoAssignment = -1;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Decide where an arriving query goes: a worker index, or kNoAssignment
+  // to hold it centrally.
+  virtual int OnQueryArrival(const workload::Query& query,
+                             const std::vector<WorkerState>& workers) = 0;
+
+  // True if unassigned queries wait in a central FIFO that idle workers
+  // pull from.  Schedulers returning kNoAssignment must return true here.
+  virtual bool UsesCentralQueue() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace pe::sched

@@ -1,0 +1,82 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "common/stats.h"
+
+namespace pe::sim {
+
+ServerStats ComputeStats(const std::vector<QueryRecord>& records,
+                         SimTime sla_target, double warmup_fraction) {
+  ServerStats stats;
+  if (records.empty()) return stats;
+  assert(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
+
+  // Records sorted by arrival for a well-defined warmup cut.
+  std::vector<const QueryRecord*> sorted;
+  sorted.reserve(records.size());
+  for (const auto& r : records) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const QueryRecord* a, const QueryRecord* b) {
+              return a->arrival < b->arrival;
+            });
+  const std::size_t skip =
+      static_cast<std::size_t>(warmup_fraction *
+                               static_cast<double>(sorted.size()));
+
+  Percentile latency;
+  StreamingStats queue_delay;
+  std::size_t violations = 0;
+  SimTime window_begin = 0;
+  SimTime window_end = 0;
+  std::map<int, WorkerStats> workers;
+
+  for (std::size_t i = skip; i < sorted.size(); ++i) {
+    const QueryRecord& r = *sorted[i];
+    latency.Add(TicksToMs(r.Latency()));
+    queue_delay.Add(TicksToMs(r.QueueDelay()));
+    if (r.Latency() > sla_target) ++violations;
+    if (stats.completed == 0) window_begin = r.arrival;
+    window_end = std::max(window_end, r.finished);
+    ++stats.completed;
+
+    auto& w = workers[r.worker];
+    w.index = r.worker;
+    w.gpcs = r.worker_gpcs;
+    w.busy_ticks += r.finished - r.started;
+    ++w.queries;
+  }
+  if (stats.completed == 0) return stats;
+
+  stats.mean_latency_ms = latency.Mean();
+  stats.p50_latency_ms = latency.P50();
+  stats.p95_latency_ms = latency.P95();
+  stats.p99_latency_ms = latency.P99();
+  stats.max_latency_ms = latency.Max();
+  stats.mean_queue_delay_ms = queue_delay.mean();
+  stats.sla_violation_rate =
+      static_cast<double>(violations) / static_cast<double>(stats.completed);
+
+  const SimTime span = window_end - window_begin;
+  if (span > 0) {
+    stats.achieved_qps =
+        static_cast<double>(stats.completed) / TicksToSec(span);
+    double gpc_busy = 0.0;
+    double gpc_total = 0.0;
+    for (auto& [idx, w] : workers) {
+      w.utilization = std::min(
+          1.0, static_cast<double>(w.busy_ticks) / static_cast<double>(span));
+      gpc_busy += w.utilization * w.gpcs;
+      gpc_total += w.gpcs;
+      stats.workers.push_back(w);
+    }
+    if (gpc_total > 0.0) {
+      stats.mean_worker_utilization = gpc_busy / gpc_total;
+    }
+  }
+  return stats;
+}
+
+}  // namespace pe::sim

@@ -1,0 +1,60 @@
+// Per-query records and aggregate server statistics.
+//
+// The paper's headline metrics are 95th-percentile tail latency (Fig. 11)
+// and latency-bounded throughput (Fig. 12); we additionally track SLA
+// violation rate, queueing delay, and per-worker utilization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace pe::sim {
+
+struct QueryRecord {
+  std::uint64_t id = 0;
+  int batch = 1;
+  SimTime arrival = 0;     // enters the server
+  SimTime dispatched = 0;  // bound to a worker (== arrival unless centrally queued)
+  SimTime started = 0;     // execution begins on the GPU partition
+  SimTime finished = 0;    // execution completes
+  int worker = -1;
+  int worker_gpcs = 0;
+
+  SimTime Latency() const { return finished - arrival; }
+  SimTime QueueDelay() const { return started - arrival; }
+};
+
+struct WorkerStats {
+  int index = 0;
+  int gpcs = 0;
+  SimTime busy_ticks = 0;
+  std::uint64_t queries = 0;
+  double utilization = 0.0;  // busy fraction of the measured span
+};
+
+struct ServerStats {
+  std::size_t completed = 0;
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  double mean_queue_delay_ms = 0.0;
+  double sla_violation_rate = 0.0;  // fraction with latency > SLA target
+  double achieved_qps = 0.0;        // completions / measured span
+  double mean_worker_utilization = 0.0;  // GPC-weighted busy fraction
+  std::vector<WorkerStats> workers;
+};
+
+// Aggregates records into ServerStats.
+//  * `sla_target`: latency bound for the violation-rate metric.
+//  * `warmup_fraction`: leading fraction of records (by arrival order)
+//    excluded from latency statistics, removing cold-start transients.
+// Worker utilization is measured over the span between the first and last
+// *included* completion.
+ServerStats ComputeStats(const std::vector<QueryRecord>& records,
+                         SimTime sla_target, double warmup_fraction = 0.1);
+
+}  // namespace pe::sim

@@ -1,0 +1,153 @@
+#include "sim/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pe::sim {
+
+InferenceServer::InferenceServer(ServerConfig config,
+                                 const profile::ProfileTable& profile,
+                                 sched::Scheduler& scheduler,
+                                 LatencyFn actual_latency)
+    : config_(std::move(config)),
+      profile_(profile),
+      scheduler_(scheduler),
+      actual_latency_(std::move(actual_latency)),
+      rng_(config_.seed) {
+  if (config_.partition_gpcs.empty()) {
+    throw std::invalid_argument("InferenceServer: no partitions configured");
+  }
+  // Workers ordered by ascending partition size (then creation order);
+  // FIFS's "first idle" scan and ELSA's Step A both rely on this order
+  // being stable and size-ascending.
+  std::vector<int> sizes = config_.partition_gpcs;
+  std::sort(sizes.begin(), sizes.end());
+  workers_.reserve(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    workers_.emplace_back(static_cast<int>(i), sizes[i]);
+  }
+}
+
+void InferenceServer::Push(SimTime time, EventType type,
+                           std::size_t payload) {
+  events_.push(Event{time, next_seq_++, type, payload});
+}
+
+SimTime InferenceServer::ActualTicks(int gpcs, int batch) {
+  double sec = actual_latency_(gpcs, batch);
+  if (config_.latency_noise_sigma > 0.0) {
+    const double sigma = config_.latency_noise_sigma;
+    // Mean-one log-normal multiplier so noise does not shift mean latency.
+    sec *= std::exp(rng_.Normal(0.0, sigma) - 0.5 * sigma * sigma);
+  }
+  return std::max<SimTime>(1, SecToTicks(sec));
+}
+
+SimTime InferenceServer::EstimateTicks(int gpcs, int batch) const {
+  return std::max<SimTime>(1, SecToTicks(profile_.LatencySec(gpcs, batch)));
+}
+
+void InferenceServer::StartHead(PartitionWorker& worker, SimTime now) {
+  if (!worker.CanStart()) return;
+  const int batch = worker.Head().batch;
+  const SimTime actual = ActualTicks(worker.gpcs(), batch);
+  const workload::Query q = worker.Start(now, actual);
+  QueryRecord& rec = records_[q.id];
+  rec.started = now;
+  rec.worker = worker.index();
+  rec.worker_gpcs = worker.gpcs();
+  Push(now + actual, EventType::kWorkerDone,
+       static_cast<std::size_t>(worker.index()));
+}
+
+void InferenceServer::Dispatch(const workload::Query& query, SimTime now) {
+  std::vector<sched::WorkerState> states;
+  states.reserve(workers_.size());
+  for (const auto& w : workers_) states.push_back(w.Snapshot(now));
+
+  const int idx = scheduler_.OnQueryArrival(query, states);
+  if (idx == sched::kNoAssignment) {
+    if (!scheduler_.UsesCentralQueue()) {
+      throw std::logic_error(
+          "scheduler returned kNoAssignment but has no central queue");
+    }
+    central_queue_.push_back(query);
+    return;
+  }
+  if (idx < 0 || idx >= static_cast<int>(workers_.size())) {
+    throw std::out_of_range("scheduler returned invalid worker index");
+  }
+  PartitionWorker& worker = workers_[static_cast<std::size_t>(idx)];
+  records_[query.id].dispatched = now;
+  worker.Enqueue(query, EstimateTicks(worker.gpcs(), query.batch));
+  StartHead(worker, now);
+}
+
+SimResult InferenceServer::Run(const workload::QueryTrace& trace) {
+  // Reset run state.
+  events_ = {};
+  next_seq_ = 0;
+  central_queue_.clear();
+  records_.assign(trace.size(), QueryRecord{});
+  frontend_free_at_.assign(
+      static_cast<std::size_t>(std::max(1, config_.frontend.lanes)), 0);
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const workload::Query& q = trace.queries()[i];
+    if (q.id != i) {
+      throw std::invalid_argument("trace query ids must be dense 0..n-1");
+    }
+    records_[i].id = q.id;
+    records_[i].batch = q.batch;
+    records_[i].arrival = q.arrival;
+    Push(q.arrival, EventType::kArrival, i);
+  }
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    const SimTime now = ev.time;
+    switch (ev.type) {
+      case EventType::kArrival: {
+        if (config_.frontend.enabled) {
+          // G/D/c preprocessing stage: earliest-free lane serves FIFO.
+          auto lane = std::min_element(frontend_free_at_.begin(),
+                                       frontend_free_at_.end());
+          const SimTime start = std::max(now, *lane);
+          const SimTime done = start + config_.frontend.cost_per_query;
+          *lane = done;
+          Push(done, EventType::kFrontendDone, ev.payload);
+        } else {
+          Dispatch(trace.queries()[ev.payload], now);
+        }
+        break;
+      }
+      case EventType::kFrontendDone: {
+        Dispatch(trace.queries()[ev.payload], now);
+        break;
+      }
+      case EventType::kWorkerDone: {
+        PartitionWorker& worker = workers_[ev.payload];
+        const workload::Query done = worker.Finish();
+        records_[done.id].finished = now;
+        // Start next local query, or pull from the central queue.
+        if (worker.CanStart()) {
+          StartHead(worker, now);
+        } else if (scheduler_.UsesCentralQueue() && !central_queue_.empty()) {
+          const workload::Query next = central_queue_.front();
+          central_queue_.pop_front();
+          records_[next.id].dispatched = now;
+          worker.Enqueue(next, EstimateTicks(worker.gpcs(), next.batch));
+          StartHead(worker, now);
+        }
+        break;
+      }
+    }
+  }
+
+  return SimResult{std::move(records_)};
+}
+
+}  // namespace pe::sim

@@ -1,0 +1,112 @@
+// The multi-GPU inference server simulator.
+//
+// A discrete-event simulation of the paper's serving system (Figure 6):
+// queries arrive from a trace, optionally pass through a finite-capacity
+// frontend (the query-supply stage whose saturation the paper observed for
+// MobileNet at 48 GPCs), are placed by the scheduler, and execute on
+// heterogeneous GPU partition workers.
+//
+// Execution times are sampled from a ground-truth latency function
+// (the roofline model, optionally with log-normal noise); the scheduler
+// only ever sees the profiled estimates, so estimate/actual divergence is
+// faithfully represented when noise is enabled.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "profile/profile_table.h"
+#include "sched/scheduler.h"
+#include "sim/metrics.h"
+#include "sim/worker.h"
+#include "workload/trace.h"
+
+namespace pe::sim {
+
+// Ground truth: actual execution latency of (partition gpcs, batch).
+using LatencyFn = std::function<double(int gpcs, int batch)>;
+
+struct FrontendConfig {
+  bool enabled = false;
+  // Parallel preprocessing lanes (the paper's host has 96 vCPUs).
+  int lanes = 96;
+  // Deterministic per-query preprocessing cost.
+  SimTime cost_per_query = UsToTicks(500.0);
+};
+
+struct ServerConfig {
+  // One worker per element; the multiset of GPU partition sizes.
+  std::vector<int> partition_gpcs;
+  // SLA target for bookkeeping (violation rate in stats).
+  SimTime sla_target = 0;
+  // Log-normal multiplicative execution-time noise (sigma in log space);
+  // 0 disables noise and makes runs fully deterministic.
+  double latency_noise_sigma = 0.0;
+  std::uint64_t seed = 0x5EED;
+  FrontendConfig frontend;
+};
+
+struct SimResult {
+  std::vector<QueryRecord> records;
+  ServerStats Stats(SimTime sla_target, double warmup_fraction = 0.1) const {
+    return ComputeStats(records, sla_target, warmup_fraction);
+  }
+};
+
+class InferenceServer {
+ public:
+  // `profile` (estimates) and `scheduler` must outlive the server.
+  // `actual_latency` returns seconds for (gpcs, batch).
+  InferenceServer(ServerConfig config, const profile::ProfileTable& profile,
+                  sched::Scheduler& scheduler, LatencyFn actual_latency);
+
+  // Replays the trace to completion and returns per-query records.
+  SimResult Run(const workload::QueryTrace& trace);
+
+  const std::vector<PartitionWorker>& workers() const { return workers_; }
+
+ private:
+  enum class EventType { kArrival, kFrontendDone, kWorkerDone };
+
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t seq = 0;  // tie-breaker: deterministic FIFO order
+    EventType type = EventType::kArrival;
+    std::size_t payload = 0;  // trace index or worker index
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void Push(SimTime time, EventType type, std::size_t payload);
+  void Dispatch(const workload::Query& query, SimTime now);
+  // Starts the worker's head query if the worker is free, recording start
+  // metadata and scheduling the completion event.
+  void StartHead(PartitionWorker& worker, SimTime now);
+  SimTime ActualTicks(int gpcs, int batch);
+  SimTime EstimateTicks(int gpcs, int batch) const;
+
+  ServerConfig config_;
+  const profile::ProfileTable& profile_;
+  sched::Scheduler& scheduler_;
+  LatencyFn actual_latency_;
+  Rng rng_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::uint64_t next_seq_ = 0;
+
+  std::vector<PartitionWorker> workers_;
+  std::deque<workload::Query> central_queue_;
+  std::vector<SimTime> frontend_free_at_;  // per lane
+  std::vector<QueryRecord> records_;
+};
+
+}  // namespace pe::sim

@@ -1,0 +1,66 @@
+#include "sim/worker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pe::sim {
+
+PartitionWorker::PartitionWorker(int index, int gpcs)
+    : index_(index), gpcs_(gpcs) {
+  assert(index >= 0);
+  assert(gpcs >= 1);
+}
+
+void PartitionWorker::Enqueue(const workload::Query& query,
+                              SimTime estimated) {
+  assert(estimated >= 0);
+  queue_.push_back(Pending{query, estimated});
+  queued_estimated_ += estimated;
+}
+
+const workload::Query& PartitionWorker::Head() const {
+  assert(!queue_.empty());
+  return queue_.front().query;
+}
+
+workload::Query PartitionWorker::Start(SimTime now, SimTime actual) {
+  assert(CanStart());
+  assert(actual > 0);
+  Pending head = queue_.front();
+  queue_.pop_front();
+  queued_estimated_ -= head.estimated;
+  current_ = head.query;
+  current_estimated_ = head.estimated;
+  current_started_ = now;
+  busy_until_ = now + actual;
+  return head.query;
+}
+
+workload::Query PartitionWorker::Finish() {
+  assert(busy());
+  workload::Query done = *current_;
+  current_.reset();
+  current_estimated_ = 0;
+  return done;
+}
+
+SimTime PartitionWorker::EstimatedWait(SimTime now) const {
+  SimTime wait = queued_estimated_;
+  if (busy()) {
+    const SimTime elapsed = now - current_started_;
+    wait += std::max<SimTime>(0, current_estimated_ - elapsed);
+  }
+  return wait;
+}
+
+sched::WorkerState PartitionWorker::Snapshot(SimTime now) const {
+  sched::WorkerState s;
+  s.index = index_;
+  s.gpcs = gpcs_;
+  s.idle = idle();
+  s.wait_ticks = EstimatedWait(now);
+  s.queue_length = queue_.size();
+  return s;
+}
+
+}  // namespace pe::sim

@@ -1,0 +1,78 @@
+// A GPU partition worker: one MIG instance executing queries from its
+// local FIFO queue (Figure 9: "all GPU partitions have [a] local scheduling
+// queue").
+//
+// The worker tracks two clocks per query:
+//  * the *actual* execution time, drawn from the ground-truth latency
+//    function (roofline model, optionally with multiplicative noise);
+//  * the *estimated* execution time from the profiled lookup table, used
+//    to expose Twait (Eq. 1) to the scheduler -- including
+//    Tremaining,current = Testimated,current - Telapsed,current via the
+//    start timestamp, exactly as the paper implements it.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/sim_time.h"
+#include "sched/scheduler.h"
+#include "workload/trace.h"
+
+namespace pe::sim {
+
+class PartitionWorker {
+ public:
+  PartitionWorker(int index, int gpcs);
+
+  int index() const { return index_; }
+  int gpcs() const { return gpcs_; }
+
+  bool busy() const { return current_.has_value(); }
+  bool idle() const { return !busy() && queue_.empty(); }
+  std::size_t queue_length() const { return queue_.size(); }
+
+  // Appends a query to the local queue with its estimated execution time.
+  void Enqueue(const workload::Query& query, SimTime estimated);
+
+  // True if a query is ready to start (worker not busy, queue non-empty).
+  bool CanStart() const { return !busy() && !queue_.empty(); }
+
+  // The query at the head of the local queue; requires a non-empty queue.
+  const workload::Query& Head() const;
+
+  // Pops the head query and marks the worker busy until now + actual.
+  // Returns the started query.
+  workload::Query Start(SimTime now, SimTime actual);
+
+  // Completes the in-flight query; the worker becomes free.
+  workload::Query Finish();
+
+  const workload::Query& current() const { return *current_; }
+  SimTime current_started() const { return current_started_; }
+  SimTime busy_until() const { return busy_until_; }
+
+  // Twait per Eq. 1 at time `now`: estimated time of all queued queries
+  // plus the estimated remainder of the in-flight one.
+  SimTime EstimatedWait(SimTime now) const;
+
+  // Snapshot for the scheduler.
+  sched::WorkerState Snapshot(SimTime now) const;
+
+ private:
+  struct Pending {
+    workload::Query query;
+    SimTime estimated;
+  };
+
+  int index_;
+  int gpcs_;
+  std::deque<Pending> queue_;
+  SimTime queued_estimated_ = 0;  // running sum over queue_
+
+  std::optional<workload::Query> current_;
+  SimTime current_estimated_ = 0;
+  SimTime current_started_ = 0;
+  SimTime busy_until_ = 0;
+};
+
+}  // namespace pe::sim

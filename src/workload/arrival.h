@@ -1,0 +1,62 @@
+// Query arrival processes.
+//
+// The paper uses MLPerf's recommended Poisson arrival process.  A bursty
+// (Markov-modulated) process is provided as an extension for stress tests.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace pe::workload {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  // Returns the gap to the next arrival (strictly positive ticks).
+  virtual SimTime NextGap(Rng& rng) = 0;
+
+  // Mean offered load in queries/sec.
+  virtual double MeanRateQps() const = 0;
+
+  virtual std::string Describe() const = 0;
+};
+
+// Poisson arrivals: i.i.d. exponential gaps at `rate_qps`.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_qps);
+
+  SimTime NextGap(Rng& rng) override;
+  double MeanRateQps() const override { return rate_qps_; }
+  std::string Describe() const override;
+
+ private:
+  double rate_qps_;
+};
+
+// Two-state Markov-modulated Poisson process: alternates between a normal
+// and a burst state with exponentially distributed dwell times.  Extension
+// beyond the paper for failure-injection style load tests.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(double base_rate_qps, double burst_rate_qps,
+                 double mean_normal_sec, double mean_burst_sec);
+
+  SimTime NextGap(Rng& rng) override;
+  double MeanRateQps() const override;
+  std::string Describe() const override;
+
+ private:
+  double base_rate_;
+  double burst_rate_;
+  double mean_normal_sec_;
+  double mean_burst_sec_;
+  bool in_burst_ = false;
+  SimTime state_left_ = 0;
+};
+
+}  // namespace pe::workload

@@ -1,0 +1,141 @@
+#include "workload/batch_dist.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace pe::workload {
+namespace {
+
+// Standard normal CDF.
+double Phi(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+// Builds a CDF vector from a PMF vector (index 0 unused).
+std::vector<double> BuildCdf(const std::vector<double>& pmf) {
+  std::vector<double> cdf(pmf.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 1; i < pmf.size(); ++i) {
+    acc += pmf[i];
+    cdf[i] = acc;
+  }
+  if (!cdf.empty()) cdf.back() = 1.0;  // guard against rounding
+  return cdf;
+}
+
+int SampleFromCdf(const std::vector<double>& cdf, Rng& rng) {
+  const double u = rng.NextDouble();
+  // First index with cdf >= u; index 0 is unused (cdf[0] == 0).
+  const auto it = std::lower_bound(cdf.begin() + 1, cdf.end(), u);
+  return static_cast<int>(it - cdf.begin());
+}
+
+}  // namespace
+
+std::vector<double> BatchDistribution::PdfVector() const {
+  std::vector<double> v(static_cast<std::size_t>(max_batch()) + 1, 0.0);
+  for (int b = 1; b <= max_batch(); ++b) v[static_cast<std::size_t>(b)] = Pdf(b);
+  return v;
+}
+
+double BatchDistribution::MeanBatch() const {
+  double mean = 0.0;
+  for (int b = 1; b <= max_batch(); ++b) mean += b * Pdf(b);
+  return mean;
+}
+
+LogNormalBatchDist::LogNormalBatchDist(double median, double sigma,
+                                       int max_batch)
+    : median_(median),
+      sigma_(sigma),
+      mu_(std::log(median)),
+      max_batch_(max_batch) {
+  if (median <= 0.0 || sigma <= 0.0 || max_batch < 1) {
+    throw std::invalid_argument("LogNormalBatchDist: invalid parameters");
+  }
+  // Exact mass of the rounded-and-clamped continuous distribution:
+  //   P(b) = Phi((ln(b+0.5)-mu)/sigma) - Phi((ln(b-0.5)-mu)/sigma)
+  // with the lower tail folded into b=1 and the upper tail into max_batch.
+  pmf_.assign(static_cast<std::size_t>(max_batch_) + 1, 0.0);
+  double total = 0.0;
+  for (int b = 1; b <= max_batch_; ++b) {
+    const double hi = (b == max_batch_)
+                          ? 1.0
+                          : Phi((std::log(b + 0.5) - mu_) / sigma_);
+    const double lo = (b == 1) ? 0.0 : Phi((std::log(b - 0.5) - mu_) / sigma_);
+    pmf_[static_cast<std::size_t>(b)] = hi - lo;
+    total += hi - lo;
+  }
+  for (auto& p : pmf_) p /= total;
+  cdf_ = BuildCdf(pmf_);
+}
+
+double LogNormalBatchDist::Pdf(int b) const {
+  if (b < 1 || b > max_batch_) return 0.0;
+  return pmf_[static_cast<std::size_t>(b)];
+}
+
+int LogNormalBatchDist::Sample(Rng& rng) const {
+  return SampleFromCdf(cdf_, rng);
+}
+
+std::string LogNormalBatchDist::Describe() const {
+  std::ostringstream oss;
+  oss << "lognormal(median=" << median_ << ", sigma=" << sigma_
+      << ", max=" << max_batch_ << ")";
+  return oss.str();
+}
+
+FixedBatchDist::FixedBatchDist(int batch) : batch_(batch) {
+  if (batch < 1) throw std::invalid_argument("FixedBatchDist: batch < 1");
+}
+
+int FixedBatchDist::Sample(Rng& rng) const {
+  (void)rng;
+  return batch_;
+}
+
+std::string FixedBatchDist::Describe() const {
+  return "fixed(batch=" + std::to_string(batch_) + ")";
+}
+
+EmpiricalBatchDist::EmpiricalBatchDist(std::vector<double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("EmpiricalBatchDist: empty weights");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument("EmpiricalBatchDist: negative weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("EmpiricalBatchDist: zero total weight");
+  }
+  pmf_.assign(weights.size() + 1, 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pmf_[i + 1] = weights[i] / total;
+  }
+  cdf_ = BuildCdf(pmf_);
+}
+
+int EmpiricalBatchDist::max_batch() const {
+  return static_cast<int>(pmf_.size()) - 1;
+}
+
+double EmpiricalBatchDist::Pdf(int b) const {
+  if (b < 1 || b >= static_cast<int>(pmf_.size())) return 0.0;
+  return pmf_[static_cast<std::size_t>(b)];
+}
+
+int EmpiricalBatchDist::Sample(Rng& rng) const {
+  return SampleFromCdf(cdf_, rng);
+}
+
+std::string EmpiricalBatchDist::Describe() const {
+  return "empirical(max=" + std::to_string(max_batch()) + ")";
+}
+
+}  // namespace pe::workload

@@ -1,0 +1,106 @@
+// Query (batch) size distributions.
+//
+// The paper (Sections II-A, V) models inference query sizes as log-normal,
+// discretized to integer batch sizes in [1, max_batch] -- the default
+// configuration uses max batch 32 and sweeps sigma in {0.3, 0.9, 1.8} for
+// Figure 13(a) and max batch in {16, 32, 64} for Figure 13(b).
+//
+// PARIS consumes the distribution as a PDF over integer batch sizes
+// (Algorithm 1, Dist[]); the trace generator samples from the same PDF so
+// the partitioning decision and the served traffic are consistent, exactly
+// as in the paper where the server estimates the PDF from recent traffic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pe::workload {
+
+// Interface: a probability mass function over integer batch sizes
+// [1, max_batch] plus sampling.
+class BatchDistribution {
+ public:
+  virtual ~BatchDistribution() = default;
+
+  virtual int max_batch() const = 0;
+
+  // P(batch == b); zero outside [1, max_batch].  Sums to 1 over the range.
+  virtual double Pdf(int b) const = 0;
+
+  // Draws one batch size.
+  virtual int Sample(Rng& rng) const = 0;
+
+  virtual std::string Describe() const = 0;
+
+  // Full PMF as a vector indexed by batch size (index 0 unused).
+  std::vector<double> PdfVector() const;
+
+  // Mean batch size under the PMF.
+  double MeanBatch() const;
+};
+
+// Discretized log-normal: a continuous LogNormal(mu, sigma) draw is rounded
+// to the nearest integer and clamped to [1, max_batch]; the PMF is the
+// corresponding exact probability mass (tails folded into the endpoints).
+class LogNormalBatchDist final : public BatchDistribution {
+ public:
+  // `median` is exp(mu): the paper's "batch sizes centered around a
+  // specific value".  Default median 4, sigma 0.9 (paper default variance),
+  // max batch 32.
+  LogNormalBatchDist(double median = 4.0, double sigma = 0.9,
+                     int max_batch = 32);
+
+  int max_batch() const override { return max_batch_; }
+  double Pdf(int b) const override;
+  int Sample(Rng& rng) const override;
+  std::string Describe() const override;
+
+  double sigma() const { return sigma_; }
+  double median() const { return median_; }
+
+ private:
+  double median_;
+  double sigma_;
+  double mu_;
+  int max_batch_;
+  std::vector<double> pmf_;  // index = batch size, [0] unused
+  std::vector<double> cdf_;  // for inverse-CDF sampling
+};
+
+// Fixed batch size (used by the characterization experiments, e.g. Figure 3
+// runs everything at batch 8).
+class FixedBatchDist final : public BatchDistribution {
+ public:
+  explicit FixedBatchDist(int batch);
+
+  int max_batch() const override { return batch_; }
+  double Pdf(int b) const override { return b == batch_ ? 1.0 : 0.0; }
+  int Sample(Rng& rng) const override;
+  std::string Describe() const override;
+
+ private:
+  int batch_;
+};
+
+// Arbitrary empirical PMF (e.g. the hand-constructed PDF of the paper's
+// Figure 8 example, or a PDF estimated from served traffic).
+class EmpiricalBatchDist final : public BatchDistribution {
+ public:
+  // `pmf[b]` is the (unnormalized) weight of batch size b+1; normalized
+  // internally.  Must be non-empty with a positive sum.
+  explicit EmpiricalBatchDist(std::vector<double> weights);
+
+  int max_batch() const override;
+  double Pdf(int b) const override;
+  int Sample(Rng& rng) const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<double> pmf_;  // index = batch size, [0] unused
+  std::vector<double> cdf_;
+};
+
+}  // namespace pe::workload

@@ -1,0 +1,109 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pe::workload {
+
+QueryTrace::QueryTrace(std::vector<Query> queries)
+    : queries_(std::move(queries)) {
+  if (!std::is_sorted(queries_.begin(), queries_.end(),
+                      [](const Query& a, const Query& b) {
+                        return a.arrival < b.arrival;
+                      })) {
+    std::sort(queries_.begin(), queries_.end(),
+              [](const Query& a, const Query& b) {
+                return a.arrival < b.arrival;
+              });
+  }
+}
+
+SimTime QueryTrace::Span() const {
+  return queries_.empty() ? 0 : queries_.back().arrival;
+}
+
+double QueryTrace::OfferedQps() const {
+  const SimTime span = Span();
+  if (span <= 0 || queries_.size() < 2) return 0.0;
+  return static_cast<double>(queries_.size() - 1) / TicksToSec(span);
+}
+
+double QueryTrace::MeanBatch() const {
+  if (queries_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& q : queries_) sum += q.batch;
+  return sum / static_cast<double>(queries_.size());
+}
+
+void QueryTrace::SaveCsv(std::ostream& os) const {
+  os << "id,arrival_ns,batch\n";
+  for (const auto& q : queries_) {
+    os << q.id << ',' << q.arrival << ',' << q.batch << '\n';
+  }
+}
+
+QueryTrace QueryTrace::LoadCsv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("QueryTrace::LoadCsv: empty input");
+  }
+  std::vector<Query> queries;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string field;
+    Query q;
+    std::getline(ls, field, ',');
+    q.id = std::stoull(field);
+    std::getline(ls, field, ',');
+    q.arrival = std::stoll(field);
+    std::getline(ls, field, ',');
+    q.batch = std::stoi(field);
+    queries.push_back(q);
+  }
+  return QueryTrace(std::move(queries));
+}
+
+QueryTrace GenerateDriftingTrace(ArrivalProcess& arrivals,
+                                 const std::vector<WorkloadPhase>& phases,
+                                 Rng& rng) {
+  std::vector<Query> queries;
+  SimTime now = 0;
+  std::uint64_t id = 0;
+  for (const auto& phase : phases) {
+    if (phase.dist == nullptr) {
+      throw std::invalid_argument("GenerateDriftingTrace: null distribution");
+    }
+    for (std::size_t i = 0; i < phase.num_queries; ++i) {
+      now += arrivals.NextGap(rng);
+      Query q;
+      q.id = id++;
+      q.arrival = now;
+      q.batch = phase.dist->Sample(rng);
+      queries.push_back(q);
+    }
+  }
+  return QueryTrace(std::move(queries));
+}
+
+QueryTrace GenerateTrace(ArrivalProcess& arrivals,
+                         const BatchDistribution& batches,
+                         std::size_t num_queries, Rng& rng) {
+  std::vector<Query> queries;
+  queries.reserve(num_queries);
+  SimTime now = 0;
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    now += arrivals.NextGap(rng);
+    Query q;
+    q.id = i;
+    q.arrival = now;
+    q.batch = batches.Sample(rng);
+    queries.push_back(q);
+  }
+  return QueryTrace(std::move(queries));
+}
+
+}  // namespace pe::workload

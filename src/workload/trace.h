@@ -1,0 +1,69 @@
+// Query traces: the concrete (arrival time, batch size) sequence the
+// simulated inference server replays.  Generated from an arrival process +
+// batch distribution, or loaded from CSV for externally supplied traces.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "workload/arrival.h"
+#include "workload/batch_dist.h"
+
+namespace pe::workload {
+
+struct Query {
+  std::uint64_t id = 0;
+  SimTime arrival = 0;
+  int batch = 1;
+};
+
+class QueryTrace {
+ public:
+  QueryTrace() = default;
+  explicit QueryTrace(std::vector<Query> queries);
+
+  const std::vector<Query>& queries() const { return queries_; }
+  std::size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+
+  // Duration from time zero to the last arrival.
+  SimTime Span() const;
+
+  // Offered load over the trace span, queries/sec.
+  double OfferedQps() const;
+
+  // Mean batch size over the trace.
+  double MeanBatch() const;
+
+  // CSV round trip: columns id,arrival_ns,batch.
+  void SaveCsv(std::ostream& os) const;
+  static QueryTrace LoadCsv(std::istream& is);
+
+ private:
+  std::vector<Query> queries_;  // sorted by arrival time
+};
+
+// Generates `num_queries` queries starting at time zero.
+QueryTrace GenerateTrace(ArrivalProcess& arrivals,
+                         const BatchDistribution& batches,
+                         std::size_t num_queries, Rng& rng);
+
+// One phase of a drifting workload: `num_queries` drawn from `dist`.
+// `dist` is borrowed and must outlive the GenerateDriftingTrace call.
+struct WorkloadPhase {
+  const BatchDistribution* dist = nullptr;
+  std::size_t num_queries = 0;
+};
+
+// Generates a trace whose batch-size distribution changes across phases
+// (e.g. the morning's small-batch traffic turning into the evening's
+// large-batch traffic) while the arrival process runs continuously.
+// Used by the online re-partitioning extension.
+QueryTrace GenerateDriftingTrace(ArrivalProcess& arrivals,
+                                 const std::vector<WorkloadPhase>& phases,
+                                 Rng& rng);
+
+}  // namespace pe::workload

@@ -1,0 +1,78 @@
+#include "common/args.h"
+
+#include <gtest/gtest.h>
+
+namespace pe {
+namespace {
+
+ArgParser Parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, SubcommandAndPositionals) {
+  const auto args = Parse({"simulate", "extra1", "extra2"});
+  ASSERT_TRUE(args.Subcommand().has_value());
+  EXPECT_EQ(*args.Subcommand(), "simulate");
+  EXPECT_EQ(args.Positionals(), (std::vector<std::string>{"extra1", "extra2"}));
+}
+
+TEST(ArgParser, NoSubcommand) {
+  const auto args = Parse({"--model", "resnet"});
+  EXPECT_FALSE(args.Subcommand().has_value());
+  EXPECT_TRUE(args.Positionals().empty());
+}
+
+TEST(ArgParser, SpaceSeparatedValue) {
+  const auto args = Parse({"plan", "--model", "bert"});
+  EXPECT_EQ(args.GetString("model", ""), "bert");
+}
+
+TEST(ArgParser, EqualsSeparatedValue) {
+  const auto args = Parse({"plan", "--model=conformer"});
+  EXPECT_EQ(args.GetString("model", ""), "conformer");
+}
+
+TEST(ArgParser, BareFlag) {
+  const auto args = Parse({"sweep", "--csv"});
+  EXPECT_TRUE(args.HasFlag("csv"));
+  EXPECT_FALSE(args.HasFlag("json"));
+}
+
+TEST(ArgParser, FlagFollowedByOption) {
+  // "--csv --rate 5": csv must not consume "--rate" as its value.
+  const auto args = Parse({"x", "--csv", "--rate", "5"});
+  EXPECT_TRUE(args.HasFlag("csv"));
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.0), 5.0);
+}
+
+TEST(ArgParser, NumericParsing) {
+  const auto args = Parse({"x", "--rate", "123.5", "--queries", "4000"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.0), 123.5);
+  EXPECT_EQ(args.GetInt("queries", 0), 4000);
+  EXPECT_DOUBLE_EQ(args.GetDouble("missing", 7.5), 7.5);
+  EXPECT_EQ(args.GetInt("missing", -2), -2);
+}
+
+TEST(ArgParser, MalformedNumbersThrow) {
+  const auto args = Parse({"x", "--rate", "fast", "--queries", "12x"});
+  EXPECT_THROW(args.GetDouble("rate", 0.0), std::invalid_argument);
+  EXPECT_THROW(args.GetInt("queries", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, UnknownKeysReported) {
+  const auto args = Parse({"x", "--model", "resnet", "--typo", "1"});
+  const auto unknown = args.UnknownKeys({"model", "rate"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(ArgParser, EmptyArgv) {
+  const char* argv[] = {"prog"};
+  ArgParser args(1, argv);
+  EXPECT_FALSE(args.Subcommand().has_value());
+  EXPECT_EQ(args.program(), "prog");
+}
+
+}  // namespace
+}  // namespace pe

@@ -1,0 +1,127 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pe {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.NextU64());
+  EXPECT_GT(seen.size(), 95u);  // not stuck or cyclic
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.Uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversFullRangeInclusive) {
+  Rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.UniformInt(2, 6));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(2));
+  EXPECT_TRUE(seen.count(6));
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng r(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.UniformInt(5, 5), 5);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(13);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.Exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialAlwaysPositive) {
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.Exponential(100.0), 0.0);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(19);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.Normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.03);
+  EXPECT_NEAR(var, 9.0, 0.15);
+}
+
+TEST(Rng, LogNormalMedianIsExpMu) {
+  Rng r(23);
+  std::vector<double> xs;
+  const int n = 100001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(r.LogNormal(std::log(8.0), 0.9));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], 8.0, 0.25);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  // The child must differ from a same-state parent continuation.
+  Rng parent_copy(99);
+  (void)parent_copy.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.NextU64() == parent.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(5), b(5);
+  Rng ca = a.Fork();
+  Rng cb = b.Fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.NextU64(), cb.NextU64());
+}
+
+}  // namespace
+}  // namespace pe

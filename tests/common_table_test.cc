@@ -1,0 +1,78 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/sim_time.h"
+
+namespace pe {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "long_header"});
+  t.AddRow({"xxxxxx", "1"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  // Three lines: header, rule, row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  // Every line has the same width.
+  std::istringstream is(out);
+  std::string line;
+  std::getline(is, line);
+  const std::size_t width = line.size();
+  while (std::getline(is, line)) EXPECT_EQ(line.size(), width);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("| 1"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.0, 0), "3");
+  EXPECT_EQ(Table::Int(-42), "-42");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name", "value"});
+  t.AddRow({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_NE(os.str().find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainFieldsUnquoted) {
+  Table t({"h"});
+  t.AddRow({"plain"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "h\nplain\n");
+}
+
+TEST(SimTime, MsRoundTrip) {
+  EXPECT_EQ(MsToTicks(1.0), kNsPerMs);
+  EXPECT_DOUBLE_EQ(TicksToMs(kNsPerMs), 1.0);
+  EXPECT_EQ(MsToTicks(0.5), kNsPerMs / 2);
+}
+
+TEST(SimTime, SecondConversions) {
+  EXPECT_EQ(SecToTicks(2.0), 2 * kNsPerSec);
+  EXPECT_DOUBLE_EQ(TicksToSec(kNsPerSec / 2), 0.5);
+  EXPECT_EQ(UsToTicks(1.5), 1500);
+}
+
+TEST(SimTime, RoundsToNearestTick) {
+  EXPECT_EQ(MsToTicks(1e-6), 1);         // 1 ns
+  EXPECT_EQ(MsToTicks(0.4e-6), 0);       // rounds down
+  EXPECT_EQ(MsToTicks(-1.0), -kNsPerMs); // negative preserved
+}
+
+}  // namespace
+}  // namespace pe

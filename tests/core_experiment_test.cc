@@ -1,0 +1,103 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace pe::core {
+namespace {
+
+const Testbed& MobilenetTb() {
+  static const Testbed tb{[] {
+    TestbedConfig c;
+    c.model_name = "mobilenet";
+    return c;
+  }()};
+  return tb;
+}
+
+SearchOptions FastSearch() {
+  SearchOptions o;
+  o.num_queries = 1500;
+  o.iterations = 6;
+  return o;
+}
+
+TEST(LatencyBoundedThroughput, PositiveForFeasibleDesign) {
+  const auto& tb = MobilenetTb();
+  const auto plan = tb.PlanHomogeneous(7);
+  const auto r = LatencyBoundedThroughput(tb, plan, SchedulerKind::kFifs,
+                                          TicksToMs(tb.sla_target()),
+                                          FastSearch());
+  EXPECT_GT(r.qps, 10.0);
+  EXPECT_LE(r.p95_at_qps_ms, TicksToMs(tb.sla_target()));
+}
+
+TEST(LatencyBoundedThroughput, ZeroForImpossibleBound) {
+  const auto& tb = MobilenetTb();
+  const auto plan = tb.PlanHomogeneous(7);
+  // A 1 us bound is unachievable even unloaded.
+  const auto r = LatencyBoundedThroughput(tb, plan, SchedulerKind::kFifs,
+                                          1e-3, FastSearch());
+  EXPECT_EQ(r.qps, 0.0);
+}
+
+TEST(LatencyBoundedThroughput, LooserBoundGivesMoreThroughput) {
+  const auto& tb = MobilenetTb();
+  const auto plan = tb.PlanHomogeneous(7);
+  const double sla_ms = TicksToMs(tb.sla_target());
+  const auto tight = LatencyBoundedThroughput(
+      tb, plan, SchedulerKind::kFifs, sla_ms, FastSearch());
+  const auto loose = LatencyBoundedThroughput(
+      tb, plan, SchedulerKind::kFifs, 2.0 * sla_ms, FastSearch());
+  EXPECT_GE(loose.qps, tight.qps);
+}
+
+TEST(LatencyBoundedThroughput, ParisElsaBeatsGpu7Fifs) {
+  // The paper's headline Figure 12 comparison, for MobileNet.
+  const auto& tb = MobilenetTb();
+  const double sla_ms = TicksToMs(tb.sla_target());
+  const auto base = LatencyBoundedThroughput(
+      tb, tb.PlanHomogeneous(7), SchedulerKind::kFifs, sla_ms, FastSearch());
+  const auto ours = LatencyBoundedThroughput(
+      tb, tb.PlanParis(), SchedulerKind::kElsa, sla_ms, FastSearch());
+  EXPECT_GT(ours.qps, base.qps);
+}
+
+TEST(TailLatencyCurve, MonotoneDegradationUnderLoad) {
+  const auto& tb = MobilenetTb();
+  const auto plan = tb.PlanHomogeneous(7);
+  const auto curve =
+      TailLatencyCurve(tb, plan, SchedulerKind::kFifs, {0.5, 0.9, 1.3},
+                       TicksToMs(tb.sla_target()), FastSearch());
+  ASSERT_EQ(curve.size(), 3u);
+  // p95 grows with offered load.
+  EXPECT_LT(curve[0].p95_ms, curve[2].p95_ms);
+  // Overload point exceeds the SLA.
+  EXPECT_GT(curve[2].p95_ms, TicksToMs(tb.sla_target()));
+  for (const auto& p : curve) {
+    EXPECT_GT(p.achieved_qps, 0.0);
+    EXPECT_GE(p.utilization, 0.0);
+    EXPECT_LE(p.utilization, 1.0);
+  }
+}
+
+TEST(BestHomogeneous, ReturnsValidSizeWithPositiveQps) {
+  const auto& tb = MobilenetTb();
+  const auto best = BestHomogeneous(tb, SchedulerKind::kFifs,
+                                    TicksToMs(tb.sla_target()), FastSearch());
+  EXPECT_TRUE(best.partition_gpcs == 1 || best.partition_gpcs == 2 ||
+              best.partition_gpcs == 3 || best.partition_gpcs == 7);
+  EXPECT_GT(best.qps, 0.0);
+}
+
+TEST(BestHomogeneous, BeatsOrMatchesGpu7) {
+  const auto& tb = MobilenetTb();
+  const double sla_ms = TicksToMs(tb.sla_target());
+  const auto best =
+      BestHomogeneous(tb, SchedulerKind::kFifs, sla_ms, FastSearch());
+  const auto gpu7 = LatencyBoundedThroughput(
+      tb, tb.PlanHomogeneous(7), SchedulerKind::kFifs, sla_ms, FastSearch());
+  EXPECT_GE(best.qps, gpu7.qps * 0.99);
+}
+
+}  // namespace
+}  // namespace pe::core

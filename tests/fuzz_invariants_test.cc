@@ -1,0 +1,145 @@
+// Randomized invariant tests ("fuzz-light"): across many random
+// configurations -- random partition layouts, schedulers, loads and seeds --
+// the simulator must uphold structural invariants regardless of policy:
+//   * every query completes exactly once, after its arrival;
+//   * a worker never serves two queries at overlapping times;
+//   * service time equals the ground-truth latency of (partition, batch)
+//     when noise is off;
+//   * identical configurations replay bit-identically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/server_builder.h"
+#include "hw/mig.h"
+#include "perf/model_zoo.h"
+
+namespace pe {
+namespace {
+
+using core::SchedulerKind;
+
+struct FuzzCase {
+  std::uint64_t seed;
+  SchedulerKind kind;
+};
+
+class FuzzInvariantsTest : public ::testing::TestWithParam<FuzzCase> {
+ protected:
+  // A single shared testbed (profiling is the expensive part).
+  static const core::Testbed& tb() {
+    static const core::Testbed instance{[] {
+      core::TestbedConfig c;
+      c.model_name = "resnet";
+      return c;
+    }()};
+    return instance;
+  }
+
+  // Random valid heterogeneous plan derived from the fuzz seed.
+  static partition::PartitionPlan RandomPlan(std::uint64_t seed) {
+    return tb().PlanRandom(seed);
+  }
+};
+
+TEST_P(FuzzInvariantsTest, StructuralInvariantsHold) {
+  const auto& [seed, kind] = GetParam();
+  Rng rng(seed);
+  const auto plan = RandomPlan(seed);
+  auto scheduler = tb().MakeScheduler(kind);
+
+  core::RunOptions opt;
+  // Loads from lightly loaded to overloaded.
+  opt.rate_qps = rng.Uniform(50.0, 3000.0);
+  opt.num_queries = 1500;
+  opt.seed = seed ^ 0xF00D;
+  const auto result = tb().Run(plan, *scheduler, opt);
+
+  ASSERT_EQ(result.records.size(), opt.num_queries);
+
+  // Per-query sanity.
+  std::map<int, std::vector<std::pair<SimTime, SimTime>>> busy;
+  for (const auto& r : result.records) {
+    EXPECT_GE(r.dispatched, r.arrival) << "query " << r.id;
+    EXPECT_GE(r.started, r.dispatched) << "query " << r.id;
+    EXPECT_GT(r.finished, r.started) << "query " << r.id;
+    EXPECT_GE(r.worker, 0);
+    EXPECT_TRUE(hw::GpuSpec::IsValidPartitionSize(r.worker_gpcs));
+    // Noise off: service time must match ground truth exactly (to tick
+    // rounding).
+    const SimTime expected = std::max<SimTime>(
+        1, SecToTicks(tb().engine().LatencySec(tb().model(), r.worker_gpcs,
+                                               r.batch)));
+    EXPECT_EQ(r.finished - r.started, expected) << "query " << r.id;
+    busy[r.worker].emplace_back(r.started, r.finished);
+  }
+
+  // No overlapping service on any worker.
+  for (auto& [worker, spans] : busy) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second) << "worker " << worker;
+    }
+  }
+
+  // Bit-identical replay.
+  auto scheduler2 = tb().MakeScheduler(kind);
+  const auto replay = tb().Run(plan, *scheduler2, opt);
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    EXPECT_EQ(result.records[i].finished, replay.records[i].finished);
+    EXPECT_EQ(result.records[i].worker, replay.records[i].worker);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FuzzInvariantsTest,
+    ::testing::ValuesIn([] {
+      std::vector<FuzzCase> cases;
+      const SchedulerKind kinds[] = {
+          SchedulerKind::kFifs, SchedulerKind::kElsa, SchedulerKind::kJsq,
+          SchedulerKind::kGreedyFastest};
+      std::uint64_t seed = 1000;
+      for (int i = 0; i < 6; ++i) {
+        for (SchedulerKind kind : kinds) {
+          cases.push_back({seed++, kind});
+        }
+      }
+      return cases;
+    }()),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return std::string(core::ToString(info.param.kind)) + "_" +
+             std::to_string(info.param.seed);
+    });
+
+// With noise on, estimates diverge from actuals; invariants must still
+// hold (the scheduler may be wrong, the simulator must not be).
+TEST(FuzzInvariantsNoise, NoiseDoesNotBreakConservation) {
+  core::TestbedConfig c;
+  c.model_name = "mobilenet";
+  c.latency_noise_sigma = 0.3;
+  const core::Testbed tb(c);
+  for (std::uint64_t seed : {7ull, 8ull, 9ull}) {
+    const auto plan = tb.PlanRandom(seed);
+    auto scheduler = tb.MakeScheduler(SchedulerKind::kElsa);
+    core::RunOptions opt;
+    opt.rate_qps = 800.0;
+    opt.num_queries = 2000;
+    opt.seed = seed;
+    const auto result = tb.Run(plan, *scheduler, opt);
+    std::map<int, std::vector<std::pair<SimTime, SimTime>>> busy;
+    for (const auto& r : result.records) {
+      EXPECT_GT(r.finished, r.started);
+      busy[r.worker].emplace_back(r.started, r.finished);
+    }
+    for (auto& [worker, spans] : busy) {
+      std::sort(spans.begin(), spans.end());
+      for (std::size_t i = 1; i < spans.size(); ++i) {
+        EXPECT_GE(spans[i].first, spans[i - 1].second);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pe

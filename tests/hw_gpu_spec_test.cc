@@ -1,0 +1,63 @@
+#include "hw/gpu_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace pe::hw {
+namespace {
+
+TEST(GpuSpec, ValidPartitionSizes) {
+  const auto& sizes = GpuSpec::ValidPartitionSizes();
+  EXPECT_EQ(sizes, (std::vector<int>{1, 2, 3, 4, 7}));
+  for (int s : sizes) EXPECT_TRUE(GpuSpec::IsValidPartitionSize(s));
+  EXPECT_FALSE(GpuSpec::IsValidPartitionSize(0));
+  EXPECT_FALSE(GpuSpec::IsValidPartitionSize(5));
+  EXPECT_FALSE(GpuSpec::IsValidPartitionSize(6));
+  EXPECT_FALSE(GpuSpec::IsValidPartitionSize(8));
+}
+
+TEST(GpuSpec, MemorySliceMapMatchesA100Profiles) {
+  GpuSpec spec;
+  // 1g.5gb=1, 2g.10gb=2, 3g.20gb=4, 4g.20gb=4, 7g.40gb=8 of 8 slices.
+  EXPECT_EQ(spec.MemorySlicesFor(1), 1);
+  EXPECT_EQ(spec.MemorySlicesFor(2), 2);
+  EXPECT_EQ(spec.MemorySlicesFor(3), 4);
+  EXPECT_EQ(spec.MemorySlicesFor(4), 4);
+  EXPECT_EQ(spec.MemorySlicesFor(7), 8);
+}
+
+TEST(GpuSpec, PartitionResourcesScaleWithGpcs) {
+  GpuSpec spec;
+  const auto full = spec.Partition(7);
+  EXPECT_EQ(full.sms, 98);
+  EXPECT_DOUBLE_EQ(full.dram_bw, spec.dram_bw);
+  EXPECT_DOUBLE_EQ(full.l2_bytes, spec.l2_bytes);
+
+  const auto one = spec.Partition(1);
+  EXPECT_EQ(one.sms, 14);
+  EXPECT_DOUBLE_EQ(one.dram_bw, spec.dram_bw / 8.0);
+  EXPECT_DOUBLE_EQ(one.peak_flops, 14.0 * spec.peak_flops_per_sm);
+}
+
+TEST(GpuSpec, ThreeGpcPartitionGetsHalfTheMemory) {
+  GpuSpec spec;
+  const auto three = spec.Partition(3);
+  EXPECT_DOUBLE_EQ(three.dram_bw, spec.dram_bw / 2.0);
+  // A 3g instance has *more* bandwidth per GPC than proportional -- the
+  // heterogeneity the perf model exploits.
+  const auto four = spec.Partition(4);
+  EXPECT_DOUBLE_EQ(four.dram_bw, three.dram_bw);
+  EXPECT_GT(three.dram_bw / 3.0, spec.dram_bw / 7.0);
+}
+
+TEST(GpuSpec, PeakFlopsMonotoneInSize) {
+  GpuSpec spec;
+  double prev = 0.0;
+  for (int s : GpuSpec::ValidPartitionSizes()) {
+    const auto r = spec.Partition(s);
+    EXPECT_GT(r.peak_flops, prev);
+    prev = r.peak_flops;
+  }
+}
+
+}  // namespace
+}  // namespace pe::hw

@@ -1,0 +1,174 @@
+#include "hw/mig.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace pe::hw {
+namespace {
+
+TEST(LegalStartSlots, MatchesA100PlacementTable) {
+  EXPECT_EQ(LegalStartSlots(1), (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(LegalStartSlots(2), (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(LegalStartSlots(3), (std::vector<int>{0, 4}));
+  EXPECT_EQ(LegalStartSlots(4), (std::vector<int>{0}));
+  EXPECT_EQ(LegalStartSlots(7), (std::vector<int>{0}));
+  EXPECT_TRUE(LegalStartSlots(5).empty());
+}
+
+TEST(MigLayout, SevenOnesFit) {
+  MigLayout layout;
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_TRUE(layout.TryPlace(1).has_value()) << "instance " << i;
+  }
+  EXPECT_FALSE(layout.TryPlace(1).has_value());
+  EXPECT_EQ(layout.used_gpcs(), 7);
+  EXPECT_EQ(layout.free_gpcs(), 0);
+}
+
+TEST(MigLayout, FourPlusThreeFits) {
+  MigLayout layout;
+  auto p4 = layout.TryPlace(4);
+  ASSERT_TRUE(p4.has_value());
+  EXPECT_EQ(p4->start_slot, 0);
+  auto p3 = layout.TryPlace(3);
+  ASSERT_TRUE(p3.has_value());
+  EXPECT_EQ(p3->start_slot, 4);
+  EXPECT_EQ(layout.used_gpcs(), 7);
+}
+
+TEST(MigLayout, SecondFourRejected) {
+  MigLayout layout;
+  EXPECT_TRUE(layout.TryPlace(4).has_value());
+  EXPECT_FALSE(layout.TryPlace(4).has_value());
+}
+
+TEST(MigLayout, SevenIsExclusive) {
+  MigLayout layout;
+  EXPECT_TRUE(layout.TryPlace(7).has_value());
+  for (int s : {1, 2, 3, 4, 7}) {
+    EXPECT_FALSE(layout.TryPlace(s).has_value()) << "size " << s;
+  }
+}
+
+TEST(MigLayout, TwoGpcAlignment) {
+  MigLayout layout;
+  // Three 2g instances at slots 0, 2, 4; slot 6 leaves room for one 1g.
+  EXPECT_TRUE(layout.TryPlace(2).has_value());
+  EXPECT_TRUE(layout.TryPlace(2).has_value());
+  EXPECT_TRUE(layout.TryPlace(2).has_value());
+  EXPECT_FALSE(layout.TryPlace(2).has_value());
+  EXPECT_TRUE(layout.TryPlace(1).has_value());
+  EXPECT_EQ(layout.used_gpcs(), 7);
+}
+
+TEST(MigLayout, RemoveFreesSlots) {
+  MigLayout layout;
+  auto p = layout.TryPlace(4);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(layout.Remove(*p));
+  EXPECT_EQ(layout.used_gpcs(), 0);
+  EXPECT_TRUE(layout.TryPlace(4).has_value());
+  EXPECT_FALSE(layout.Remove(Placement{3, 0}));  // never placed
+}
+
+TEST(MigLayout, PaperFigure2Heterogeneous) {
+  // Paper Figure 2's example heterogeneous splits.
+  EXPECT_TRUE(MigLayout::CanPlaceAll({4, 2, 1}));
+  EXPECT_TRUE(MigLayout::CanPlaceAll({3, 2, 1, 1}));
+  EXPECT_TRUE(MigLayout::CanPlaceAll({2, 2, 2, 1}));
+  EXPECT_TRUE(MigLayout::CanPlaceAll({1, 1, 1, 1, 1, 1, 1}));
+}
+
+TEST(MigLayout, InfeasibleMultisets) {
+  EXPECT_FALSE(MigLayout::CanPlaceAll({4, 4}));
+  EXPECT_FALSE(MigLayout::CanPlaceAll({7, 1}));
+  EXPECT_FALSE(MigLayout::CanPlaceAll({4, 2, 2}));  // 2g slots 0,2 blocked
+}
+
+TEST(MigLayout, ThreeThreeOneIsFeasible) {
+  // 3g@0 (slots 0-2), 3g@4 (slots 4-6) leaves slot 3 free for a 1g.
+  EXPECT_TRUE(MigLayout::CanPlaceAll({3, 3}));
+  EXPECT_TRUE(MigLayout::CanPlaceAll({3, 3, 1}));
+}
+
+TEST(MigLayout, EmptyMultisetTriviallyFeasible) {
+  EXPECT_TRUE(MigLayout::CanPlaceAll({}));
+}
+
+TEST(MigLayout, InvalidSizeRejected) {
+  EXPECT_FALSE(MigLayout::CanPlaceAll({5}));
+  EXPECT_FALSE(MigLayout::CanPlaceAll({6}));
+}
+
+TEST(MigLayout, EnumerationContainsKnownLayouts) {
+  const auto sets = MigLayout::EnumerateFeasibleMultisets();
+  auto contains = [&](std::vector<int> v) {
+    std::sort(v.begin(), v.end(), std::greater<int>());
+    return std::find(sets.begin(), sets.end(), v) != sets.end();
+  };
+  EXPECT_TRUE(contains({7}));
+  EXPECT_TRUE(contains({4, 3}));
+  EXPECT_TRUE(contains({4, 2, 1}));
+  EXPECT_TRUE(contains({3, 2, 1, 1}));
+  EXPECT_TRUE(contains({2, 2, 2, 1}));
+  EXPECT_TRUE(contains({1, 1, 1, 1, 1, 1, 1}));
+  EXPECT_TRUE(contains({}));
+  EXPECT_FALSE(contains({4, 4}));
+  EXPECT_FALSE(contains({7, 1}));
+}
+
+TEST(MigLayout, AllEnumeratedSetsArePlaceableAndWithinBudget) {
+  for (const auto& sizes : MigLayout::EnumerateFeasibleMultisets()) {
+    EXPECT_TRUE(MigLayout::CanPlaceAll(sizes));
+    EXPECT_LE(std::accumulate(sizes.begin(), sizes.end(), 0), 7);
+  }
+}
+
+TEST(MigLayout, ToStringSortedBySlot) {
+  MigLayout layout;
+  layout.TryPlace(3);
+  layout.TryPlace(2);  // lands at slot 4
+  EXPECT_EQ(layout.ToString(), "[3@0 2@4]");
+}
+
+TEST(MigLayout, GreedyTryPlaceIsNotComplete) {
+  // {3,2,2} is feasible only with the 3g at slot 4; greedy TryPlace puts it
+  // at slot 0 and gets stuck.  Backtracking CanPlaceAll must still succeed.
+  EXPECT_TRUE(MigLayout::CanPlaceAll({3, 2, 2}));
+  MigLayout layout;
+  EXPECT_TRUE(layout.TryPlace(3).has_value());  // lands at slot 0
+  EXPECT_TRUE(layout.TryPlace(2).has_value());  // slot 4
+  EXPECT_FALSE(layout.TryPlace(2).has_value());
+}
+
+// Property sweep: every enumerated multiset must be re-verified feasible by
+// the backtracking placer, and its total must fit the GPU.
+class MigEnumerationTest
+    : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(MigEnumerationTest, BacktrackingPlacementSucceeds) {
+  auto sizes = GetParam();
+  EXPECT_TRUE(MigLayout::CanPlaceAll(sizes));
+  // Any sub-multiset of a feasible multiset is feasible too.
+  for (std::size_t drop = 0; drop < sizes.size(); ++drop) {
+    auto sub = sizes;
+    sub.erase(sub.begin() + static_cast<std::ptrdiff_t>(drop));
+    EXPECT_TRUE(MigLayout::CanPlaceAll(sub));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFeasible, MigEnumerationTest,
+    ::testing::ValuesIn([] {
+      auto sets = MigLayout::EnumerateFeasibleMultisets();
+      // Drop the empty set (nothing to place).
+      sets.erase(std::remove_if(sets.begin(), sets.end(),
+                                [](const auto& v) { return v.empty(); }),
+                 sets.end());
+      return sets;
+    }()));
+
+}  // namespace
+}  // namespace pe::hw

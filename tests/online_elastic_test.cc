@@ -1,0 +1,201 @@
+// Tests for the online elastic re-partitioning extension: traffic
+// estimation, drift-triggered repartitioning, and the epoch simulator.
+#include <gtest/gtest.h>
+
+#include "online/elastic_server.h"
+#include "online/repartition_controller.h"
+#include "online/traffic_estimator.h"
+#include "perf/model_zoo.h"
+#include "profile/profiler.h"
+#include "sched/elsa.h"
+
+namespace pe::online {
+namespace {
+
+TEST(TrafficEstimator, EmptyState) {
+  TrafficEstimator est(32);
+  EXPECT_TRUE(est.empty());
+  EXPECT_EQ(est.count(), 0u);
+  const auto pmf = est.Pmf();
+  for (double p : pmf) EXPECT_EQ(p, 0.0);
+  EXPECT_THROW(est.Snapshot(), std::logic_error);
+}
+
+TEST(TrafficEstimator, CountsObservations) {
+  TrafficEstimator est(8);
+  est.Observe(2);
+  est.Observe(2);
+  est.Observe(4);
+  const auto pmf = est.Pmf();
+  EXPECT_NEAR(pmf[2], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pmf[4], 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(est.count(), 3u);
+}
+
+TEST(TrafficEstimator, ClampsOutOfRange) {
+  TrafficEstimator est(8);
+  est.Observe(100);
+  est.Observe(0);
+  est.Observe(-3);
+  const auto pmf = est.Pmf();
+  EXPECT_NEAR(pmf[8], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pmf[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(TrafficEstimator, SlidingWindowEvicts) {
+  TrafficEstimator est(8, /*window=*/4);
+  for (int i = 0; i < 4; ++i) est.Observe(1);
+  for (int i = 0; i < 4; ++i) est.Observe(8);
+  EXPECT_EQ(est.count(), 4u);
+  const auto pmf = est.Pmf();
+  EXPECT_EQ(pmf[1], 0.0);  // fully evicted
+  EXPECT_DOUBLE_EQ(pmf[8], 1.0);
+}
+
+TEST(TrafficEstimator, SnapshotMatchesPmf) {
+  TrafficEstimator est(4);
+  for (int i = 0; i < 10; ++i) est.Observe(1);
+  for (int i = 0; i < 30; ++i) est.Observe(3);
+  const auto dist = est.Snapshot();
+  EXPECT_NEAR(dist.Pdf(1), 0.25, 1e-12);
+  EXPECT_NEAR(dist.Pdf(3), 0.75, 1e-12);
+  EXPECT_EQ(dist.max_batch(), 4);
+}
+
+TEST(TrafficEstimator, TotalVariationProperties) {
+  TrafficEstimator est(4);
+  est.Observe(1);
+  // Identical PMFs -> 0; disjoint -> 1.
+  EXPECT_NEAR(est.TotalVariation(est.Pmf()), 0.0, 1e-12);
+  std::vector<double> disjoint(5, 0.0);
+  disjoint[4] = 1.0;
+  EXPECT_NEAR(est.TotalVariation(disjoint), 1.0, 1e-12);
+}
+
+TEST(TrafficEstimator, InvalidConstruction) {
+  EXPECT_THROW(TrafficEstimator(0), std::invalid_argument);
+  EXPECT_THROW(TrafficEstimator(8, 0), std::invalid_argument);
+}
+
+class ControllerFixture : public ::testing::Test {
+ protected:
+  static const profile::ProfileTable& Profile() {
+    static const profile::ProfileTable table = [] {
+      profile::Profiler profiler;
+      return profiler.Profile(perf::BuildResNet50(),
+                              profile::ProfilerConfig::Default(64));
+    }();
+    return table;
+  }
+
+  static RepartitionController MakeController(ElasticConfig config = {}) {
+    static const workload::LogNormalBatchDist initial(4.0, 0.6, 32);
+    return RepartitionController(Profile(), hw::Cluster(8), 48, initial,
+                                 partition::ParisConfig{}, config);
+  }
+};
+
+TEST_F(ControllerFixture, InitialPlanFromSeedDistribution) {
+  auto controller = MakeController();
+  EXPECT_GT(controller.current_plan().NumInstances(), 0);
+  EXPECT_LE(controller.current_plan().TotalGpcs(), 48);
+  EXPECT_EQ(controller.reconfigurations(), 0);
+}
+
+TEST_F(ControllerFixture, NoRepartitionBelowMinObservations) {
+  ElasticConfig config;
+  config.min_observations = 100;
+  auto controller = MakeController(config);
+  TrafficEstimator est(32);
+  for (int i = 0; i < 50; ++i) est.Observe(32);  // wildly drifted but few
+  EXPECT_FALSE(controller.MaybeRepartition(est).has_value());
+}
+
+TEST_F(ControllerFixture, NoRepartitionWithoutDrift) {
+  auto controller = MakeController();
+  TrafficEstimator est(32);
+  // Feed traffic matching the seed distribution.
+  workload::LogNormalBatchDist seed(4.0, 0.6, 32);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) est.Observe(seed.Sample(rng));
+  EXPECT_LT(controller.DriftOf(est), 0.1);
+  EXPECT_FALSE(controller.MaybeRepartition(est).has_value());
+  EXPECT_EQ(controller.reconfigurations(), 0);
+}
+
+TEST_F(ControllerFixture, RepartitionsOnLargeDrift) {
+  auto controller = MakeController();
+  const auto before = controller.current_plan().instance_gpcs;
+  TrafficEstimator est(32);
+  // Drift to consistently large batches: demands bigger partitions.
+  workload::LogNormalBatchDist drifted(24.0, 0.4, 32);
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) est.Observe(drifted.Sample(rng));
+  EXPECT_GT(controller.DriftOf(est), 0.3);
+  const auto new_plan = controller.MaybeRepartition(est);
+  ASSERT_TRUE(new_plan.has_value());
+  EXPECT_EQ(controller.reconfigurations(), 1);
+  EXPECT_NE(new_plan->instance_gpcs, before);
+  // Larger batches -> larger mean partition size.
+  auto mean = [](const std::vector<int>& v) {
+    double s = 0;
+    for (int g : v) s += g;
+    return s / static_cast<double>(v.size());
+  };
+  EXPECT_GT(mean(new_plan->instance_gpcs), mean(before));
+}
+
+TEST_F(ControllerFixture, DriftResetAfterCommit) {
+  auto controller = MakeController();
+  TrafficEstimator est(32);
+  workload::LogNormalBatchDist drifted(24.0, 0.4, 32);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) est.Observe(drifted.Sample(rng));
+  ASSERT_TRUE(controller.MaybeRepartition(est).has_value());
+  // Same traffic again: no further drift, no second reconfiguration.
+  EXPECT_LT(controller.DriftOf(est), 0.05);
+  EXPECT_FALSE(controller.MaybeRepartition(est).has_value());
+  EXPECT_EQ(controller.reconfigurations(), 1);
+}
+
+TEST_F(ControllerFixture, ElasticServerTracksDriftingWorkload) {
+  ElasticConfig config;
+  config.min_observations = 400;
+  config.drift_threshold = 0.15;
+  auto controller = MakeController(config);
+
+  // Build a drifting trace: small-batch phase then large-batch phase.
+  workload::LogNormalBatchDist small(3.0, 0.5, 32);
+  workload::LogNormalBatchDist large(20.0, 0.4, 32);
+  workload::PoissonArrivals arrivals(300.0);
+  Rng rng(6);
+  const auto trace = workload::GenerateDriftingTrace(
+      arrivals, {{&small, 4000}, {&large, 4000}}, rng);
+
+  const auto& profile = Profile();
+  const SimTime sla = SecToTicks(1.5 * profile.LatencySec(7, 32));
+  const auto model = perf::BuildResNet50();
+  perf::RooflineEngine engine;
+  ElasticServerSim sim(
+      controller, profile,
+      [&] { return std::make_unique<sched::ElsaScheduler>(profile, sla); },
+      [engine, model](int g, int b) { return engine.LatencySec(model, g, b); },
+      sla, /*queries_per_epoch=*/1000);
+  const auto result = sim.Run(trace);
+
+  EXPECT_EQ(result.total.completed, trace.size());
+  EXPECT_GE(result.reconfigurations, 1);
+  EXPECT_EQ(result.epochs.size(), 8u);
+  // After adapting, the final layout must be bigger-partitioned than the
+  // initial one.
+  auto mean = [](const std::vector<int>& v) {
+    double s = 0;
+    for (int g : v) s += g;
+    return s / static_cast<double>(v.size());
+  };
+  EXPECT_GT(mean(result.epochs.back().layout),
+            mean(result.epochs.front().layout));
+}
+
+}  // namespace
+}  // namespace pe::online

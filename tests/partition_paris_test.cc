@@ -1,0 +1,228 @@
+#include "partition/paris.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "hw/mig.h"
+#include "perf/model_zoo.h"
+#include "profile/profiler.h"
+
+namespace pe::partition {
+namespace {
+
+// The paper's Figure 8 driving example, reconstructed exactly:
+// two partition sizes (small = 1 GPC, large = 7 GPCs for concreteness),
+// knees B1 = 2 and B2 = 4, batch PDF {0.2, 0.2, 0.4, 0.2}, and throughputs
+// small: {40, 20} q/s for batches 1/2; large: {30, 20} q/s for batches 3/4.
+profile::ProfileTable Figure8Profile() {
+  profile::ProfileTable t("fig8", {1, 7}, {1, 2, 3, 4});
+  // Utilization chosen so the absolute 0.8 knee lands at B1=2, B2=4.
+  t.Set(1, 1, {1.0 / 40.0, 0.5});
+  t.Set(1, 2, {1.0 / 20.0, 0.85});
+  t.Set(1, 3, {1.0 / 15.0, 0.9});
+  t.Set(1, 4, {1.0 / 10.0, 0.95});
+  t.Set(7, 1, {1.0 / 60.0, 0.2});
+  t.Set(7, 2, {1.0 / 50.0, 0.4});
+  t.Set(7, 3, {1.0 / 30.0, 0.6});
+  t.Set(7, 4, {1.0 / 20.0, 0.85});
+  return t;
+}
+
+TEST(Paris, Figure8RatiosMatchPaper) {
+  const auto profile = Figure8Profile();
+  workload::EmpiricalBatchDist dist({20, 20, 40, 20});
+  ParisConfig config;
+  config.knee_mode = profile::KneeMode::kAbsolute;
+  ParisPartitioner paris(profile, dist, config);
+  const auto d = paris.Derive(14);
+
+  ASSERT_EQ(d.partition_sizes, (std::vector<int>{1, 7}));
+  EXPECT_EQ(d.knees[0], 2);
+  EXPECT_EQ(d.knees[1], 4);
+  // Paper: small GPU demand = 20/40 + 20/20 per 100 queries = 1.5 GPUs;
+  // here normalized per query: 0.2/40 + 0.2/20 = 0.015.
+  EXPECT_NEAR(d.ratios[0], 0.2 / 40 + 0.2 / 20, 1e-12);
+  // Large GPU: 0.4/30 + 0.2/20 = 0.0233... (paper's "2.3 large GPUs" per
+  // 100 queries).
+  EXPECT_NEAR(d.ratios[1], 0.4 / 30 + 0.2 / 20, 1e-12);
+  // The paper's ratio 1.5 : 2.3.
+  EXPECT_NEAR(d.ratios[1] / d.ratios[0], 2.3333 / 1.5, 1e-3);
+}
+
+TEST(Paris, InstanceCountsRespectBudget) {
+  const auto profile = Figure8Profile();
+  workload::EmpiricalBatchDist dist({20, 20, 40, 20});
+  ParisConfig config;
+  config.knee_mode = profile::KneeMode::kAbsolute;
+  ParisPartitioner paris(profile, dist, config);
+  for (int budget : {7, 14, 21, 28, 56}) {
+    const auto d = paris.Derive(budget);
+    int used = 0;
+    for (std::size_t k = 0; k < d.instances.size(); ++k) {
+      used += d.instances[k] * d.partition_sizes[k];
+    }
+    EXPECT_LE(used, budget) << "budget " << budget;
+    EXPECT_GT(std::accumulate(d.instances.begin(), d.instances.end(), 0), 0);
+  }
+}
+
+TEST(Paris, ZeroMassSegmentsGetNoInstances) {
+  const auto profile = Figure8Profile();
+  // All traffic is batch 1-2: the large partition's segment is empty.
+  workload::EmpiricalBatchDist dist({50, 50, 0, 0});
+  ParisConfig config;
+  config.knee_mode = profile::KneeMode::kAbsolute;
+  ParisPartitioner paris(profile, dist, config);
+  const auto d = paris.Derive(14);
+  EXPECT_GT(d.instances[0], 0);
+  EXPECT_EQ(d.ratios[1], 0.0);
+}
+
+TEST(Paris, InvalidBudgetThrows) {
+  const auto profile = Figure8Profile();
+  workload::EmpiricalBatchDist dist({1, 1, 1, 1});
+  ParisPartitioner paris(profile, dist);
+  EXPECT_THROW(paris.Derive(0), std::invalid_argument);
+}
+
+TEST(Paris, PlanPacksOntoCluster) {
+  const auto profile = Figure8Profile();
+  workload::EmpiricalBatchDist dist({20, 20, 40, 20});
+  ParisConfig config;
+  config.knee_mode = profile::KneeMode::kAbsolute;
+  ParisPartitioner paris(profile, dist, config);
+  hw::Cluster cluster(4);
+  const auto plan = paris.Plan(cluster, 28);
+  EXPECT_LE(plan.TotalGpcs(), 28);
+  EXPECT_GT(plan.NumInstances(), 0);
+  for (const auto& gpu : plan.layout.per_gpu) {
+    EXPECT_TRUE(hw::MigLayout::CanPlaceAll(gpu));
+  }
+  EXPECT_NE(plan.rationale.find("PARIS"), std::string::npos);
+}
+
+// --- End-to-end behaviour on the real model zoo ------------------------
+
+class ParisModelTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static profile::ProfileTable ProfileFor(const std::string& name) {
+    profile::Profiler profiler;
+    return profiler.Profile(perf::BuildModelByName(name),
+                            profile::ProfilerConfig::Default(64));
+  }
+};
+
+TEST_P(ParisModelTest, BudgetNeverExceededAndPlacementValid) {
+  const auto profile = ProfileFor(GetParam());
+  workload::LogNormalBatchDist dist(6.0, 0.9, 32);
+  ParisPartitioner paris(profile, dist);
+  hw::Cluster cluster(8);
+  for (int budget : {14, 24, 42, 48, 56}) {
+    const auto plan = paris.Plan(cluster, budget);
+    EXPECT_LE(plan.TotalGpcs(), budget);
+    // PARIS should strand at most a couple of GPCs.
+    EXPECT_GE(plan.TotalGpcs(), budget - 2);
+    for (const auto& gpu : plan.layout.per_gpu) {
+      EXPECT_TRUE(hw::MigLayout::CanPlaceAll(gpu));
+    }
+  }
+}
+
+TEST_P(ParisModelTest, KneesMonotoneInPartitionSize) {
+  const auto profile = ProfileFor(GetParam());
+  workload::LogNormalBatchDist dist(6.0, 0.9, 32);
+  ParisPartitioner paris(profile, dist);
+  const auto d = paris.Derive(48);
+  for (std::size_t k = 1; k < d.knees.size(); ++k) {
+    EXPECT_LE(d.knees[k - 1], d.knees[k]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ParisModelTest,
+                         ::testing::Values("shufflenet", "mobilenet",
+                                           "resnet", "bert", "conformer"));
+
+TEST(Paris, BertPrefersLargerPartitionsThanMobilenet) {
+  // The paper's headline qualitative claim: compute-hungry BERT gets big
+  // partitions; lightweight MobileNet gets small ones.
+  profile::Profiler profiler;
+  workload::LogNormalBatchDist dist(6.0, 0.9, 32);
+  hw::Cluster cluster(8);
+
+  const auto bert_profile = profiler.Profile(
+      perf::BuildBertBase(), profile::ProfilerConfig::Default(64));
+  ParisPartitioner bert_paris(bert_profile, dist);
+  const auto bert_plan = bert_paris.Plan(cluster, 42);
+
+  const auto mobile_profile = profiler.Profile(
+      perf::BuildMobileNetV1(), profile::ProfilerConfig::Default(64));
+  ParisPartitioner mobile_paris(mobile_profile, dist);
+  const auto mobile_plan = mobile_paris.Plan(cluster, 24);
+
+  auto mean_size = [](const PartitionPlan& p) {
+    return static_cast<double>(p.TotalGpcs()) / p.NumInstances();
+  };
+  EXPECT_GT(mean_size(bert_plan), 1.4 * mean_size(mobile_plan));
+  // BERT puts the majority of its GPCs into large (>= 4 GPC) partitions;
+  // MobileNet does not.
+  auto large_share = [](const PartitionPlan& p) {
+    int large = 0;
+    for (int g : p.instance_gpcs) {
+      if (g >= 4) large += g;
+    }
+    return static_cast<double>(large) / p.TotalGpcs();
+  };
+  EXPECT_GT(large_share(bert_plan), 0.5);
+  EXPECT_LT(large_share(mobile_plan), 0.5);
+  // BERT's plan must contain at least one GPU(7); MobileNet's none.
+  EXPECT_NE(std::find(bert_plan.instance_gpcs.begin(),
+                      bert_plan.instance_gpcs.end(), 7),
+            bert_plan.instance_gpcs.end());
+}
+
+TEST(Paris, EveryTrafficSegmentKeepsAnInstance) {
+  // Segment-coverage guarantee: a segment with nonzero PDF mass must keep
+  // at least one instance even when largest-remainder rounding would zero
+  // it (the big-batch tail's R_k is tiny because large partitions are
+  // fast, yet its queries have nowhere else to meet SLA).
+  profile::Profiler profiler;
+  workload::LogNormalBatchDist dist(6.0, 0.9, 32);
+  for (const char* name : {"mobilenet", "resnet", "conformer"}) {
+    const auto profile = profiler.Profile(perf::BuildModelByName(name),
+                                          profile::ProfilerConfig::Default(64));
+    ParisPartitioner paris(profile, dist);
+    const auto d = paris.Derive(48);
+    for (std::size_t k = 0; k < d.ratios.size(); ++k) {
+      if (d.ratios[k] > 0.0) {
+        EXPECT_GT(d.instances[k], 0)
+            << name << " GPU(" << d.partition_sizes[k] << ")";
+      }
+    }
+  }
+}
+
+TEST(Paris, WiderDistributionYieldsMoreDistinctSizes) {
+  // Figure 13(a) intuition: a wider batch distribution favors a more
+  // heterogeneous partitioning.
+  profile::Profiler profiler;
+  const auto profile = profiler.Profile(perf::BuildResNet50(),
+                                        profile::ProfilerConfig::Default(64));
+  hw::Cluster cluster(8);
+
+  workload::LogNormalBatchDist narrow(6.0, 0.3, 32);
+  workload::LogNormalBatchDist wide(6.0, 1.8, 32);
+  ParisPartitioner p_narrow(profile, narrow);
+  ParisPartitioner p_wide(profile, wide);
+  auto distinct = [](const PartitionPlan& p) {
+    return std::set<int>(p.instance_gpcs.begin(), p.instance_gpcs.end())
+        .size();
+  };
+  EXPECT_GE(distinct(p_wide.Plan(cluster, 48)),
+            distinct(p_narrow.Plan(cluster, 48)));
+}
+
+}  // namespace
+}  // namespace pe::partition

@@ -1,0 +1,77 @@
+#include "partition/random_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "hw/mig.h"
+
+namespace pe::partition {
+namespace {
+
+TEST(Random, ConsumesFullBudget) {
+  hw::Cluster cluster(8);
+  RandomPartitioner p(123);
+  const auto plan = p.Plan(cluster, 48);
+  EXPECT_EQ(plan.TotalGpcs(), 48);
+}
+
+TEST(Random, DeterministicPerSeed) {
+  hw::Cluster cluster(4);
+  RandomPartitioner a(7), b(7);
+  EXPECT_EQ(a.Plan(cluster, 24).instance_gpcs,
+            b.Plan(cluster, 24).instance_gpcs);
+}
+
+TEST(Random, DifferentSeedsGiveDifferentLayouts) {
+  hw::Cluster cluster(8);
+  std::set<std::vector<int>> layouts;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    RandomPartitioner p(seed);
+    layouts.insert(p.Plan(cluster, 48).instance_gpcs);
+  }
+  EXPECT_GT(layouts.size(), 4u);
+}
+
+TEST(Random, ProducesHeterogeneousMixesSometimes) {
+  // Across seeds, at least one plan must contain two distinct sizes
+  // (otherwise "Random heterogeneous" would be mislabeled).
+  hw::Cluster cluster(8);
+  bool heterogeneous = false;
+  for (std::uint64_t seed = 0; seed < 8 && !heterogeneous; ++seed) {
+    RandomPartitioner p(seed);
+    const auto sizes = p.Plan(cluster, 48).instance_gpcs;
+    heterogeneous = std::set<int>(sizes.begin(), sizes.end()).size() > 1;
+  }
+  EXPECT_TRUE(heterogeneous);
+}
+
+TEST(Random, EveryGpuLayoutIsMigValid) {
+  hw::Cluster cluster(8);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    RandomPartitioner p(seed);
+    const auto plan = p.Plan(cluster, 48);
+    for (const auto& gpu : plan.layout.per_gpu) {
+      EXPECT_TRUE(hw::MigLayout::CanPlaceAll(gpu))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Random, SmallBudget) {
+  hw::Cluster cluster(1);
+  RandomPartitioner p(3);
+  const auto plan = p.Plan(cluster, 3);
+  EXPECT_EQ(plan.TotalGpcs(), 3);
+}
+
+TEST(Random, BudgetClampedToCluster) {
+  hw::Cluster cluster(1);  // 7 GPCs
+  RandomPartitioner p(5);
+  const auto plan = p.Plan(cluster, 1000);
+  EXPECT_EQ(plan.TotalGpcs(), 7);
+}
+
+}  // namespace
+}  // namespace pe::partition

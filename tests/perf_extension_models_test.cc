@@ -1,0 +1,98 @@
+// Tests for the extension models (GPT-2, DLRM) and their behaviour through
+// the full profiling + PARIS pipeline -- generalization beyond the paper's
+// five benchmarks.
+#include <gtest/gtest.h>
+
+#include "hw/mig.h"
+#include "partition/paris.h"
+#include "perf/model_zoo.h"
+#include "perf/roofline.h"
+#include "profile/profiler.h"
+#include "workload/batch_dist.h"
+
+namespace pe::perf {
+namespace {
+
+TEST(Gpt2, FlopsComparableToTransformerMath) {
+  // ~2 * 85M params * 256 tokens plus attention and the LM head.
+  const auto m = BuildGpt2Small(256);
+  const double f = m.TotalFlopsPerSample();
+  EXPECT_GT(f, 30e9);
+  EXPECT_LT(f, 80e9);
+}
+
+TEST(Gpt2, ScalesWithSequenceLength) {
+  EXPECT_GT(BuildGpt2Small(512).TotalFlopsPerSample(),
+            1.9 * BuildGpt2Small(256).TotalFlopsPerSample());
+}
+
+TEST(Gpt2, HighIntensityLikeBert) {
+  const auto gpt2 = BuildGpt2Small();
+  const auto mobilenet = BuildMobileNetV1();
+  EXPECT_GT(gpt2.ArithmeticIntensity(8), mobilenet.ArithmeticIntensity(8));
+}
+
+TEST(Dlrm, ExtremelyLowIntensity) {
+  const auto dlrm = BuildDlrm();
+  // flops/byte far below every paper model.
+  for (const auto& m : BuildPaperModels()) {
+    EXPECT_LT(dlrm.ArithmeticIntensity(8), m.ArithmeticIntensity(8))
+        << m.name();
+  }
+}
+
+TEST(Dlrm, TinyPerQueryLatency) {
+  RooflineEngine engine;
+  const auto dlrm = BuildDlrm();
+  // Milliseconds even at batch 64 on the smallest partition -- orders of
+  // magnitude below the CNN/transformer models at the same point.
+  EXPECT_LT(engine.LatencySec(dlrm, 1, 64), 15e-3);
+  EXPECT_LT(engine.LatencySec(dlrm, 1, 64),
+            0.2 * engine.LatencySec(BuildMobileNetV1(), 1, 64));
+}
+
+TEST(ExtensionModels, UtilizationCurvesStillSaturate) {
+  RooflineEngine engine;
+  for (const auto& m : {BuildGpt2Small(), BuildDlrm()}) {
+    EXPECT_GT(engine.Utilization(m, 1, 64), engine.Utilization(m, 1, 1))
+        << m.name();
+    EXPECT_GT(engine.Utilization(m, 1, 8), engine.Utilization(m, 7, 8))
+        << m.name();
+  }
+}
+
+TEST(ExtensionModels, ParisPipelineWorksEndToEnd) {
+  profile::Profiler profiler;
+  workload::LogNormalBatchDist dist(6.0, 0.9, 32);
+  hw::Cluster cluster(8);
+  for (const auto& m : {BuildGpt2Small(), BuildDlrm()}) {
+    const auto table =
+        profiler.Profile(m, profile::ProfilerConfig::Default(64));
+    partition::ParisPartitioner paris(table, dist);
+    const auto plan = paris.Plan(cluster, 48);
+    EXPECT_GT(plan.NumInstances(), 0) << m.name();
+    EXPECT_LE(plan.TotalGpcs(), 48) << m.name();
+    for (const auto& gpu : plan.layout.per_gpu) {
+      EXPECT_TRUE(hw::MigLayout::CanPlaceAll(gpu)) << m.name();
+    }
+  }
+}
+
+TEST(ExtensionModels, OppositeEndsGetOppositePlans) {
+  // GPT-2 (compute heavy) must receive a larger mean partition size than
+  // DLRM (memory-only lookups + tiny MLPs).
+  profile::Profiler profiler;
+  workload::LogNormalBatchDist dist(6.0, 0.9, 32);
+  hw::Cluster cluster(8);
+  auto mean_size = [&](const DnnModel& m) {
+    const auto table =
+        profiler.Profile(m, profile::ProfilerConfig::Default(64));
+    partition::ParisPartitioner paris(table, dist);
+    const auto plan = paris.Plan(cluster, 48);
+    return static_cast<double>(plan.TotalGpcs()) / plan.NumInstances();
+  };
+  EXPECT_GT(mean_size(BuildGpt2Small()), mean_size(BuildDlrm()));
+}
+
+}  // namespace
+}  // namespace pe::perf

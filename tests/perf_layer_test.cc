@@ -1,0 +1,99 @@
+#include "perf/layer.h"
+
+#include <gtest/gtest.h>
+
+namespace pe::perf {
+namespace {
+
+constexpr double kDtype = 4.0;
+
+TEST(Conv2d, FlopsAndBytes) {
+  // 8x8x16 input, 32 filters of 3x3, stride 1.
+  const Layer l = Conv2d("c", 8, 8, 16, 32, 3, 3, 1, kDtype);
+  EXPECT_EQ(l.kind, LayerKind::kConv);
+  EXPECT_DOUBLE_EQ(l.flops_per_sample, 2.0 * 32 * 16 * 3 * 3 * 8 * 8);
+  EXPECT_DOUBLE_EQ(l.weight_bytes, 32.0 * 16 * 3 * 3 * kDtype);
+  EXPECT_DOUBLE_EQ(l.io_bytes_per_sample, (8.0 * 8 * 16 + 8.0 * 8 * 32) * kDtype);
+  EXPECT_DOUBLE_EQ(l.gemm_m_per_sample, 64.0);
+  EXPECT_DOUBLE_EQ(l.gemm_n, 32.0);
+}
+
+TEST(Conv2d, StrideShrinksOutput) {
+  const Layer l = Conv2d("c", 224, 224, 3, 32, 3, 3, 2, kDtype);
+  EXPECT_DOUBLE_EQ(l.gemm_m_per_sample, 112.0 * 112.0);
+  EXPECT_DOUBLE_EQ(l.flops_per_sample, 2.0 * 32 * 3 * 3 * 3 * 112 * 112);
+}
+
+TEST(DepthwiseConv2d, FlopsScaleWithChannelsNotSquared) {
+  const Layer dw = DepthwiseConv2d("dw", 14, 14, 256, 3, 3, 1, kDtype);
+  EXPECT_EQ(dw.kind, LayerKind::kDepthwiseConv);
+  EXPECT_DOUBLE_EQ(dw.flops_per_sample, 2.0 * 256 * 3 * 3 * 14 * 14);
+  // Dense conv over the same shape does C times more work.
+  const Layer dense = Conv2d("c", 14, 14, 256, 256, 3, 3, 1, kDtype);
+  EXPECT_DOUBLE_EQ(dense.flops_per_sample, dw.flops_per_sample * 256.0);
+}
+
+TEST(DepthwiseConv2d, LowArithmeticIntensity) {
+  const Layer dw = DepthwiseConv2d("dw", 56, 56, 128, 3, 3, 1, kDtype);
+  const double intensity = dw.flops_per_sample / dw.io_bytes_per_sample;
+  EXPECT_LT(intensity, 4.0);  // heavily memory-bound by construction
+}
+
+TEST(Linear, TokensMultiplyWork) {
+  const Layer fc = Linear("fc", 1, 1024, 1000, kDtype);
+  EXPECT_DOUBLE_EQ(fc.flops_per_sample, 2.0 * 1024 * 1000);
+  const Layer seq = Linear("proj", 128, 768, 768, kDtype);
+  EXPECT_DOUBLE_EQ(seq.flops_per_sample, 2.0 * 128 * 768 * 768);
+  EXPECT_DOUBLE_EQ(seq.gemm_m_per_sample, 128.0);
+  EXPECT_DOUBLE_EQ(seq.weight_bytes, 768.0 * 768 * kDtype);
+}
+
+TEST(Attention, ScoresAndContextSameFlops) {
+  const Layer s = AttentionScores("s", 128, 64, 12, kDtype);
+  const Layer c = AttentionContext("c", 128, 64, 12, kDtype);
+  EXPECT_DOUBLE_EQ(s.flops_per_sample, c.flops_per_sample);
+  EXPECT_DOUBLE_EQ(s.flops_per_sample, 2.0 * 128 * 128 * 64 * 12);
+  EXPECT_EQ(s.groups, 12);
+  EXPECT_EQ(c.groups, 12);
+  EXPECT_DOUBLE_EQ(s.weight_bytes, 0.0);
+}
+
+TEST(Attention, GeometryDiffers) {
+  const Layer s = AttentionScores("s", 128, 64, 12, kDtype);
+  const Layer c = AttentionContext("c", 128, 64, 12, kDtype);
+  EXPECT_DOUBLE_EQ(s.gemm_n, 128.0);  // seq x seq output
+  EXPECT_DOUBLE_EQ(c.gemm_n, 64.0);   // seq x d_head output
+}
+
+TEST(Elementwise, FlopsAndIo) {
+  const Layer l = Elementwise("relu", 1000.0, 1.0, kDtype);
+  EXPECT_DOUBLE_EQ(l.flops_per_sample, 1000.0);
+  EXPECT_DOUBLE_EQ(l.io_bytes_per_sample, 2.0 * 1000.0 * kDtype);
+  EXPECT_EQ(l.kind, LayerKind::kElementwise);
+}
+
+TEST(Pool2d, GlobalPoolOutputsOnePixel) {
+  const Layer l = Pool2d("gap", 7, 7, 1024, 7, 7, 7, kDtype);
+  EXPECT_EQ(l.kind, LayerKind::kPool);
+  // Output is 1x1x1024; io = input + output.
+  EXPECT_DOUBLE_EQ(l.io_bytes_per_sample, (7.0 * 7 * 1024 + 1024.0) * kDtype);
+}
+
+TEST(MemoryOp, PureTrafficOp) {
+  const Layer l = MemoryOp("shuffle", 4096.0);
+  EXPECT_EQ(l.kind, LayerKind::kMemoryOp);
+  EXPECT_DOUBLE_EQ(l.io_bytes_per_sample, 4096.0);
+  EXPECT_GT(l.flops_per_sample, 0.0);  // address arithmetic only
+  EXPECT_LT(l.flops_per_sample, l.io_bytes_per_sample);
+}
+
+TEST(LayerKind, NamesAreStable) {
+  EXPECT_STREQ(ToString(LayerKind::kConv), "conv");
+  EXPECT_STREQ(ToString(LayerKind::kDepthwiseConv), "dwconv");
+  EXPECT_STREQ(ToString(LayerKind::kGemm), "gemm");
+  EXPECT_STREQ(ToString(LayerKind::kAttention), "attention");
+  EXPECT_STREQ(ToString(LayerKind::kMemoryOp), "memory");
+}
+
+}  // namespace
+}  // namespace pe::perf

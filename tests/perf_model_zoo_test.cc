@@ -1,0 +1,140 @@
+#include "perf/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pe::perf {
+namespace {
+
+TEST(ModelZoo, FiveModelsInPaperOrder) {
+  const auto models = BuildPaperModels();
+  ASSERT_EQ(models.size(), 5u);
+  EXPECT_EQ(models[0].name(), "shufflenet");
+  EXPECT_EQ(models[1].name(), "mobilenet");
+  EXPECT_EQ(models[2].name(), "resnet");
+  EXPECT_EQ(models[3].name(), "bert");
+  EXPECT_EQ(models[4].name(), "conformer");
+}
+
+TEST(ModelZoo, LookupByName) {
+  EXPECT_EQ(BuildModelByName("resnet").name(), "resnet");
+  EXPECT_THROW(BuildModelByName("vgg"), std::invalid_argument);
+}
+
+TEST(ModelZoo, IntensityClassesMatchPaper) {
+  EXPECT_EQ(IntensityOf("shufflenet"), ComputeIntensity::kLow);
+  EXPECT_EQ(IntensityOf("mobilenet"), ComputeIntensity::kLow);
+  EXPECT_EQ(IntensityOf("resnet"), ComputeIntensity::kMedium);
+  EXPECT_EQ(IntensityOf("conformer"), ComputeIntensity::kMedium);
+  EXPECT_EQ(IntensityOf("bert"), ComputeIntensity::kHigh);
+  EXPECT_THROW(IntensityOf("vgg"), std::invalid_argument);
+}
+
+TEST(ModelZoo, FlopsOrderingMatchesIntensityNarrative) {
+  // ShuffleNet < MobileNet < ResNet; BERT is the heaviest.
+  const double shuffle = BuildShuffleNetV2().TotalFlopsPerSample();
+  const double mobile = BuildMobileNetV1().TotalFlopsPerSample();
+  const double resnet = BuildResNet50().TotalFlopsPerSample();
+  const double bert = BuildBertBase().TotalFlopsPerSample();
+  EXPECT_LT(shuffle, mobile);
+  EXPECT_LT(mobile, resnet);
+  EXPECT_LT(resnet, bert);
+}
+
+TEST(ModelZoo, MobileNetFlopsInKnownRange) {
+  // MobileNetV1 is ~1.1 GFLOPs (2x 0.57 GMACs) for 224x224.
+  const double f = BuildMobileNetV1().TotalFlopsPerSample();
+  EXPECT_GT(f, 0.9e9);
+  EXPECT_LT(f, 1.6e9);
+}
+
+TEST(ModelZoo, ResNet50FlopsInKnownRange) {
+  // ResNet-50 is ~8.2 GFLOPs (2x 4.1 GMACs).
+  const double f = BuildResNet50().TotalFlopsPerSample();
+  EXPECT_GT(f, 7.0e9);
+  EXPECT_LT(f, 10.0e9);
+}
+
+TEST(ModelZoo, ShuffleNetFlopsInKnownRange) {
+  // ShuffleNetV2 1.0x is ~0.3 GFLOPs of conv work; with head conv5 and
+  // eager-mode extras it stays well under a GFLOP.
+  const double f = BuildShuffleNetV2().TotalFlopsPerSample();
+  EXPECT_GT(f, 0.2e9);
+  EXPECT_LT(f, 1.0e9);
+}
+
+TEST(ModelZoo, BertParamsInKnownRange) {
+  // BERT-base encoder weights ~85M params x 4 bytes (embeddings are a
+  // lookup, not dense weights here).
+  const double w = BuildBertBase().TotalWeightBytes();
+  EXPECT_GT(w, 70e6 * 4);
+  EXPECT_LT(w, 110e6 * 4);
+}
+
+TEST(ModelZoo, BertFlopsScaleWithSeqLen) {
+  const double f128 = BuildBertBase(128).TotalFlopsPerSample();
+  const double f384 = BuildBertBase(384).TotalFlopsPerSample();
+  EXPECT_GT(f384, 2.9 * f128);  // superlinear: attention term is quadratic
+}
+
+TEST(ModelZoo, ResNetLayerCountReflectsEagerMode) {
+  // 53 convs + bn/relu/residual kernels: well over 100 launches.
+  const auto m = BuildResNet50();
+  EXPECT_GT(m.num_layers(), 120u);
+  EXPECT_LT(m.num_layers(), 260u);
+}
+
+TEST(ModelZoo, MobileNetHasDepthwiseLayers) {
+  const auto m = BuildMobileNetV1();
+  int dw = 0;
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kDepthwiseConv) ++dw;
+  }
+  EXPECT_EQ(dw, 13);
+}
+
+TEST(ModelZoo, ConformerHasMacaronStructure) {
+  const auto m = BuildConformer();
+  int attention = 0, dwconv = 0;
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kAttention) ++attention;
+    if (l.kind == LayerKind::kDepthwiseConv) ++dwconv;
+  }
+  EXPECT_EQ(attention, 2 * 17);  // scores + context per block
+  EXPECT_EQ(dwconv, 17);
+}
+
+TEST(ModelZoo, AllLayersHaveNonNegativeCosts) {
+  for (const auto& m : BuildPaperModels()) {
+    for (const auto& l : m.layers()) {
+      EXPECT_GE(l.flops_per_sample, 0.0) << m.name() << ":" << l.name;
+      EXPECT_GE(l.weight_bytes, 0.0) << m.name() << ":" << l.name;
+      EXPECT_GT(l.io_bytes_per_sample, 0.0) << m.name() << ":" << l.name;
+      EXPECT_GE(l.gemm_m_per_sample, 0.0) << m.name() << ":" << l.name;
+      EXPECT_GE(l.gemm_n, 1.0) << m.name() << ":" << l.name;
+      EXPECT_GE(l.groups, 1) << m.name() << ":" << l.name;
+    }
+  }
+}
+
+TEST(ModelZoo, ArithmeticIntensityGrowsWithBatch) {
+  // Weights amortize across the batch, so flops/byte must be
+  // non-decreasing in batch size.
+  for (const auto& m : BuildPaperModels()) {
+    EXPECT_GT(m.ArithmeticIntensity(32), m.ArithmeticIntensity(1))
+        << m.name();
+  }
+}
+
+TEST(ModelZoo, BertIntensityHighest) {
+  const auto models = BuildPaperModels();
+  const double bert = models[3].ArithmeticIntensity(8);
+  for (const auto& m : models) {
+    if (m.name() == "bert") continue;
+    EXPECT_GT(bert, m.ArithmeticIntensity(8)) << m.name();
+  }
+}
+
+}  // namespace
+}  // namespace pe::perf

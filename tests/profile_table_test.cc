@@ -1,0 +1,147 @@
+#include "profile/profile_table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "perf/model_zoo.h"
+#include "profile/profiler.h"
+
+namespace pe::profile {
+namespace {
+
+ProfileTable TinyTable() {
+  // Hand-built: two partition sizes, batches {1, 2, 4}.
+  ProfileTable t("toy", {1, 7}, {1, 2, 4});
+  t.Set(1, 1, {0.010, 0.50});
+  t.Set(1, 2, {0.020, 0.85});
+  t.Set(1, 4, {0.040, 0.95});
+  t.Set(7, 1, {0.005, 0.10});
+  t.Set(7, 2, {0.006, 0.30});
+  t.Set(7, 4, {0.008, 0.85});
+  return t;
+}
+
+TEST(ProfileTable, ExactLookup) {
+  const auto t = TinyTable();
+  EXPECT_DOUBLE_EQ(t.At(1, 2).latency_sec, 0.020);
+  EXPECT_DOUBLE_EQ(t.At(7, 4).utilization, 0.85);
+  EXPECT_THROW(t.At(3, 1), std::out_of_range);
+  EXPECT_THROW(t.At(1, 3), std::out_of_range);
+}
+
+TEST(ProfileTable, ThroughputIsInverseLatency) {
+  const auto t = TinyTable();
+  // Figure 8 semantics: a query is one batch.
+  EXPECT_DOUBLE_EQ(t.At(1, 1).throughput_qps(), 100.0);
+  EXPECT_DOUBLE_EQ(t.At(1, 2).throughput_qps(), 50.0);
+}
+
+TEST(ProfileTable, LatencySnapsUpToNextGridPoint) {
+  const auto t = TinyTable();
+  EXPECT_DOUBLE_EQ(t.LatencySec(1, 3), 0.040);  // snaps to batch 4
+  EXPECT_DOUBLE_EQ(t.LatencySec(1, 4), 0.040);
+  EXPECT_DOUBLE_EQ(t.LatencySec(1, 99), 0.040);  // clamps to max batch
+}
+
+TEST(ProfileTable, AbsoluteKnee) {
+  const auto t = TinyTable();
+  EXPECT_EQ(t.MaxBatchKnee(1, 0.8, KneeMode::kAbsolute), 2);
+  EXPECT_EQ(t.MaxBatchKnee(7, 0.8, KneeMode::kAbsolute), 4);
+}
+
+TEST(ProfileTable, AbsoluteKneeFallsBackToMaxBatch) {
+  ProfileTable t("toy", {1}, {1, 2});
+  t.Set(1, 1, {0.01, 0.10});
+  t.Set(1, 2, {0.02, 0.20});  // never crosses 0.8
+  EXPECT_EQ(t.MaxBatchKnee(1, 0.8, KneeMode::kAbsolute), 2);
+}
+
+TEST(ProfileTable, RelativeKneeUsesPlateau) {
+  ProfileTable t("toy", {1}, {1, 2, 4});
+  t.Set(1, 1, {0.01, 0.30});
+  t.Set(1, 2, {0.02, 0.45});  // >= 0.8 * 0.50
+  t.Set(1, 4, {0.04, 0.50});
+  EXPECT_EQ(t.MaxBatchKnee(1, 0.8, KneeMode::kRelative), 2);
+}
+
+TEST(ProfileTable, AllKneesMonotoneAndLastClamped) {
+  const auto t = TinyTable();
+  const auto knees = t.AllKnees(0.8, KneeMode::kAbsolute);
+  ASSERT_EQ(knees.size(), 2u);
+  EXPECT_LE(knees[0], knees[1]);
+  EXPECT_EQ(knees.back(), 4);  // last partition covers the max batch
+}
+
+TEST(ProfileTable, AllKneesEnforceMonotonicity) {
+  // Construct a pathological table where the larger partition saturates
+  // earlier; AllKnees must still return a non-decreasing sequence.
+  ProfileTable t("toy", {1, 7}, {1, 2, 4});
+  t.Set(1, 1, {0.01, 0.10});
+  t.Set(1, 2, {0.02, 0.50});
+  t.Set(1, 4, {0.04, 0.90});
+  t.Set(7, 1, {0.005, 0.95});
+  t.Set(7, 2, {0.006, 0.95});
+  t.Set(7, 4, {0.008, 0.95});
+  const auto knees = t.AllKnees(0.8, KneeMode::kAbsolute);
+  EXPECT_LE(knees[0], knees[1]);
+}
+
+TEST(ProfileTable, CsvRoundTrip) {
+  const auto t = TinyTable();
+  std::stringstream ss;
+  t.SaveCsv(ss);
+  const auto loaded = ProfileTable::LoadCsv(ss);
+  EXPECT_EQ(loaded.model_name(), "toy");
+  EXPECT_EQ(loaded.partition_sizes(), t.partition_sizes());
+  EXPECT_EQ(loaded.batch_sizes(), t.batch_sizes());
+  for (int g : {1, 7}) {
+    for (int b : {1, 2, 4}) {
+      EXPECT_DOUBLE_EQ(loaded.At(g, b).latency_sec, t.At(g, b).latency_sec);
+      EXPECT_DOUBLE_EQ(loaded.At(g, b).utilization, t.At(g, b).utilization);
+    }
+  }
+}
+
+TEST(ProfileTable, LoadCsvRejectsEmpty) {
+  std::stringstream ss;
+  EXPECT_THROW(ProfileTable::LoadCsv(ss), std::runtime_error);
+}
+
+TEST(Profiler, DefaultConfigCoversPaperGrid) {
+  const auto c = ProfilerConfig::Default(64);
+  EXPECT_EQ(c.partition_sizes, (std::vector<int>{1, 2, 3, 4, 7}));
+  EXPECT_EQ(c.batch_sizes.front(), 1);
+  EXPECT_EQ(c.batch_sizes.back(), 64);
+  // Single-batch resolution where knees live.
+  for (int b = 1; b <= 8; ++b) {
+    EXPECT_NE(std::find(c.batch_sizes.begin(), c.batch_sizes.end(), b),
+              c.batch_sizes.end());
+  }
+}
+
+TEST(Profiler, ProfilesFullGrid) {
+  Profiler profiler;
+  const auto model = perf::BuildMobileNetV1();
+  const auto table = profiler.Profile(model, ProfilerConfig::Default(16));
+  EXPECT_EQ(table.model_name(), "mobilenet");
+  for (int g : {1, 2, 3, 4, 7}) {
+    for (int b : table.batch_sizes()) {
+      EXPECT_TRUE(table.Has(g, b));
+      EXPECT_GT(table.At(g, b).latency_sec, 0.0);
+    }
+  }
+}
+
+TEST(Profiler, TableMatchesEngineDirectly) {
+  Profiler profiler;
+  const auto model = perf::BuildResNet50();
+  const auto table = profiler.Profile(model, ProfilerConfig::Default(8));
+  const auto& engine = profiler.engine();
+  EXPECT_DOUBLE_EQ(table.At(3, 4).latency_sec, engine.LatencySec(model, 3, 4));
+  EXPECT_DOUBLE_EQ(table.At(3, 4).utilization,
+                   engine.Utilization(model, 3, 4));
+}
+
+}  // namespace
+}  // namespace pe::profile

@@ -1,0 +1,149 @@
+#include "sched/elsa.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/baselines.h"
+
+namespace pe::sched {
+namespace {
+
+// Two partition sizes with fixed estimated latencies:
+//   GPU(1): 10 ms per batch-N query (any N; single profiled batch point 32)
+//   GPU(7):  2 ms
+profile::ProfileTable MakeProfile(double small_ms = 10.0,
+                                  double large_ms = 2.0) {
+  profile::ProfileTable t("toy", {1, 7}, {32});
+  t.Set(1, 32, {small_ms * 1e-3, 0.9});
+  t.Set(7, 32, {large_ms * 1e-3, 0.5});
+  return t;
+}
+
+workload::Query Q(int batch) {
+  workload::Query q;
+  q.batch = batch;
+  return q;
+}
+
+WorkerState W(int index, int gpcs, SimTime wait) {
+  WorkerState w;
+  w.index = index;
+  w.gpcs = gpcs;
+  w.idle = (wait == 0);
+  w.wait_ticks = wait;
+  return w;
+}
+
+TEST(Elsa, DoesNotUseCentralQueue) {
+  const auto profile = MakeProfile();
+  ElsaScheduler s(profile, MsToTicks(15.0));
+  EXPECT_FALSE(s.UsesCentralQueue());
+  EXPECT_EQ(s.name(), "ELSA");
+}
+
+TEST(Elsa, StepAPrefersSmallestWithSlack) {
+  const auto profile = MakeProfile();
+  // SLA 15 ms; idle small partition: slack = 15 - 10 > 0 -> pick it even
+  // though the large one is also idle and faster.
+  ElsaScheduler s(profile, MsToTicks(15.0));
+  const std::vector<WorkerState> workers = {W(0, 1, 0), W(1, 7, 0)};
+  EXPECT_EQ(s.OnQueryArrival(Q(8), workers), 0);
+}
+
+TEST(Elsa, SkipsSmallWhenSlackInsufficient) {
+  const auto profile = MakeProfile();
+  // SLA 8 ms: small takes 10 ms -> violates; large takes 2 ms -> fits.
+  ElsaScheduler s(profile, MsToTicks(8.0));
+  const std::vector<WorkerState> workers = {W(0, 1, 0), W(1, 7, 0)};
+  EXPECT_EQ(s.OnQueryArrival(Q(8), workers), 1);
+}
+
+TEST(Elsa, AccountsForQueueWait) {
+  const auto profile = MakeProfile();
+  // SLA 15 ms.  Small partition has 6 ms of queued work: 6 + 10 > 15 ->
+  // overloaded; large partition with 1 ms wait: 1 + 2 < 15 -> chosen.
+  ElsaScheduler s(profile, MsToTicks(15.0));
+  const std::vector<WorkerState> workers = {W(0, 1, MsToTicks(6.0)),
+                                            W(1, 7, MsToTicks(1.0))};
+  EXPECT_EQ(s.OnQueryArrival(Q(8), workers), 1);
+}
+
+TEST(Elsa, StepBMinimizesCompletionWhenNoSlack) {
+  const auto profile = MakeProfile();
+  // SLA 1 ms: nothing fits.  Completion times: small 0+10, large 5+2 ->
+  // large wins.
+  ElsaScheduler s(profile, MsToTicks(1.0));
+  const std::vector<WorkerState> workers = {W(0, 1, 0),
+                                            W(1, 7, MsToTicks(5.0))};
+  EXPECT_EQ(s.OnQueryArrival(Q(8), workers), 1);
+}
+
+TEST(Elsa, StepBPicksSmallIfItCompletesSooner) {
+  const auto profile = MakeProfile();
+  // SLA 1 ms; large is backed up by 20 ms: small 10 < large 22.
+  ElsaScheduler s(profile, MsToTicks(1.0));
+  const std::vector<WorkerState> workers = {W(0, 1, 0),
+                                            W(1, 7, MsToTicks(20.0))};
+  EXPECT_EQ(s.OnQueryArrival(Q(8), workers), 0);
+}
+
+TEST(Elsa, VisitsWorkersInSizeOrderNotIndexOrder) {
+  const auto profile = MakeProfile();
+  ElsaScheduler s(profile, MsToTicks(15.0));
+  // Large partition listed first; ELSA must still prefer the small one.
+  const std::vector<WorkerState> workers = {W(0, 7, 0), W(1, 1, 0)};
+  EXPECT_EQ(s.OnQueryArrival(Q(8), workers), 1);
+}
+
+TEST(Elsa, AlphaScalesAggressiveness) {
+  const auto profile = MakeProfile();
+  // With alpha = 2, the small partition's effective cost doubles: 2*10 > 15
+  // -> falls through to the large one.
+  ElsaParams params;
+  params.alpha = 2.0;
+  ElsaScheduler s(profile, MsToTicks(15.0), params);
+  const std::vector<WorkerState> workers = {W(0, 1, 0), W(1, 7, 0)};
+  EXPECT_EQ(s.OnQueryArrival(Q(8), workers), 1);
+}
+
+TEST(Elsa, BetaWeightsNewQueryTerm) {
+  const auto profile = MakeProfile();
+  // beta = 0 ignores the query's own execution time: slack = 15 - wait.
+  ElsaParams params;
+  params.beta = 0.0;
+  ElsaScheduler s(profile, MsToTicks(15.0), params);
+  // Small has 14 ms queued: slack = 1 > 0 -> still chosen (beta=0 blind).
+  const std::vector<WorkerState> workers = {W(0, 1, MsToTicks(14.0)),
+                                            W(1, 7, 0)};
+  EXPECT_EQ(s.OnQueryArrival(Q(8), workers), 0);
+}
+
+TEST(Elsa, SlackSecMatchesEquation2) {
+  const auto profile = MakeProfile();
+  ElsaParams params;
+  params.alpha = 1.5;
+  params.beta = 2.0;
+  ElsaScheduler s(profile, MsToTicks(20.0), params);
+  const WorkerState w = W(0, 1, MsToTicks(3.0));
+  // slack = 20 - 1.5 * (3 + 2 * 10) = 20 - 34.5 = -14.5 ms.
+  EXPECT_NEAR(s.SlackSec(w, 8), -14.5e-3, 1e-9);
+}
+
+TEST(GreedyFastest, IsElsaStepBOnly) {
+  const auto profile = MakeProfile();
+  GreedyFastestScheduler s(profile);
+  // Both idle: large (2 ms) beats small (10 ms) -- no utilization
+  // preference, unlike ELSA Step A.
+  const std::vector<WorkerState> workers = {W(0, 1, 0), W(1, 7, 0)};
+  EXPECT_EQ(s.OnQueryArrival(Q(8), workers), 1);
+}
+
+TEST(Jsq, PicksShortestQueue) {
+  JsqScheduler s;
+  const std::vector<WorkerState> workers = {W(0, 1, MsToTicks(4.0)),
+                                            W(1, 7, MsToTicks(9.0))};
+  EXPECT_EQ(s.OnQueryArrival(Q(8), workers), 0);
+  EXPECT_FALSE(s.UsesCentralQueue());
+}
+
+}  // namespace
+}  // namespace pe::sched

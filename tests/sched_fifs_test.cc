@@ -1,0 +1,66 @@
+#include "sched/fifs.h"
+
+#include <gtest/gtest.h>
+
+namespace pe::sched {
+namespace {
+
+workload::Query Q(int batch) {
+  workload::Query q;
+  q.id = 0;
+  q.arrival = 0;
+  q.batch = batch;
+  return q;
+}
+
+WorkerState W(int index, int gpcs, bool idle, SimTime wait = 0) {
+  WorkerState w;
+  w.index = index;
+  w.gpcs = gpcs;
+  w.idle = idle;
+  w.wait_ticks = wait;
+  return w;
+}
+
+TEST(Fifs, UsesCentralQueue) {
+  FifsScheduler s;
+  EXPECT_TRUE(s.UsesCentralQueue());
+  EXPECT_EQ(s.name(), "FIFS");
+}
+
+TEST(Fifs, PicksIdleWorker) {
+  FifsScheduler s;
+  const std::vector<WorkerState> workers = {W(0, 1, false), W(1, 2, true)};
+  EXPECT_EQ(s.OnQueryArrival(Q(4), workers), 1);
+}
+
+TEST(Fifs, NoIdleMeansCentralQueue) {
+  FifsScheduler s;
+  const std::vector<WorkerState> workers = {W(0, 1, false), W(1, 7, false)};
+  EXPECT_EQ(s.OnQueryArrival(Q(4), workers), kNoAssignment);
+}
+
+TEST(Fifs, PrefersLargestIdle) {
+  FifsScheduler s;
+  const std::vector<WorkerState> workers = {W(0, 1, true), W(1, 3, true),
+                                            W(2, 7, true), W(3, 2, true)};
+  EXPECT_EQ(s.OnQueryArrival(Q(4), workers), 2);
+}
+
+TEST(Fifs, TakesSmallIdleWhenOnlyOption) {
+  // The Figure 5(b) pathology: only a small GPU is idle, so the heavy query
+  // lands there even though a large GPU would finish sooner.
+  FifsScheduler s;
+  const std::vector<WorkerState> workers = {W(0, 1, true), W(1, 7, false, 10)};
+  EXPECT_EQ(s.OnQueryArrival(Q(32), workers), 0);
+}
+
+TEST(Fifs, IgnoresBatchSize) {
+  FifsScheduler s;
+  const std::vector<WorkerState> workers = {W(0, 1, true), W(1, 7, false)};
+  EXPECT_EQ(s.OnQueryArrival(Q(1), workers),
+            s.OnQueryArrival(Q(32), workers));
+}
+
+}  // namespace
+}  // namespace pe::sched

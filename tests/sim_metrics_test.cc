@@ -1,0 +1,106 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace pe::sim {
+namespace {
+
+QueryRecord Rec(std::uint64_t id, SimTime arrival, SimTime started,
+                SimTime finished, int worker = 0, int gpcs = 1) {
+  QueryRecord r;
+  r.id = id;
+  r.batch = 1;
+  r.arrival = arrival;
+  r.dispatched = arrival;
+  r.started = started;
+  r.finished = finished;
+  r.worker = worker;
+  r.worker_gpcs = gpcs;
+  return r;
+}
+
+TEST(QueryRecord, LatencyAndQueueDelay) {
+  const auto r = Rec(0, MsToTicks(1), MsToTicks(3), MsToTicks(8));
+  EXPECT_EQ(r.Latency(), MsToTicks(7));
+  EXPECT_EQ(r.QueueDelay(), MsToTicks(2));
+}
+
+TEST(ComputeStats, EmptyRecords) {
+  const auto s = ComputeStats({}, MsToTicks(10));
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_EQ(s.p95_latency_ms, 0.0);
+}
+
+TEST(ComputeStats, SingleRecordNoWarmup) {
+  std::vector<QueryRecord> recs = {Rec(0, 0, 0, MsToTicks(5))};
+  const auto s = ComputeStats(recs, MsToTicks(10), 0.0);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_latency_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.p95_latency_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.sla_violation_rate, 0.0);
+}
+
+TEST(ComputeStats, ViolationRateCounted) {
+  std::vector<QueryRecord> recs;
+  for (int i = 0; i < 10; ++i) {
+    const SimTime lat = (i < 3) ? MsToTicks(20) : MsToTicks(5);
+    recs.push_back(Rec(static_cast<std::uint64_t>(i), MsToTicks(i),
+                       MsToTicks(i), MsToTicks(i) + lat));
+  }
+  const auto s = ComputeStats(recs, MsToTicks(10), 0.0);
+  EXPECT_DOUBLE_EQ(s.sla_violation_rate, 0.3);
+}
+
+TEST(ComputeStats, WarmupDiscardsEarlyRecords) {
+  std::vector<QueryRecord> recs;
+  // First 10% (one record) has a huge latency; warmup removes it.
+  recs.push_back(Rec(0, 0, 0, MsToTicks(1000)));
+  for (int i = 1; i < 10; ++i) {
+    recs.push_back(Rec(static_cast<std::uint64_t>(i), MsToTicks(i),
+                       MsToTicks(i), MsToTicks(i + 1)));
+  }
+  const auto with_warmup = ComputeStats(recs, MsToTicks(10), 0.1);
+  EXPECT_EQ(with_warmup.completed, 9u);
+  EXPECT_DOUBLE_EQ(with_warmup.max_latency_ms, 1.0);
+  const auto without = ComputeStats(recs, MsToTicks(10), 0.0);
+  EXPECT_DOUBLE_EQ(without.max_latency_ms, 1000.0);
+}
+
+TEST(ComputeStats, PerWorkerUtilization) {
+  // Two workers over a 10 ms window: worker 0 busy 5 ms, worker 1 busy 10.
+  std::vector<QueryRecord> recs = {
+      Rec(0, 0, 0, MsToTicks(5), /*worker=*/0, /*gpcs=*/1),
+      Rec(1, 0, 0, MsToTicks(10), /*worker=*/1, /*gpcs=*/7),
+  };
+  const auto s = ComputeStats(recs, MsToTicks(100), 0.0);
+  ASSERT_EQ(s.workers.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.workers[0].utilization, 0.5);
+  EXPECT_DOUBLE_EQ(s.workers[1].utilization, 1.0);
+  // GPC-weighted mean: (0.5*1 + 1.0*7) / 8.
+  EXPECT_NEAR(s.mean_worker_utilization, 7.5 / 8.0, 1e-12);
+}
+
+TEST(ComputeStats, AchievedQpsOverWindow) {
+  std::vector<QueryRecord> recs;
+  for (int i = 0; i < 11; ++i) {
+    recs.push_back(Rec(static_cast<std::uint64_t>(i), MsToTicks(i * 100),
+                       MsToTicks(i * 100), MsToTicks(i * 100 + 1)));
+  }
+  const auto s = ComputeStats(recs, MsToTicks(10), 0.0);
+  // 11 completions over ~1.001 s.
+  EXPECT_NEAR(s.achieved_qps, 11.0 / 1.001, 0.1);
+}
+
+TEST(ComputeStats, SortsRecordsByArrival) {
+  // Records supplied out of arrival order; warmup must cut by arrival time.
+  std::vector<QueryRecord> recs = {
+      Rec(1, MsToTicks(100), MsToTicks(100), MsToTicks(101)),
+      Rec(0, 0, 0, MsToTicks(1000)),  // earliest arrival, huge latency
+  };
+  const auto s = ComputeStats(recs, MsToTicks(10), 0.5);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_DOUBLE_EQ(s.max_latency_ms, 1.0);
+}
+
+}  // namespace
+}  // namespace pe::sim

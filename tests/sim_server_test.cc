@@ -1,0 +1,216 @@
+#include "sim/server.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/elsa.h"
+#include "sched/fifs.h"
+
+namespace pe::sim {
+namespace {
+
+// Fixed-latency world: GPU(1) takes 10 ms, GPU(7) takes 2 ms, any batch.
+profile::ProfileTable MakeProfile() {
+  profile::ProfileTable t("toy", {1, 7}, {32});
+  t.Set(1, 32, {10e-3, 0.9});
+  t.Set(7, 32, {2e-3, 0.5});
+  return t;
+}
+
+LatencyFn FixedLatency() {
+  return [](int gpcs, int batch) {
+    (void)batch;
+    return gpcs == 1 ? 10e-3 : 2e-3;
+  };
+}
+
+workload::QueryTrace MakeTrace(std::size_t n, SimTime gap, int batch = 8) {
+  std::vector<workload::Query> qs;
+  for (std::size_t i = 0; i < n; ++i) {
+    workload::Query q;
+    q.id = i;
+    q.arrival = static_cast<SimTime>(i) * gap;
+    q.batch = batch;
+    qs.push_back(q);
+  }
+  return workload::QueryTrace(std::move(qs));
+}
+
+ServerConfig Config(std::vector<int> gpcs) {
+  ServerConfig c;
+  c.partition_gpcs = std::move(gpcs);
+  c.sla_target = MsToTicks(15.0);
+  c.seed = 1;
+  return c;
+}
+
+TEST(InferenceServer, SingleWorkerSequentialExecution) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  InferenceServer server(Config({7}), profile, fifs, FixedLatency());
+  // Three queries arriving simultaneously on one 2 ms worker.
+  const auto result = server.Run(MakeTrace(3, 0));
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.records[0].finished, MsToTicks(2.0));
+  EXPECT_EQ(result.records[1].finished, MsToTicks(4.0));
+  EXPECT_EQ(result.records[2].finished, MsToTicks(6.0));
+}
+
+TEST(InferenceServer, FifsUsesIdleWorkers) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  InferenceServer server(Config({7, 7}), profile, fifs, FixedLatency());
+  const auto result = server.Run(MakeTrace(2, 0));
+  // Both run in parallel.
+  EXPECT_EQ(result.records[0].finished, MsToTicks(2.0));
+  EXPECT_EQ(result.records[1].finished, MsToTicks(2.0));
+  EXPECT_NE(result.records[0].worker, result.records[1].worker);
+}
+
+TEST(InferenceServer, CentralQueueDrainsInFifoOrder) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  InferenceServer server(Config({7}), profile, fifs, FixedLatency());
+  const auto result = server.Run(MakeTrace(5, MsToTicks(0.1)));
+  for (std::size_t i = 1; i < result.records.size(); ++i) {
+    EXPECT_GT(result.records[i].started, result.records[i - 1].started);
+  }
+}
+
+TEST(InferenceServer, ElsaAvoidsSlowWorkerUnderTightSla) {
+  const auto profile = MakeProfile();
+  // SLA 5 ms: the 10 ms GPU(1) can never satisfy it; every query must go to
+  // the GPU(7) even when GPU(1) idles.
+  sched::ElsaScheduler elsa(profile, MsToTicks(5.0));
+  auto config = Config({1, 7});
+  InferenceServer server(config, profile, elsa, FixedLatency());
+  const auto result = server.Run(MakeTrace(10, MsToTicks(2.5)));
+  for (const auto& r : result.records) {
+    EXPECT_EQ(r.worker_gpcs, 7) << "query " << r.id;
+  }
+}
+
+TEST(InferenceServer, ElsaUsesSmallWorkerWhenSlackAllows) {
+  const auto profile = MakeProfile();
+  // SLA 50 ms: GPU(1)'s 10 ms fits easily -> Step A prefers it.
+  sched::ElsaScheduler elsa(profile, MsToTicks(50.0));
+  InferenceServer server(Config({1, 7}), profile, elsa, FixedLatency());
+  const auto result = server.Run(MakeTrace(1, 0));
+  EXPECT_EQ(result.records[0].worker_gpcs, 1);
+}
+
+TEST(InferenceServer, DeterministicAcrossRuns) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  auto run = [&] {
+    InferenceServer server(Config({1, 7, 7}), profile, fifs, FixedLatency());
+    return server.Run(MakeTrace(100, MsToTicks(0.7)));
+  };
+  const auto a = run();
+  const auto b = run();
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].finished, b.records[i].finished);
+    EXPECT_EQ(a.records[i].worker, b.records[i].worker);
+  }
+}
+
+TEST(InferenceServer, NoiseChangesLatenciesButStaysDeterministic) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  auto config = Config({7});
+  config.latency_noise_sigma = 0.2;
+  auto run = [&] {
+    InferenceServer server(config, profile, fifs, FixedLatency());
+    return server.Run(MakeTrace(50, MsToTicks(5.0)));
+  };
+  const auto a = run();
+  const auto b = run();
+  bool any_differs_from_nominal = false;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].finished, b.records[i].finished);  // same seed
+    if (a.records[i].finished - a.records[i].started != MsToTicks(2.0)) {
+      any_differs_from_nominal = true;
+    }
+  }
+  EXPECT_TRUE(any_differs_from_nominal);
+}
+
+TEST(InferenceServer, FrontendDelaysDispatch) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  // Three workers so every query binds the moment it clears the frontend.
+  auto config = Config({7, 7, 7});
+  config.frontend.enabled = true;
+  config.frontend.lanes = 1;
+  config.frontend.cost_per_query = MsToTicks(1.0);
+  InferenceServer server(config, profile, fifs, FixedLatency());
+  const auto result = server.Run(MakeTrace(3, 0));
+  // Single frontend lane serializes entry: dispatch at 1, 2, 3 ms.
+  EXPECT_EQ(result.records[0].dispatched, MsToTicks(1.0));
+  EXPECT_EQ(result.records[1].dispatched, MsToTicks(2.0));
+  EXPECT_EQ(result.records[2].dispatched, MsToTicks(3.0));
+}
+
+TEST(InferenceServer, FrontendWithManyLanesIsTransparent) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  auto config = Config({7});
+  config.frontend.enabled = true;
+  config.frontend.lanes = 16;
+  config.frontend.cost_per_query = MsToTicks(0.5);
+  InferenceServer server(config, profile, fifs, FixedLatency());
+  const auto result = server.Run(MakeTrace(3, MsToTicks(10.0)));
+  for (const auto& r : result.records) {
+    EXPECT_EQ(r.dispatched - r.arrival, MsToTicks(0.5));
+  }
+}
+
+TEST(InferenceServer, RejectsEmptyPartitionList) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  EXPECT_THROW(InferenceServer(Config({}), profile, fifs, FixedLatency()),
+               std::invalid_argument);
+}
+
+TEST(InferenceServer, RejectsNonDenseQueryIds) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  InferenceServer server(Config({7}), profile, fifs, FixedLatency());
+  std::vector<workload::Query> qs(1);
+  qs[0].id = 5;
+  workload::QueryTrace trace(std::move(qs));
+  EXPECT_THROW(server.Run(trace), std::invalid_argument);
+}
+
+TEST(InferenceServer, AllQueriesComplete) {
+  const auto profile = MakeProfile();
+  sched::ElsaScheduler elsa(profile, MsToTicks(15.0));
+  InferenceServer server(Config({1, 1, 7}), profile, elsa, FixedLatency());
+  const auto result = server.Run(MakeTrace(500, MsToTicks(1.0)));
+  for (const auto& r : result.records) {
+    EXPECT_GT(r.finished, 0) << "query " << r.id << " never finished";
+    EXPECT_GE(r.started, r.arrival);
+    EXPECT_GT(r.finished, r.started);
+  }
+}
+
+TEST(InferenceServer, ConservationNoDuplicateService) {
+  // Each worker's service intervals must not overlap.
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  InferenceServer server(Config({1, 7}), profile, fifs, FixedLatency());
+  const auto result = server.Run(MakeTrace(200, MsToTicks(0.9)));
+  std::map<int, std::vector<std::pair<SimTime, SimTime>>> by_worker;
+  for (const auto& r : result.records) {
+    by_worker[r.worker].emplace_back(r.started, r.finished);
+  }
+  for (auto& [worker, spans] : by_worker) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second)
+          << "worker " << worker << " overlaps at interval " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pe::sim

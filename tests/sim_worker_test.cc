@@ -1,0 +1,113 @@
+#include "sim/worker.h"
+
+#include <gtest/gtest.h>
+
+namespace pe::sim {
+namespace {
+
+workload::Query Q(std::uint64_t id, int batch = 4) {
+  workload::Query q;
+  q.id = id;
+  q.batch = batch;
+  return q;
+}
+
+TEST(PartitionWorker, StartsIdle) {
+  PartitionWorker w(0, 3);
+  EXPECT_TRUE(w.idle());
+  EXPECT_FALSE(w.busy());
+  EXPECT_FALSE(w.CanStart());
+  EXPECT_EQ(w.EstimatedWait(0), 0);
+  EXPECT_EQ(w.gpcs(), 3);
+}
+
+TEST(PartitionWorker, EnqueueMakesStartable) {
+  PartitionWorker w(0, 1);
+  w.Enqueue(Q(1), MsToTicks(5.0));
+  EXPECT_FALSE(w.idle());
+  EXPECT_TRUE(w.CanStart());
+  EXPECT_EQ(w.queue_length(), 1u);
+  EXPECT_EQ(w.Head().id, 1u);
+}
+
+TEST(PartitionWorker, StartPopsHeadFifo) {
+  PartitionWorker w(0, 1);
+  w.Enqueue(Q(1), MsToTicks(5.0));
+  w.Enqueue(Q(2), MsToTicks(5.0));
+  const auto started = w.Start(100, MsToTicks(6.0));
+  EXPECT_EQ(started.id, 1u);
+  EXPECT_TRUE(w.busy());
+  EXPECT_EQ(w.queue_length(), 1u);
+  EXPECT_EQ(w.busy_until(), 100 + MsToTicks(6.0));
+  EXPECT_EQ(w.current_started(), 100);
+}
+
+TEST(PartitionWorker, FinishFreesWorker) {
+  PartitionWorker w(0, 1);
+  w.Enqueue(Q(7), MsToTicks(5.0));
+  w.Start(0, MsToTicks(5.0));
+  const auto done = w.Finish();
+  EXPECT_EQ(done.id, 7u);
+  EXPECT_FALSE(w.busy());
+  EXPECT_TRUE(w.idle());
+}
+
+TEST(PartitionWorker, EstimatedWaitSumsQueue) {
+  PartitionWorker w(0, 1);
+  w.Enqueue(Q(1), MsToTicks(5.0));
+  w.Enqueue(Q(2), MsToTicks(3.0));
+  EXPECT_EQ(w.EstimatedWait(0), MsToTicks(8.0));
+}
+
+TEST(PartitionWorker, EstimatedWaitUsesElapsedTimestamp) {
+  // Eq. 1: Tremaining,current = Testimated,current - Telapsed,current.
+  PartitionWorker w(0, 1);
+  w.Enqueue(Q(1), MsToTicks(10.0));
+  w.Start(0, MsToTicks(10.0));
+  w.Enqueue(Q(2), MsToTicks(4.0));
+  // 6 ms into the 10 ms query: remaining 4 + queued 4 = 8 ms.
+  EXPECT_EQ(w.EstimatedWait(MsToTicks(6.0)), MsToTicks(8.0));
+}
+
+TEST(PartitionWorker, EstimatedRemainderNeverNegative) {
+  // The actual execution can run longer than the estimate; the estimated
+  // remainder clamps at zero rather than going negative.
+  PartitionWorker w(0, 1);
+  w.Enqueue(Q(1), MsToTicks(10.0));
+  w.Start(0, MsToTicks(20.0));  // actual is twice the estimate
+  EXPECT_EQ(w.EstimatedWait(MsToTicks(15.0)), 0);
+}
+
+TEST(PartitionWorker, SnapshotReflectsState) {
+  PartitionWorker w(3, 2);
+  auto s = w.Snapshot(0);
+  EXPECT_EQ(s.index, 3);
+  EXPECT_EQ(s.gpcs, 2);
+  EXPECT_TRUE(s.idle);
+  EXPECT_EQ(s.queue_length, 0u);
+
+  w.Enqueue(Q(1), MsToTicks(2.0));
+  w.Start(0, MsToTicks(2.0));
+  w.Enqueue(Q(2), MsToTicks(2.0));
+  s = w.Snapshot(MsToTicks(1.0));
+  EXPECT_FALSE(s.idle);
+  EXPECT_EQ(s.queue_length, 1u);
+  EXPECT_EQ(s.wait_ticks, MsToTicks(3.0));  // 1 remaining + 2 queued
+}
+
+TEST(PartitionWorker, QueueAccountingAcrossManyQueries) {
+  PartitionWorker w(0, 1);
+  SimTime now = 0;
+  for (int i = 0; i < 100; ++i) w.Enqueue(Q(i), MsToTicks(1.0));
+  EXPECT_EQ(w.EstimatedWait(0), MsToTicks(100.0));
+  for (int i = 0; i < 100; ++i) {
+    w.Start(now, MsToTicks(1.0));
+    now += MsToTicks(1.0);
+    w.Finish();
+  }
+  EXPECT_TRUE(w.idle());
+  EXPECT_EQ(w.EstimatedWait(now), 0);
+}
+
+}  // namespace
+}  // namespace pe::sim

@@ -1,0 +1,159 @@
+#include "workload/batch_dist.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace pe::workload {
+namespace {
+
+TEST(LogNormalBatchDist, PmfSumsToOne) {
+  LogNormalBatchDist d(6.0, 0.9, 32);
+  double sum = 0.0;
+  for (int b = 1; b <= 32; ++b) sum += d.Pdf(b);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(LogNormalBatchDist, ZeroOutsideRange) {
+  LogNormalBatchDist d(6.0, 0.9, 32);
+  EXPECT_EQ(d.Pdf(0), 0.0);
+  EXPECT_EQ(d.Pdf(-3), 0.0);
+  EXPECT_EQ(d.Pdf(33), 0.0);
+}
+
+TEST(LogNormalBatchDist, ModeNearMedian) {
+  LogNormalBatchDist d(8.0, 0.5, 64);
+  int mode = 1;
+  for (int b = 1; b <= 64; ++b) {
+    if (d.Pdf(b) > d.Pdf(mode)) mode = b;
+  }
+  EXPECT_GE(mode, 5);
+  EXPECT_LE(mode, 10);
+}
+
+TEST(LogNormalBatchDist, LargerSigmaFattensTail) {
+  LogNormalBatchDist narrow(6.0, 0.3, 32);
+  LogNormalBatchDist wide(6.0, 1.8, 32);
+  double narrow_tail = 0.0, wide_tail = 0.0;
+  for (int b = 20; b <= 32; ++b) {
+    narrow_tail += narrow.Pdf(b);
+    wide_tail += wide.Pdf(b);
+  }
+  EXPECT_GT(wide_tail, 5.0 * narrow_tail);
+}
+
+TEST(LogNormalBatchDist, SamplesMatchPmf) {
+  LogNormalBatchDist d(6.0, 0.9, 32);
+  Rng rng(123);
+  std::vector<int> counts(33, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const int b = d.Sample(rng);
+    ASSERT_GE(b, 1);
+    ASSERT_LE(b, 32);
+    ++counts[static_cast<std::size_t>(b)];
+  }
+  for (int b : {1, 4, 6, 8, 16, 32}) {
+    const double empirical =
+        counts[static_cast<std::size_t>(b)] / static_cast<double>(n);
+    EXPECT_NEAR(empirical, d.Pdf(b), 0.01) << "b=" << b;
+  }
+}
+
+TEST(LogNormalBatchDist, MeanBatchMatchesSampling) {
+  LogNormalBatchDist d(6.0, 0.9, 32);
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += d.Sample(rng);
+  EXPECT_NEAR(sum / n, d.MeanBatch(), 0.1);
+}
+
+TEST(LogNormalBatchDist, PdfVectorMatchesPdf) {
+  LogNormalBatchDist d(4.0, 0.9, 16);
+  const auto v = d.PdfVector();
+  ASSERT_EQ(v.size(), 17u);
+  EXPECT_EQ(v[0], 0.0);
+  for (int b = 1; b <= 16; ++b) {
+    EXPECT_DOUBLE_EQ(v[static_cast<std::size_t>(b)], d.Pdf(b));
+  }
+}
+
+TEST(LogNormalBatchDist, InvalidParamsThrow) {
+  EXPECT_THROW(LogNormalBatchDist(0.0, 0.9, 32), std::invalid_argument);
+  EXPECT_THROW(LogNormalBatchDist(4.0, 0.0, 32), std::invalid_argument);
+  EXPECT_THROW(LogNormalBatchDist(4.0, 0.9, 0), std::invalid_argument);
+}
+
+TEST(LogNormalBatchDist, DescribeMentionsParameters) {
+  LogNormalBatchDist d(6.0, 0.9, 32);
+  const auto s = d.Describe();
+  EXPECT_NE(s.find("lognormal"), std::string::npos);
+  EXPECT_NE(s.find("0.9"), std::string::npos);
+}
+
+TEST(FixedBatchDist, AlwaysSamplesFixedValue) {
+  FixedBatchDist d(8);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.Sample(rng), 8);
+  EXPECT_EQ(d.Pdf(8), 1.0);
+  EXPECT_EQ(d.Pdf(7), 0.0);
+  EXPECT_EQ(d.max_batch(), 8);
+}
+
+TEST(FixedBatchDist, RejectsNonPositive) {
+  EXPECT_THROW(FixedBatchDist(0), std::invalid_argument);
+}
+
+TEST(EmpiricalBatchDist, NormalizesWeights) {
+  // The paper's Figure 8 example: P(1)=P(2)=0.2, P(3)=0.4, P(4)=0.2.
+  EmpiricalBatchDist d({20, 20, 40, 20});
+  EXPECT_DOUBLE_EQ(d.Pdf(1), 0.2);
+  EXPECT_DOUBLE_EQ(d.Pdf(2), 0.2);
+  EXPECT_DOUBLE_EQ(d.Pdf(3), 0.4);
+  EXPECT_DOUBLE_EQ(d.Pdf(4), 0.2);
+  EXPECT_EQ(d.max_batch(), 4);
+}
+
+TEST(EmpiricalBatchDist, SamplesRespectWeights) {
+  EmpiricalBatchDist d({0, 100});  // only batch 2 possible
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(d.Sample(rng), 2);
+}
+
+TEST(EmpiricalBatchDist, RejectsBadWeights) {
+  EXPECT_THROW(EmpiricalBatchDist({}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalBatchDist({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalBatchDist({1.0, -1.0}), std::invalid_argument);
+}
+
+// Property sweep over (sigma, max_batch): the PMF always sums to 1 and the
+// sample mean tracks the analytic mean.  Mirrors the Figure 13 parameter
+// space.
+class LogNormalSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(LogNormalSweepTest, PmfNormalizedAndSamplable) {
+  const auto [sigma, max_batch] = GetParam();
+  LogNormalBatchDist d(6.0, sigma, max_batch);
+  double sum = 0.0;
+  for (int b = 1; b <= max_batch; ++b) sum += d.Pdf(b);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+
+  Rng rng(42);
+  double mean = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) mean += d.Sample(rng);
+  mean /= n;
+  EXPECT_NEAR(mean, d.MeanBatch(), 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure13Space, LogNormalSweepTest,
+    ::testing::Combine(::testing::Values(0.3, 0.9, 1.8),
+                       ::testing::Values(16, 32, 64)));
+
+}  // namespace
+}  // namespace pe::workload

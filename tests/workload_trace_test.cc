@@ -1,0 +1,137 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pe::workload {
+namespace {
+
+QueryTrace MakeTrace(std::size_t n, double rate = 100.0,
+                     std::uint64_t seed = 1) {
+  Rng rng(seed);
+  PoissonArrivals arrivals(rate);
+  LogNormalBatchDist dist(6.0, 0.9, 32);
+  return GenerateTrace(arrivals, dist, n, rng);
+}
+
+TEST(QueryTrace, GeneratesRequestedCount) {
+  const auto trace = MakeTrace(500);
+  EXPECT_EQ(trace.size(), 500u);
+  EXPECT_FALSE(trace.empty());
+}
+
+TEST(QueryTrace, IdsAreDenseAndOrdered) {
+  const auto trace = MakeTrace(200);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.queries()[i].id, i);
+    if (i > 0) {
+      EXPECT_GE(trace.queries()[i].arrival, trace.queries()[i - 1].arrival);
+    }
+  }
+}
+
+TEST(QueryTrace, OfferedQpsNearConfiguredRate) {
+  const auto trace = MakeTrace(20000, 300.0);
+  EXPECT_NEAR(trace.OfferedQps(), 300.0, 10.0);
+}
+
+TEST(QueryTrace, BatchesWithinDistributionRange) {
+  const auto trace = MakeTrace(2000);
+  for (const auto& q : trace.queries()) {
+    EXPECT_GE(q.batch, 1);
+    EXPECT_LE(q.batch, 32);
+  }
+  EXPECT_GT(trace.MeanBatch(), 1.0);
+}
+
+TEST(QueryTrace, DeterministicForSameSeed) {
+  const auto a = MakeTrace(100, 100.0, 42);
+  const auto b = MakeTrace(100, 100.0, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.queries()[i].arrival, b.queries()[i].arrival);
+    EXPECT_EQ(a.queries()[i].batch, b.queries()[i].batch);
+  }
+}
+
+TEST(QueryTrace, DifferentSeedsDiffer) {
+  const auto a = MakeTrace(100, 100.0, 1);
+  const auto b = MakeTrace(100, 100.0, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.queries()[i].arrival != b.queries()[i].arrival) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(QueryTrace, CsvRoundTrip) {
+  const auto trace = MakeTrace(50);
+  std::stringstream ss;
+  trace.SaveCsv(ss);
+  const auto loaded = QueryTrace::LoadCsv(ss);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded.queries()[i].id, trace.queries()[i].id);
+    EXPECT_EQ(loaded.queries()[i].arrival, trace.queries()[i].arrival);
+    EXPECT_EQ(loaded.queries()[i].batch, trace.queries()[i].batch);
+  }
+}
+
+TEST(QueryTrace, LoadCsvRejectsEmpty) {
+  std::stringstream ss;
+  EXPECT_THROW(QueryTrace::LoadCsv(ss), std::runtime_error);
+}
+
+TEST(QueryTrace, ConstructorSortsUnorderedQueries) {
+  std::vector<Query> qs = {{0, 300, 1}, {1, 100, 2}, {2, 200, 4}};
+  QueryTrace trace(std::move(qs));
+  EXPECT_EQ(trace.queries()[0].arrival, 100);
+  EXPECT_EQ(trace.queries()[2].arrival, 300);
+}
+
+TEST(DriftingTrace, PhasesChangeBatchStatistics) {
+  Rng rng(8);
+  PoissonArrivals arrivals(200.0);
+  LogNormalBatchDist small(2.0, 0.4, 32);
+  LogNormalBatchDist large(20.0, 0.4, 32);
+  const auto trace = GenerateDriftingTrace(
+      arrivals, {{&small, 2000}, {&large, 2000}}, rng);
+  ASSERT_EQ(trace.size(), 4000u);
+  double first = 0.0, second = 0.0;
+  for (std::size_t i = 0; i < 2000; ++i) first += trace.queries()[i].batch;
+  for (std::size_t i = 2000; i < 4000; ++i) {
+    second += trace.queries()[i].batch;
+  }
+  EXPECT_LT(first / 2000, 4.0);
+  EXPECT_GT(second / 2000, 14.0);
+}
+
+TEST(DriftingTrace, ArrivalsContinuousAcrossPhases) {
+  Rng rng(9);
+  PoissonArrivals arrivals(100.0);
+  FixedBatchDist a(1), b(8);
+  const auto trace =
+      GenerateDriftingTrace(arrivals, {{&a, 100}, {&b, 100}}, rng);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace.queries()[i].arrival, trace.queries()[i - 1].arrival);
+    EXPECT_EQ(trace.queries()[i].id, i);
+  }
+}
+
+TEST(DriftingTrace, NullDistributionRejected) {
+  Rng rng(10);
+  PoissonArrivals arrivals(100.0);
+  EXPECT_THROW(
+      GenerateDriftingTrace(arrivals, {{nullptr, 10}}, rng),
+      std::invalid_argument);
+}
+
+TEST(QueryTrace, EmptyTraceProperties) {
+  QueryTrace trace;
+  EXPECT_EQ(trace.Span(), 0);
+  EXPECT_EQ(trace.OfferedQps(), 0.0);
+  EXPECT_EQ(trace.MeanBatch(), 0.0);
+}
+
+}  // namespace
+}  // namespace pe::workload

@@ -1,0 +1,205 @@
+// paris_elsa_cli: command-line driver for the library.
+//
+// Subcommands:
+//   profile   -- emit the one-time (partition x batch) profile table as CSV
+//   plan      -- run PARIS and print the partition plan + MIG placement
+//   simulate  -- replay a Poisson/log-normal workload on a chosen design
+//   sweep     -- latency-bounded throughput of all paper designs
+//   trace     -- generate a query trace CSV for external tools
+//
+// Common options:
+//   --model NAME        shufflenet|mobilenet|resnet|bert|conformer (resnet)
+//   --median M          log-normal batch median (6)
+//   --sigma S           log-normal sigma (0.9)
+//   --max-batch B       distribution max batch (32)
+//   --sla-n N           SLA multiplier (1.5)
+// simulate options:
+//   --design D          paris|random|gpu1|gpu2|gpu3|gpu4|gpu7 (paris)
+//   --scheduler S       elsa|fifs|jsq|greedy (elsa)
+//   --rate QPS          offered load (0 = 85% of the design's capacity)
+//   --queries N         trace length (20000)
+//   --seed S            workload seed (1)
+//   --csv               machine-readable output where applicable
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/args.h"
+#include "common/table.h"
+#include "core/experiment.h"
+#include "core/server_builder.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace pe;
+
+core::TestbedConfig ConfigFrom(const ArgParser& args) {
+  core::TestbedConfig config;
+  config.model_name = args.GetString("model", "resnet");
+  config.dist_median = args.GetDouble("median", config.dist_median);
+  config.dist_sigma = args.GetDouble("sigma", config.dist_sigma);
+  config.max_batch = static_cast<int>(args.GetInt("max-batch", 32));
+  config.sla_n = args.GetDouble("sla-n", 1.5);
+  return config;
+}
+
+partition::PartitionPlan PlanFrom(const core::Testbed& tb,
+                                  const std::string& design) {
+  if (design == "paris") return tb.PlanParis();
+  if (design == "random") return tb.PlanRandom();
+  if (design.rfind("gpu", 0) == 0 && design.size() == 4) {
+    return tb.PlanHomogeneous(design[3] - '0');
+  }
+  throw std::invalid_argument("unknown --design: " + design);
+}
+
+core::SchedulerKind SchedulerFrom(const std::string& name) {
+  if (name == "elsa") return core::SchedulerKind::kElsa;
+  if (name == "fifs") return core::SchedulerKind::kFifs;
+  if (name == "jsq") return core::SchedulerKind::kJsq;
+  if (name == "greedy") return core::SchedulerKind::kGreedyFastest;
+  throw std::invalid_argument("unknown --scheduler: " + name);
+}
+
+int CmdProfile(const ArgParser& args) {
+  const core::Testbed tb(ConfigFrom(args));
+  tb.profile().SaveCsv(std::cout);
+  return 0;
+}
+
+int CmdPlan(const ArgParser& args) {
+  const core::Testbed tb(ConfigFrom(args));
+  const auto plan = tb.PlanParis();
+  std::cout << "model:      " << tb.config().model_name << "\n"
+            << "budget:     " << tb.table1().gpc_budget << " GPCs on "
+            << tb.table1().num_gpus << " GPUs\n"
+            << "sla:        " << TicksToMs(tb.sla_target()) << " ms\n"
+            << "plan:       " << plan.Summary() << "\n"
+            << "placement:  " << plan.layout.ToString() << "\n"
+            << "rationale:  " << plan.rationale << "\n";
+  return 0;
+}
+
+int CmdSimulate(const ArgParser& args) {
+  const core::Testbed tb(ConfigFrom(args));
+  const auto plan = PlanFrom(tb, args.GetString("design", "paris"));
+  const auto kind = SchedulerFrom(args.GetString("scheduler", "elsa"));
+
+  core::RunOptions run;
+  run.num_queries = static_cast<std::size_t>(args.GetInt("queries", 20000));
+  run.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  run.rate_qps = args.GetDouble("rate", 0.0);
+  if (run.rate_qps <= 0.0) {
+    const auto bound = core::LatencyBoundedThroughput(
+        tb, plan, kind, TicksToMs(tb.sla_target()));
+    run.rate_qps = 0.85 * bound.qps;
+    std::cerr << "auto rate: " << run.rate_qps << " qps\n";
+  }
+  const auto stats = tb.RunStats(plan, kind, run);
+
+  Table t({"metric", "value"});
+  t.AddRow({"design", plan.Summary()});
+  t.AddRow({"scheduler", ToString(kind)});
+  t.AddRow({"offered qps", Table::Num(run.rate_qps, 1)});
+  t.AddRow({"achieved qps", Table::Num(stats.achieved_qps, 1)});
+  t.AddRow({"mean ms", Table::Num(stats.mean_latency_ms, 3)});
+  t.AddRow({"p50 ms", Table::Num(stats.p50_latency_ms, 3)});
+  t.AddRow({"p95 ms", Table::Num(stats.p95_latency_ms, 3)});
+  t.AddRow({"p99 ms", Table::Num(stats.p99_latency_ms, 3)});
+  t.AddRow({"SLA violation %", Table::Num(100 * stats.sla_violation_rate, 2)});
+  t.AddRow({"GPU utilization %",
+            Table::Num(100 * stats.mean_worker_utilization, 1)});
+  if (args.HasFlag("csv")) {
+    t.PrintCsv(std::cout);
+  } else {
+    t.Print(std::cout);
+  }
+  return 0;
+}
+
+int CmdSweep(const ArgParser& args) {
+  const core::Testbed tb(ConfigFrom(args));
+  const double sla_ms = TicksToMs(tb.sla_target());
+  core::SearchOptions search;
+  search.num_queries = static_cast<std::size_t>(args.GetInt("queries", 4000));
+
+  Table t({"design", "qps", "normalized"});
+  struct Row {
+    std::string label;
+    partition::PartitionPlan plan;
+    core::SchedulerKind kind;
+  };
+  std::vector<Row> rows;
+  for (int size : {7, 3, 2, 1}) {
+    rows.push_back({"GPU(" + std::to_string(size) + ")+FIFS",
+                    tb.PlanHomogeneous(size), core::SchedulerKind::kFifs});
+  }
+  rows.push_back({"Random+ELSA", tb.PlanRandom(), core::SchedulerKind::kElsa});
+  rows.push_back({"PARIS+FIFS", tb.PlanParis(), core::SchedulerKind::kFifs});
+  rows.push_back({"PARIS+ELSA", tb.PlanParis(), core::SchedulerKind::kElsa});
+  double base = 0.0;
+  for (const auto& row : rows) {
+    const auto r = core::LatencyBoundedThroughput(tb, row.plan, row.kind,
+                                                  sla_ms, search);
+    if (base == 0.0) base = r.qps;
+    t.AddRow({row.label, Table::Num(r.qps, 0),
+              Table::Num(base > 0 ? r.qps / base : 0.0, 2)});
+  }
+  if (args.HasFlag("csv")) {
+    t.PrintCsv(std::cout);
+  } else {
+    t.Print(std::cout);
+  }
+  return 0;
+}
+
+int CmdTrace(const ArgParser& args) {
+  const auto config = ConfigFrom(args);
+  Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 1)));
+  workload::PoissonArrivals arrivals(args.GetDouble("rate", 100.0));
+  workload::LogNormalBatchDist dist(config.dist_median, config.dist_sigma,
+                                    config.max_batch);
+  const auto trace = workload::GenerateTrace(
+      arrivals, dist,
+      static_cast<std::size_t>(args.GetInt("queries", 10000)), rng);
+  trace.SaveCsv(std::cout);
+  return 0;
+}
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: paris_elsa_cli <profile|plan|simulate|sweep|trace> "
+        "[--model M] [--design D] [--scheduler S] [--rate QPS] "
+        "[--queries N] [--median M] [--sigma S] [--max-batch B] "
+        "[--sla-n N] [--seed S] [--csv]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const auto known = std::vector<std::string>{
+      "model", "design", "scheduler", "rate", "queries", "median",
+      "sigma", "max-batch", "sla-n", "seed", "csv"};
+  try {
+    for (const auto& key : args.UnknownKeys(known)) {
+      std::cerr << "warning: unknown option --" << key << "\n";
+    }
+    const auto sub = args.Subcommand();
+    if (!sub) {
+      PrintUsage(std::cerr);
+      return 2;
+    }
+    if (*sub == "profile") return CmdProfile(args);
+    if (*sub == "plan") return CmdPlan(args);
+    if (*sub == "simulate") return CmdSimulate(args);
+    if (*sub == "sweep") return CmdSweep(args);
+    if (*sub == "trace") return CmdTrace(args);
+    std::cerr << "unknown subcommand: " << *sub << "\n";
+    PrintUsage(std::cerr);
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
