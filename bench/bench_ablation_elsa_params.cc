@@ -27,7 +27,7 @@ int main() {
 
   core::RunOptions opt;
   opt.rate_qps = rate;
-  opt.num_queries = 8000;
+  opt.num_queries = bench::Queries(8000);
 
   Table t({"scheduler", "alpha", "beta", "p95 ms", "viol. %", "util %"});
   for (double alpha : {0.5, 1.0, 1.5, 2.0}) {

@@ -28,10 +28,16 @@ int main() {
       if (k + 1 == d.partition_sizes.size()) hi = dist_max;
       double mass = 0.0;
       for (int b = prev + 1; b <= hi; ++b) mass += tb.dist().Pdf(b);
-      const std::string segment =
-          (prev + 1 > hi) ? "(empty)"
-                          : "[" + std::to_string(prev + 1) + ".." +
-                                std::to_string(hi) + "]";
+      // Built with append rather than chained operator+ to dodge the GCC 12
+      // -Wrestrict false positive on temporary-string concatenation (PR105329).
+      std::string segment = "(empty)";
+      if (prev + 1 <= hi) {
+        segment = "[";
+        segment += std::to_string(prev + 1);
+        segment += "..";
+        segment += std::to_string(hi);
+        segment += "]";
+      }
       t.AddRow({"GPU(" + std::to_string(d.partition_sizes[k]) + ")",
                 Table::Int(d.knees[k]), segment, Table::Num(100 * mass, 1),
                 Table::Num(d.ratios[k] * 1e3, 3) + "e-3"});

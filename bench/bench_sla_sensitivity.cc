@@ -13,7 +13,7 @@ int main() {
                      "under different SLA multipliers N");
 
   auto search = bench::DefaultSearch();
-  search.num_queries = 3000;
+  search.num_queries = bench::Queries(3000);
 
   Table t({"model", "N", "vs GPU(7)", "vs GPU(max)", "GPU(max)"});
   for (double n : {1.2, 1.5, 2.0}) {

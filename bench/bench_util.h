@@ -1,6 +1,9 @@
 // Shared helpers for the figure/table reproduction benches.
 #pragma once
 
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -49,10 +52,37 @@ inline std::vector<Design> PaperDesigns(const core::Testbed& tb,
   return designs;
 }
 
+// PE_BENCH_SMOKE=1 in the environment shrinks the search work so every
+// bench finishes in seconds; used by tools/run_all_benches.sh for CI-style
+// smoke runs.  Numbers stay paper-faithful when the variable is unset.
+inline bool SmokeMode() {
+  static const bool smoke = [] {
+    const char* v = std::getenv("PE_BENCH_SMOKE");
+    std::string s = v == nullptr ? "" : v;
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    const bool on =
+        !(s.empty() || s == "0" || s == "false" || s == "off" || s == "no");
+    if (on) {
+      std::cerr << "note: PE_BENCH_SMOKE is set -- reduced search work; "
+                   "numbers are NOT paper-faithful\n";
+    }
+    return on;
+  }();
+  return smoke;
+}
+
+// Query count honoring smoke mode: benches that want more than the
+// default search length route their override through this so
+// PE_BENCH_SMOKE still caps the workload.
+inline std::size_t Queries(std::size_t n) {
+  return SmokeMode() ? std::min<std::size_t>(n, 500) : n;
+}
+
 inline core::SearchOptions DefaultSearch() {
   core::SearchOptions so;
-  so.num_queries = 4000;
-  so.iterations = 9;
+  so.num_queries = Queries(4000);
+  so.iterations = SmokeMode() ? 5 : 9;
   return so;
 }
 

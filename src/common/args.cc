@@ -1,25 +1,69 @@
 #include "common/args.h"
 
 #include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
 namespace pe {
+namespace {
 
-ArgParser::ArgParser(int argc, const char* const* argv) {
+// An option name must start with a letter, so "--rate" is an option while
+// "--5" is a plain value token (and can be consumed by a preceding
+// "--key").  This keeps negative-ish typos from silently becoming flags.
+bool IsLongOption(const std::string& token) {
+  return token.size() > 2 && token.rfind("--", 0) == 0 &&
+         std::isalpha(static_cast<unsigned char>(token[2])) != 0;
+}
+
+// "-h" style short flags are exactly one letter.  Anything longer or
+// non-alphabetic after the '-' is a plain value: "-5", "-.5" (negative
+// numbers) and "-inf" / "-foo" (string values) are all consumable by a
+// preceding "--key".
+bool IsShortFlag(const std::string& token) {
+  return token.size() == 2 && token[0] == '-' &&
+         std::isalpha(static_cast<unsigned char>(token[1])) != 0;
+}
+
+bool IsOptionToken(const std::string& token) {
+  return token == "--" || IsLongOption(token) || IsShortFlag(token);
+}
+
+}  // namespace
+
+ArgParser::ArgParser(int argc, const char* const* argv,
+                     std::vector<std::string> flags) {
   program_ = argc > 0 ? argv[0] : "";
+  const auto is_declared_flag = [&flags](const std::string& name) {
+    return std::find(flags.begin(), flags.end(), name) != flags.end();
+  };
+  bool options_done = false;
   for (int i = 1; i < argc; ++i) {
     const std::string token = argv[i];
-    if (token.rfind("--", 0) == 0) {
+    if (options_done) {
+      positionals_.push_back(token);
+    } else if (token == "--") {
+      options_done = true;  // conventional end-of-options separator
+    } else if (IsLongOption(token)) {
       const std::string body = token.substr(2);
       const auto eq = body.find('=');
       if (eq != std::string::npos) {
-        options_[body.substr(0, eq)] = body.substr(eq + 1);
-      } else if (i + 1 < argc &&
-                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        const std::string key = body.substr(0, eq);
+        options_[key] = body.substr(eq + 1);
+        spelling_[key] = "--" + key;
+      } else if (!is_declared_flag(body) && i + 1 < argc &&
+                 !IsOptionToken(argv[i + 1])) {
+        // Consumes any plain value token, including negative numbers
+        // ("--rate -5") and malformed option-ish tokens ("--rate --5",
+        // which GetDouble later rejects with an explicit error).
         options_[body] = argv[++i];
+        spelling_[body] = token;
       } else {
         options_[body] = "";  // bare flag
+        spelling_[body] = token;
       }
+    } else if (IsShortFlag(token)) {
+      options_[token.substr(1)] = "";  // short flags never take a value
+      spelling_[token.substr(1)] = token;
     } else {
       positionals_.push_back(token);
     }
@@ -54,6 +98,10 @@ std::string ArgParser::GetString(const std::string& key,
 double ArgParser::GetDouble(const std::string& key, double fallback) const {
   const auto v = GetString(key);
   if (!v) return fallback;
+  if (v->empty()) {
+    throw std::invalid_argument("--" + key +
+                                ": expected a number but none was given");
+  }
   try {
     std::size_t pos = 0;
     const double parsed = std::stod(*v, &pos);
@@ -68,6 +116,10 @@ double ArgParser::GetDouble(const std::string& key, double fallback) const {
 long long ArgParser::GetInt(const std::string& key, long long fallback) const {
   const auto v = GetString(key);
   if (!v) return fallback;
+  if (v->empty()) {
+    throw std::invalid_argument("--" + key +
+                                ": expected an integer but none was given");
+  }
   try {
     std::size_t pos = 0;
     const long long parsed = std::stoll(*v, &pos);
@@ -77,6 +129,11 @@ long long ArgParser::GetInt(const std::string& key, long long fallback) const {
     throw std::invalid_argument("--" + key + ": expected an integer, got '" +
                                 *v + "'");
   }
+}
+
+std::string ArgParser::Spelling(const std::string& key) const {
+  const auto it = spelling_.find(key);
+  return it == spelling_.end() ? "--" + key : it->second;
 }
 
 std::vector<std::string> ArgParser::UnknownKeys(

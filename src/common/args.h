@@ -1,8 +1,27 @@
 // Minimal command-line argument parsing for the CLI tool and benches.
 //
-// Supports "--key value", "--key=value" and bare flags ("--verbose"); the
-// first non-flag token is the subcommand, remaining bare tokens are
-// positional.  No external dependencies; deterministic error messages.
+// Grammar (explicit, covered by tests/common_args_test.cc):
+//   --key value     long option; the next token is consumed as the value
+//                   unless it is itself an option token, so negative
+//                   numbers ("--rate -5") and dash-prefixed strings
+//                   ("--rate -inf") both work.  An option listed in the
+//                   constructor's `flags` set never consumes a value, so
+//                   "--csv sweep" keeps "sweep" positional; an UNdeclared
+//                   bare flag followed by a positional swallows it --
+//                   write "sub --csv", not "--csv sub", for those.
+//   --key=value     long option with inline value ("--key=" is an empty
+//                   value; numeric getters reject it with a clear error).
+//   --verbose       bare flag (stored with an empty value).
+//   -h              short flag: exactly '-' plus one letter, stored under
+//                   its body ("h").  Short flags never consume a value;
+//                   "-5", "-.5", "-inf" are plain values, not flags.
+//   --              end-of-options separator; everything after is
+//                   positional.
+// Option names must start with a letter: "--5" is a plain value token, so
+// "--rate --5" assigns the literal "--5" and GetDouble reports it instead
+// of silently creating two bare flags.  The first positional token is the
+// subcommand, remaining ones are positional.  No external dependencies;
+// deterministic error messages.
 #pragma once
 
 #include <map>
@@ -14,7 +33,10 @@ namespace pe {
 
 class ArgParser {
  public:
-  ArgParser(int argc, const char* const* argv);
+  // `flags` lists option names known to take no value ("csv", "help");
+  // they never consume the following token.
+  ArgParser(int argc, const char* const* argv,
+            std::vector<std::string> flags = {});
 
   // Program name (argv[0]).
   const std::string& program() const { return program_; }
@@ -40,10 +62,15 @@ class ArgParser {
   std::vector<std::string> UnknownKeys(
       const std::vector<std::string>& known) const;
 
+  // The option as the user spelled it ("--rate", "-h"); "--key" for keys
+  // that were never given.  Lets error messages echo the original token.
+  std::string Spelling(const std::string& key) const;
+
  private:
   std::string program_;
   std::vector<std::string> positionals_;
   std::map<std::string, std::string> options_;  // key -> value ("" for flag)
+  std::map<std::string, std::string> spelling_;  // key -> original token
 };
 
 }  // namespace pe

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace pe {
 namespace {
 
@@ -65,6 +67,118 @@ TEST(ArgParser, UnknownKeysReported) {
   const auto unknown = args.UnknownKeys({"model", "rate"});
   ASSERT_EQ(unknown.size(), 1u);
   EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(ArgParser, NegativeNumberSpaceSeparated) {
+  const auto args = Parse({"x", "--rate", "-5", "--offset", "-12"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.0), -5.0);
+  EXPECT_EQ(args.GetInt("offset", 0), -12);
+}
+
+TEST(ArgParser, NegativeNumberEqualsSeparated) {
+  const auto args = Parse({"x", "--rate=-3.5", "--offset=-7"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.0), -3.5);
+  EXPECT_EQ(args.GetInt("offset", 0), -7);
+}
+
+TEST(ArgParser, NegativeFractionValue) {
+  const auto args = Parse({"x", "--bias", "-.5"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("bias", 0.0), -0.5);
+}
+
+TEST(ArgParser, ShortHelpFlag) {
+  const auto args = Parse({"-h"});
+  EXPECT_TRUE(args.HasFlag("h"));
+  EXPECT_FALSE(args.Subcommand().has_value());
+}
+
+TEST(ArgParser, LongHelpFlag) {
+  const auto args = Parse({"--help"});
+  EXPECT_TRUE(args.HasFlag("help"));
+  EXPECT_FALSE(args.Subcommand().has_value());
+}
+
+TEST(ArgParser, ShortFlagNeverConsumesValue) {
+  const auto args = Parse({"run", "-h", "value"});
+  EXPECT_TRUE(args.HasFlag("h"));
+  EXPECT_EQ(args.GetString("h", "sentinel"), "");
+  EXPECT_EQ(args.Positionals(), (std::vector<std::string>{"value"}));
+}
+
+TEST(ArgParser, DashPrefixedStringValue) {
+  // Only single-letter "-x" tokens are short flags; longer dash-prefixed
+  // tokens are plain values, so "--rate -inf" keeps old-parser behavior.
+  const auto args = Parse({"x", "--rate", "-inf", "--tag", "-mytag"});
+  EXPECT_EQ(args.GetString("tag", ""), "-mytag");
+  EXPECT_FALSE(args.HasFlag("mytag"));
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.0),
+                   -std::numeric_limits<double>::infinity());
+}
+
+TEST(ArgParser, UndeclaredFlagBeforePositionalConsumesIt) {
+  // Documented trap: without a flag declaration ArgParser cannot know
+  // "csv" takes no value, so a flag placed before the subcommand
+  // swallows it.  Callers must declare flags or order the subcommand
+  // first ("sweep --csv").
+  const auto args = Parse({"--csv", "sweep"});
+  EXPECT_TRUE(args.HasFlag("csv"));
+  EXPECT_EQ(args.GetString("csv", ""), "sweep");
+  EXPECT_FALSE(args.Subcommand().has_value());
+}
+
+TEST(ArgParser, DeclaredFlagNeverConsumesValue) {
+  const std::vector<const char*> argv = {"prog", "--csv", "sweep", "--rate",
+                                         "9"};
+  const ArgParser args(static_cast<int>(argv.size()), argv.data(), {"csv"});
+  EXPECT_TRUE(args.HasFlag("csv"));
+  EXPECT_EQ(args.GetString("csv", "sentinel"), "");
+  ASSERT_TRUE(args.Subcommand().has_value());
+  EXPECT_EQ(*args.Subcommand(), "sweep");
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.0), 9.0);
+}
+
+TEST(ArgParser, MalformedOptionTokenBecomesValue) {
+  // "--5" is not a valid option name, so it is consumed as the literal
+  // value of --rate and rejected explicitly by the numeric getter --
+  // rather than silently turning both tokens into bare flags.
+  const auto args = Parse({"x", "--rate", "--5"});
+  EXPECT_EQ(args.GetString("rate", ""), "--5");
+  EXPECT_THROW(args.GetDouble("rate", 0.0), std::invalid_argument);
+  EXPECT_FALSE(args.HasFlag("5"));
+}
+
+TEST(ArgParser, BareFlagRejectedByNumericGetters) {
+  const auto args = Parse({"x", "--rate", "--csv"});
+  EXPECT_TRUE(args.HasFlag("rate"));
+  EXPECT_THROW(args.GetDouble("rate", 0.0), std::invalid_argument);
+  EXPECT_THROW(args.GetInt("rate", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, EmptyEqualsValueRejectedByNumericGetters) {
+  const auto args = Parse({"x", "--rate="});
+  EXPECT_EQ(args.GetString("rate", "sentinel"), "");
+  EXPECT_THROW(args.GetDouble("rate", 0.0), std::invalid_argument);
+}
+
+TEST(ArgParser, DoubleDashEndsOptionParsing) {
+  const auto args = Parse({"run", "--csv", "--", "--not-an-option", "-x"});
+  EXPECT_TRUE(args.HasFlag("csv"));
+  EXPECT_FALSE(args.HasFlag("not-an-option"));
+  EXPECT_EQ(args.Positionals(),
+            (std::vector<std::string>{"--not-an-option", "-x"}));
+}
+
+TEST(ArgParser, NegativeNumberAsPositional) {
+  const auto args = Parse({"run", "-5"});
+  EXPECT_EQ(args.Positionals(), (std::vector<std::string>{"-5"}));
+}
+
+TEST(ArgParser, SpellingEchoesOriginalToken) {
+  const auto args = Parse({"x", "--q", "5", "-z", "--rate=1"});
+  EXPECT_EQ(args.Spelling("q"), "--q");   // single-letter long option
+  EXPECT_EQ(args.Spelling("z"), "-z");    // short flag
+  EXPECT_EQ(args.Spelling("rate"), "--rate");
+  EXPECT_EQ(args.Spelling("never-given"), "--never-given");
 }
 
 TEST(ArgParser, EmptyArgv) {

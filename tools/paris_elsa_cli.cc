@@ -34,12 +34,31 @@ namespace {
 
 using namespace pe;
 
+// Non-negative integer option (counts, sizes); rejects negatives with the
+// offending flag named instead of failing deep inside a container resize.
+std::size_t GetCount(const ArgParser& args, const std::string& key,
+                     long long fallback) {
+  const long long v = args.GetInt(key, fallback);
+  if (v < 0) {
+    throw std::invalid_argument("--" + key +
+                                ": expected a non-negative integer, got " +
+                                std::to_string(v));
+  }
+  return static_cast<std::size_t>(v);
+}
+
 core::TestbedConfig ConfigFrom(const ArgParser& args) {
   core::TestbedConfig config;
   config.model_name = args.GetString("model", "resnet");
   config.dist_median = args.GetDouble("median", config.dist_median);
   config.dist_sigma = args.GetDouble("sigma", config.dist_sigma);
-  config.max_batch = static_cast<int>(args.GetInt("max-batch", 32));
+  const long long max_batch = args.GetInt("max-batch", 32);
+  if (max_batch < 1 || max_batch > 4096) {
+    throw std::invalid_argument(
+        "--max-batch: expected an integer in [1, 4096], got " +
+        std::to_string(max_batch));
+  }
+  config.max_batch = static_cast<int>(max_batch);
   config.sla_n = args.GetDouble("sla-n", 1.5);
   return config;
 }
@@ -87,8 +106,8 @@ int CmdSimulate(const ArgParser& args) {
   const auto kind = SchedulerFrom(args.GetString("scheduler", "elsa"));
 
   core::RunOptions run;
-  run.num_queries = static_cast<std::size_t>(args.GetInt("queries", 20000));
-  run.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  run.num_queries = GetCount(args, "queries", 20000);
+  run.seed = static_cast<std::uint64_t>(GetCount(args, "seed", 1));
   run.rate_qps = args.GetDouble("rate", 0.0);
   if (run.rate_qps <= 0.0) {
     const auto bound = core::LatencyBoundedThroughput(
@@ -122,7 +141,7 @@ int CmdSweep(const ArgParser& args) {
   const core::Testbed tb(ConfigFrom(args));
   const double sla_ms = TicksToMs(tb.sla_target());
   core::SearchOptions search;
-  search.num_queries = static_cast<std::size_t>(args.GetInt("queries", 4000));
+  search.num_queries = GetCount(args, "queries", 4000);
 
   Table t({"design", "qps", "normalized"});
   struct Row {
@@ -156,13 +175,12 @@ int CmdSweep(const ArgParser& args) {
 
 int CmdTrace(const ArgParser& args) {
   const auto config = ConfigFrom(args);
-  Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 1)));
+  Rng rng(static_cast<std::uint64_t>(GetCount(args, "seed", 1)));
   workload::PoissonArrivals arrivals(args.GetDouble("rate", 100.0));
   workload::LogNormalBatchDist dist(config.dist_median, config.dist_sigma,
                                     config.max_batch);
   const auto trace = workload::GenerateTrace(
-      arrivals, dist,
-      static_cast<std::size_t>(args.GetInt("queries", 10000)), rng);
+      arrivals, dist, GetCount(args, "queries", 10000), rng);
   trace.SaveCsv(std::cout);
   return 0;
 }
@@ -171,21 +189,26 @@ void PrintUsage(std::ostream& os) {
   os << "usage: paris_elsa_cli <profile|plan|simulate|sweep|trace> "
         "[--model M] [--design D] [--scheduler S] [--rate QPS] "
         "[--queries N] [--median M] [--sigma S] [--max-batch B] "
-        "[--sla-n N] [--seed S] [--csv]\n";
+        "[--sla-n N] [--seed S] [--csv] [--help]\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  ArgParser args(argc, argv);
+  ArgParser args(argc, argv, /*flags=*/{"csv", "help", "h"});
   const auto known = std::vector<std::string>{
       "model", "design", "scheduler", "rate", "queries", "median",
-      "sigma", "max-batch", "sla-n", "seed", "csv"};
+      "sigma", "max-batch", "sla-n", "seed", "csv", "help", "h"};
   try {
-    for (const auto& key : args.UnknownKeys(known)) {
-      std::cerr << "warning: unknown option --" << key << "\n";
-    }
     const auto sub = args.Subcommand();
+    if (args.HasFlag("help") || args.HasFlag("h") ||
+        (sub && *sub == "help")) {
+      PrintUsage(std::cout);
+      return 0;
+    }
+    for (const auto& key : args.UnknownKeys(known)) {
+      std::cerr << "warning: unknown option " << args.Spelling(key) << "\n";
+    }
     if (!sub) {
       PrintUsage(std::cerr);
       return 2;

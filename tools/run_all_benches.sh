@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Build and run every bench target with a short smoke configuration.
+#
+# Usage: tools/run_all_benches.sh [build-dir]
+#
+#   build-dir   CMake build directory (default: build). Configured on the
+#               fly if it does not exist yet.
+#
+# PE_BENCH_SMOKE=1 is exported so benches that use bench::DefaultSearch()
+# run a reduced search (500 queries, 5 iterations) and finish in seconds.
+# Unset it (PE_BENCH_SMOKE=0 tools/run_all_benches.sh) for paper-fidelity
+# numbers.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+if [[ ! -f "${build_dir}/CMakeCache.txt" ]]; then
+  cmake -B "${build_dir}" -S "${repo_root}"
+fi
+
+mapfile -t bench_sources < <(ls "${repo_root}"/bench/bench_*.cc)
+bench_targets=()
+for src in "${bench_sources[@]}"; do
+  name="$(basename "${src}" .cc)"
+  [[ "${name}" == "bench_util" ]] && continue
+  # bench_micro_engine is only configured when google-benchmark is present.
+  # Config-mode find_package writes "benchmark_DIR-NOTFOUND" to the cache
+  # when the package is missing, so require a found (non-NOTFOUND) entry.
+  if [[ "${name}" == "bench_micro_engine" ]] &&
+     ! grep "^benchmark_DIR:" "${build_dir}/CMakeCache.txt" 2>/dev/null |
+       grep -qv -- "-NOTFOUND"; then
+    echo "--- skipping ${name} (google-benchmark not available) ---"
+    continue
+  fi
+  bench_targets+=("${name}")
+done
+
+cmake --build "${build_dir}" -j "$(nproc)" -- "${bench_targets[@]}"
+
+export PE_BENCH_SMOKE="${PE_BENCH_SMOKE:-1}"
+
+failures=0
+for name in "${bench_targets[@]}"; do
+  echo
+  echo "=== ${name} (PE_BENCH_SMOKE=${PE_BENCH_SMOKE}) ==="
+  if [[ "${name}" == "bench_micro_engine" ]]; then
+    # google-benchmark harness: keep the smoke run short explicitly.
+    # (Plain seconds value: the "0.01s" suffix form needs benchmark >= 1.8.)
+    args=(--benchmark_min_time=0.01)
+  else
+    args=()
+  fi
+  if ! "${build_dir}/bench/${name}" "${args[@]}"; then
+    echo "!!! ${name} FAILED"
+    failures=$((failures + 1))
+  fi
+done
+
+echo
+if [[ "${failures}" -ne 0 ]]; then
+  echo "${failures} bench(es) failed"
+  exit 1
+fi
+echo "all ${#bench_targets[@]} benches completed"
