@@ -13,6 +13,8 @@ int main() {
       "Figure 3: utilization & latency vs partition size (batch 8)",
       "latency normalized to GPU(7); utilization in percent");
 
+  constexpr int kBatch = 8;
+  core::Json models = core::Json::Array();
   for (const std::string model : {"mobilenet", "resnet", "bert"}) {
     core::TestbedConfig config;
     config.model_name = model;
@@ -20,16 +22,35 @@ int main() {
     const auto& profile = tb.profile();
 
     Table t({"partition", "utilization %", "latency (norm)", "latency (ms)"});
-    const double base = profile.LatencySec(7, 8);
+    core::Json points = core::Json::Array();
+    const double base = profile.LatencySec(7, kBatch);
     for (int gpcs : {1, 2, 3, 4, 7}) {
+      const double util = profile.Utilization(gpcs, kBatch);
+      const double latency_sec = profile.LatencySec(gpcs, kBatch);
       t.AddRow({"GPU(" + std::to_string(gpcs) + ")",
-                Table::Num(100.0 * profile.Utilization(gpcs, 8), 1),
-                Table::Num(profile.LatencySec(gpcs, 8) / base, 2),
-                Table::Num(1e3 * profile.LatencySec(gpcs, 8), 2)});
+                Table::Num(100.0 * util, 1),
+                Table::Num(latency_sec / base, 2),
+                Table::Num(1e3 * latency_sec, 2)});
+      core::Json p = core::Json::Object();
+      p.Set("partition_gpcs", gpcs);
+      p.Set("utilization", util);
+      p.Set("latency_normalized", latency_sec / base);
+      p.Set("latency_ms", 1e3 * latency_sec);
+      points.Add(std::move(p));
     }
     std::cout << "--- " << model << " ---\n";
     t.Print(std::cout);
     std::cout << '\n';
+
+    core::Json m = core::Json::Object();
+    m.Set("model", model);
+    m.Set("batch", kBatch);
+    m.Set("points", std::move(points));
+    models.Add(std::move(m));
   }
+
+  core::Json data = core::Json::Object();
+  data.Set("models", std::move(models));
+  bench::WriteReport("fig03_partition_size", std::move(data));
   return 0;
 }

@@ -12,6 +12,7 @@ int main() {
 
   const std::vector<double> fractions = {0.5, 0.7, 0.85, 0.95, 1.0, 1.1};
   auto search = bench::DefaultSearch();
+  core::Json models = core::Json::Array();
 
   for (const std::string& model : bench::PaperModels()) {
     core::TestbedConfig config;
@@ -43,6 +44,7 @@ int main() {
 
     std::cout << "--- " << model << " (SLA " << Table::Num(sla_ms, 1)
               << " ms) ---\n";
+    core::Json designs = core::Json::Array();
     Table t({"design", "offered qps", "achieved qps", "p95 ms", "viol. %",
              "util %"});
     for (const auto& c : cases) {
@@ -54,9 +56,29 @@ int main() {
                   Table::Num(100 * p.violation_rate, 1),
                   Table::Num(100 * p.utilization, 1)});
       }
+      core::Json d = core::Json::Object();
+      d.Set("design", c.label);
+      d.Set("curve", core::ToJson(curve));
+      designs.Add(std::move(d));
     }
     t.Print(std::cout);
     std::cout << '\n';
+
+    core::Json m = core::Json::Object();
+    m.Set("model", model);
+    m.Set("sla_ms", sla_ms);
+    m.Set("gpu_max", core::ToJson(gpu_max));
+    m.Set("designs", std::move(designs));
+    models.Add(std::move(m));
   }
+
+  core::Json data = core::Json::Object();
+  data.Set("load_fractions", [&] {
+    core::Json arr = core::Json::Array();
+    for (double f : fractions) arr.Add(f);
+    return arr;
+  }());
+  data.Set("models", std::move(models));
+  bench::WriteReport("fig11_tail_latency", std::move(data));
   return 0;
 }

@@ -18,6 +18,7 @@ int main() {
   Table t({"design", "shufflenet", "mobilenet", "resnet", "bert",
            "conformer"});
   std::vector<std::vector<std::string>> cells;
+  core::Json models = core::Json::Array();
 
   bool first_model = true;
   for (const std::string& model : bench::PaperModels()) {
@@ -27,22 +28,48 @@ int main() {
     const double sla_ms = TicksToMs(tb.sla_target());
     const auto designs = bench::PaperDesigns(tb);
 
-    double base_qps = 0.0;
-    std::size_t row = 0;
+    // All eight designs of one model are independent probes; fan them out
+    // through the batch entry point instead of a serial loop.
+    std::vector<core::ProbeSpec> specs;
+    specs.reserve(designs.size());
     for (const auto& d : designs) {
-      const auto r = core::LatencyBoundedThroughput(tb, d.plan, d.kind,
-                                                    sla_ms, search);
-      if (d.label == "GPU(7)+FIFS") base_qps = r.qps;
-      if (first_model) cells.push_back({d.label});
-      const double norm = base_qps > 0 ? r.qps / base_qps : 0.0;
-      cells[row++].push_back(Table::Num(norm, 2) + " (" +
-                             Table::Num(r.qps, 0) + ")");
+      specs.push_back({d.label, d.plan, d.kind, sched::ElsaParams{}});
+    }
+    const auto results =
+        core::LatencyBoundedThroughputBatch(tb, specs, sla_ms, search);
+
+    double base_qps = 0.0;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+      if (designs[i].label == "GPU(7)+FIFS") base_qps = results[i].qps;
+    }
+
+    core::Json design_results = core::Json::Array();
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+      if (first_model) cells.push_back({designs[i].label});
+      const double norm = base_qps > 0 ? results[i].qps / base_qps : 0.0;
+      cells[i].push_back(Table::Num(norm, 2) + " (" +
+                         Table::Num(results[i].qps, 0) + ")");
+      core::Json d = core::ToJson(results[i]);
+      d.Set("design", designs[i].label);
+      d.Set("normalized", norm);
+      design_results.Add(std::move(d));
     }
     first_model = false;
+
+    core::Json m = core::Json::Object();
+    m.Set("model", model);
+    m.Set("sla_ms", sla_ms);
+    m.Set("baseline", "GPU(7)+FIFS");
+    m.Set("designs", std::move(design_results));
+    models.Add(std::move(m));
   }
   for (auto& row : cells) t.AddRow(row);
   t.Print(std::cout);
   std::cout << "\nNote: designs whose p95 exceeds the SLA even when idle "
                "(small homogeneous partitions on heavy models) report 0.\n";
+
+  core::Json data = core::Json::Object();
+  data.Set("models", std::move(models));
+  bench::WriteReport("fig12_throughput", std::move(data));
   return 0;
 }

@@ -12,7 +12,8 @@ int main() {
       "normalized to GPU(max)+FIFS per (model, max batch) pair");
 
   auto search = bench::DefaultSearch();
-  search.num_queries = bench::Queries(3000);  // 15 (model, max-batch) pairs: keep each lean
+  // 15 (model, max-batch) pairs: keep each lean.
+  search.num_queries = bench::Queries(3000);
 
   Table t({"model", "max batch", "GPU(max)+FIFS", "PARIS+FIFS",
            "PARIS+ELSA"});

@@ -20,22 +20,43 @@ int main() {
   rows[5] = {"PARIS"};
   rows[6] = {"# of A100"};
 
+  core::Json models = core::Json::Array();
   for (const std::string& model : bench::PaperModels()) {
     core::TestbedConfig config;
     config.model_name = model;
     const core::Testbed tb(config);
+    core::Json homogeneous = core::Json::Array();
     int r = 0;
     for (int size : {1, 2, 3, 7}) {
       const auto plan = tb.PlanHomogeneous(size);
       rows[static_cast<std::size_t>(r++)].push_back(
           std::to_string(plan.NumInstances()) + " (" +
           std::to_string(plan.TotalGpcs()) + ")");
+      core::Json h = core::Json::Object();
+      h.Set("partition_gpcs", size);
+      h.Set("instances", static_cast<std::int64_t>(plan.NumInstances()));
+      h.Set("total_gpcs", static_cast<std::int64_t>(plan.TotalGpcs()));
+      homogeneous.Add(std::move(h));
     }
-    rows[4].push_back(tb.PlanRandom().Summary());
-    rows[5].push_back(tb.PlanParis().Summary());
+    const auto random_plan = tb.PlanRandom();
+    const auto paris_plan = tb.PlanParis();
+    rows[4].push_back(random_plan.Summary());
+    rows[5].push_back(paris_plan.Summary());
     rows[6].push_back(std::to_string(tb.table1().num_gpus));
+
+    core::Json m = core::Json::Object();
+    m.Set("model", model);
+    m.Set("homogeneous", std::move(homogeneous));
+    m.Set("random", random_plan.Summary());
+    m.Set("paris", paris_plan.Summary());
+    m.Set("num_gpus", tb.table1().num_gpus);
+    models.Add(std::move(m));
   }
   for (auto& row : rows) t.AddRow(row);
   t.Print(std::cout);
+
+  core::Json data = core::Json::Object();
+  data.Set("models", std::move(models));
+  bench::WriteReport("table1_configs", std::move(data));
   return 0;
 }

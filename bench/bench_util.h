@@ -5,11 +5,14 @@
 #include <cctype>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "core/experiment.h"
+#include "core/result_io.h"
 #include "core/server_builder.h"
 
 namespace pe::bench {
@@ -79,11 +82,55 @@ inline std::size_t Queries(std::size_t n) {
   return SmokeMode() ? std::min<std::size_t>(n, 500) : n;
 }
 
+// Experiment-engine threads: PE_BENCH_JOBS in the environment, defaulting
+// to the hardware thread count.  Determinism is per-task (fresh scheduler
+// and seeded RNG per probe), so any jobs value yields identical numbers.
+inline int Jobs() {
+  static const int jobs = [] {
+    if (const char* v = std::getenv("PE_BENCH_JOBS")) {
+      const int parsed = std::atoi(v);
+      if (parsed >= 1) return parsed;
+      std::cerr << "note: ignoring invalid PE_BENCH_JOBS=" << v << "\n";
+    }
+    return static_cast<int>(ThreadPool::DefaultThreads());
+  }();
+  return jobs;
+}
+
 inline core::SearchOptions DefaultSearch() {
   core::SearchOptions so;
   so.num_queries = Queries(4000);
   so.iterations = SmokeMode() ? 5 : 9;
+  so.jobs = Jobs();
   return so;
+}
+
+// JSON sink: when PE_BENCH_JSON_DIR is set each bench drops its
+// machine-readable report at <dir>/<bench_name>.json (the directory must
+// exist); tools/run_all_benches.sh aggregates them into bench_results.json.
+inline std::optional<std::string> JsonOutPath(const std::string& bench_name) {
+  const char* dir = std::getenv("PE_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string(dir) + "/" + bench_name + ".json";
+}
+
+// Attaches `data` to a schema-versioned report and writes it to the JSON
+// sink, if one is configured.  Returns false when the sink is unset or
+// unwritable (warning on stderr): a broken sink must not turn a completed
+// bench run into a crash after all its tables already printed.
+inline bool WriteReport(const std::string& bench_name, core::Json data) {
+  const auto path = JsonOutPath(bench_name);
+  if (!path) return false;
+  auto report = core::MakeBenchReport(bench_name, SmokeMode(), Jobs());
+  report.Set("data", std::move(data));
+  try {
+    core::WriteJsonFile(*path, report);
+  } catch (const std::exception& e) {
+    std::cerr << "warning: JSON report not written: " << e.what() << "\n";
+    return false;
+  }
+  std::cerr << "json: " << *path << "\n";
+  return true;
 }
 
 inline void PrintHeader(const std::string& title, const std::string& note) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
+
+#include "common/thread_pool.h"
 
 namespace pe::core {
 namespace {
@@ -68,51 +71,64 @@ ThroughputResult LatencyBoundedThroughput(const Testbed& testbed,
   return ThroughputResult{lo, p95_lo};
 }
 
-std::vector<RatePoint> TailLatencyCurve(const Testbed& testbed,
-                                        const partition::PartitionPlan& plan,
-                                        SchedulerKind kind,
-                                        const std::vector<double>& load_fractions,
-                                        double tail_bound_ms,
-                                        const SearchOptions& options) {
+std::vector<RatePoint> TailLatencyCurve(
+    const Testbed& testbed, const partition::PartitionPlan& plan,
+    SchedulerKind kind, const std::vector<double>& load_fractions,
+    double tail_bound_ms, const SearchOptions& options) {
   const ThroughputResult bound =
       LatencyBoundedThroughput(testbed, plan, kind, tail_bound_ms, options);
-  std::vector<RatePoint> points;
-  points.reserve(load_fractions.size());
-  for (double f : load_fractions) {
-    const double rate = std::max(1e-3, f * bound.qps);
-    auto scheduler = testbed.MakeScheduler(kind);
-    RunOptions run;
-    run.rate_qps = rate;
-    run.num_queries = options.num_queries;
-    run.seed = options.seed;
-    const auto stats =
-        testbed.Run(plan, *scheduler, run).Stats(testbed.sla_target());
-    RatePoint p;
-    p.offered_qps = rate;
-    p.achieved_qps = stats.achieved_qps;
-    p.p95_ms = stats.p95_latency_ms;
-    p.mean_ms = stats.mean_latency_ms;
-    p.violation_rate = stats.sla_violation_rate;
-    p.utilization = stats.mean_worker_utilization;
-    points.push_back(p);
-  }
-  return points;
+  // Every sweep point is an independent simulation at a rate known up
+  // front, so the whole curve fans out across options.jobs threads.
+  return ParallelMap(
+      load_fractions.size(), options.jobs, [&](std::size_t i) {
+        const double rate = std::max(1e-3, load_fractions[i] * bound.qps);
+        auto scheduler = testbed.MakeScheduler(kind);
+        RunOptions run;
+        run.rate_qps = rate;
+        run.num_queries = options.num_queries;
+        run.seed = options.seed;
+        const auto stats =
+            testbed.Run(plan, *scheduler, run).Stats(testbed.sla_target());
+        RatePoint p;
+        p.offered_qps = rate;
+        p.achieved_qps = stats.achieved_qps;
+        p.p95_ms = stats.p95_latency_ms;
+        p.mean_ms = stats.mean_latency_ms;
+        p.violation_rate = stats.sla_violation_rate;
+        p.utilization = stats.mean_worker_utilization;
+        return p;
+      });
 }
 
 HomogeneousChoice BestHomogeneous(const Testbed& testbed, SchedulerKind kind,
                                   double tail_bound_ms,
                                   const SearchOptions& options) {
+  static constexpr int kSizes[] = {1, 2, 3, 7};
+  const auto results = ParallelMap(
+      std::size(kSizes), options.jobs, [&](std::size_t i) {
+        const auto plan = testbed.PlanHomogeneous(kSizes[i]);
+        return LatencyBoundedThroughput(testbed, plan, kind, tail_bound_ms,
+                                        options);
+      });
+  // Scan in candidate order so ties resolve exactly as the serial loop did
+  // (first strictly-greater wins).
   HomogeneousChoice best;
-  for (int size : {1, 2, 3, 7}) {
-    const auto plan = testbed.PlanHomogeneous(size);
-    const auto result =
-        LatencyBoundedThroughput(testbed, plan, kind, tail_bound_ms, options);
-    if (result.qps > best.qps) {
-      best.qps = result.qps;
-      best.partition_gpcs = size;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].qps > best.qps) {
+      best.qps = results[i].qps;
+      best.partition_gpcs = kSizes[i];
     }
   }
   return best;
+}
+
+std::vector<ThroughputResult> LatencyBoundedThroughputBatch(
+    const Testbed& testbed, const std::vector<ProbeSpec>& specs,
+    double tail_bound_ms, const SearchOptions& options) {
+  return ParallelMap(specs.size(), options.jobs, [&](std::size_t i) {
+    return LatencyBoundedThroughput(testbed, specs[i].plan, specs[i].kind,
+                                    tail_bound_ms, options, specs[i].elsa);
+  });
 }
 
 }  // namespace pe::core

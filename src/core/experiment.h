@@ -24,6 +24,11 @@ struct SearchOptions {
   int iterations = 10;
   double initial_rate_qps = 4.0;
   double max_rate_qps = 1.0e6;
+  // Worker threads for the fan-out entry points (TailLatencyCurve sweep
+  // points, BestHomogeneous candidates, batch probes).  Each task runs a
+  // fresh scheduler + seeded RNG, so any jobs value produces bit-identical
+  // results to the serial loop; 1 keeps everything inline and thread-free.
+  int jobs = 1;
 };
 
 struct ThroughputResult {
@@ -62,9 +67,27 @@ struct HomogeneousChoice {
 
 // Brute-force GPU(max): best homogeneous size among {1, 2, 3, 7} under the
 // given scheduler (the paper excludes GPU(4) because 7 GPCs/GPU strand 3
-// GPCs per A100 under GPU(4) homogeneous partitioning).
+// GPCs per A100 under GPU(4) homogeneous partitioning).  The four
+// candidate searches are independent and fan out across `options.jobs`
+// threads.
 HomogeneousChoice BestHomogeneous(
     const Testbed& testbed, SchedulerKind kind, double tail_bound_ms,
     const SearchOptions& options = SearchOptions{});
+
+// One named (plan, scheduler) probe for the batch entry point below.
+struct ProbeSpec {
+  std::string label;
+  partition::PartitionPlan plan;
+  SchedulerKind kind = SchedulerKind::kFifs;
+  sched::ElsaParams elsa;
+};
+
+// Latency-bounded throughput of many independent designs at once -- the
+// unit of work behind the Fig. 12 / Table 1 sweeps.  Probes fan out across
+// `options.jobs` threads; the result vector is index-aligned with `specs`
+// and bit-identical to calling LatencyBoundedThroughput in a serial loop.
+std::vector<ThroughputResult> LatencyBoundedThroughputBatch(
+    const Testbed& testbed, const std::vector<ProbeSpec>& specs,
+    double tail_bound_ms, const SearchOptions& options = SearchOptions{});
 
 }  // namespace pe::core

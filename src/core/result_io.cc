@@ -1,0 +1,205 @@
+#include "core/result_io.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace pe::core {
+
+Json Json::Object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::Set(const std::string& key, Json value) {
+  assert(kind_ == Kind::kObject);
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::Add(Json value) {
+  assert(kind_ == Kind::kArray);
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  switch (kind_) {
+    case Kind::kArray: return array_.size();
+    case Kind::kObject: return object_.size();
+    default: return 0;
+  }
+}
+
+std::string Json::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Shortest round-trip decimal form; integral values get a ".0" suffix so
+// the emitted token stays unambiguously a double.
+void AppendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  assert(ec == std::errc());
+  out.append(buf, end);
+  if (out.find_first_of(".eE", out.size() - (end - buf)) == std::string::npos) {
+    out += ".0";
+  }
+}
+
+void AppendIndent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kDouble: AppendDouble(out, double_); break;
+    case Kind::kString:
+      out += '"';
+      out += Escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent > 0) AppendIndent(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (indent > 0) AppendIndent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent > 0) AppendIndent(out, indent, depth + 1);
+        out += '"';
+        out += Escape(object_[i].first);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (indent > 0) AppendIndent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+Json ToJson(const ThroughputResult& r) {
+  Json j = Json::Object();
+  j.Set("qps", r.qps);
+  j.Set("p95_at_qps_ms", r.p95_at_qps_ms);
+  return j;
+}
+
+Json ToJson(const RatePoint& p) {
+  Json j = Json::Object();
+  j.Set("offered_qps", p.offered_qps);
+  j.Set("achieved_qps", p.achieved_qps);
+  j.Set("p95_ms", p.p95_ms);
+  j.Set("mean_ms", p.mean_ms);
+  j.Set("violation_rate", p.violation_rate);
+  j.Set("utilization", p.utilization);
+  return j;
+}
+
+Json ToJson(const HomogeneousChoice& c) {
+  Json j = Json::Object();
+  j.Set("partition_gpcs", c.partition_gpcs);
+  j.Set("qps", c.qps);
+  return j;
+}
+
+Json ToJson(const std::vector<RatePoint>& curve) {
+  Json arr = Json::Array();
+  for (const auto& p : curve) arr.Add(ToJson(p));
+  return arr;
+}
+
+Json MakeBenchReport(const std::string& bench_name, bool smoke, int jobs) {
+  Json j = Json::Object();
+  j.Set("schema", kResultSchema);
+  j.Set("bench", bench_name);
+  j.Set("smoke", smoke);
+  j.Set("jobs", jobs);
+  return j;
+}
+
+void WriteJsonFile(const std::string& path, const Json& doc) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("WriteJsonFile: cannot open " + path);
+  }
+  os << doc.Dump() << '\n';
+  if (!os) {
+    throw std::runtime_error("WriteJsonFile: write failed for " + path);
+  }
+}
+
+}  // namespace pe::core

@@ -1,0 +1,101 @@
+// Machine-readable experiment results.
+//
+// Everything the experiment layer measures (ThroughputResult, RatePoint,
+// HomogeneousChoice) serializes to a small dependency-free JSON document so
+// benches, the CLI, and CI can exchange results without scraping tables.
+//
+// Schema (stable; bump kResultSchema on breaking changes):
+//
+//   {
+//     "schema": "paris-elsa-bench-v1",
+//     "bench": "<bench or subcommand name>",
+//     "smoke": false,          // true when PE_BENCH_SMOKE reduced the work
+//     "jobs": 4,               // threads used by the experiment engine
+//     "data": { ... }          // producer-specific payload built from the
+//   }                          //   ToJson() helpers below
+//
+// tools/run_all_benches.sh aggregates the per-bench documents into one
+//   { "schema": "paris-elsa-bench-results-v1", "benches": [ ... ] }
+// which CI uploads as the bench_results.json artifact.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace pe::core {
+
+inline constexpr const char* kResultSchema = "paris-elsa-bench-v1";
+
+// A minimal JSON document tree: objects keep insertion order so emitted
+// documents are deterministic, doubles print with shortest round-trip
+// formatting, and non-finite doubles serialize as null (JSON has no NaN).
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}                // NOLINT
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}          // NOLINT
+  Json(int v) : kind_(Kind::kInt), int_(v) {}                   // NOLINT
+  Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}          // NOLINT
+  Json(std::uint64_t v)                                         // NOLINT
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(std::string v)                                           // NOLINT
+      : kind_(Kind::kString), string_(std::move(v)) {}
+  Json(const char* v) : kind_(Kind::kString), string_(v) {}     // NOLINT
+
+  static Json Object();
+  static Json Array();
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  // Object member set (insertion-ordered; setting an existing key
+  // overwrites in place).  Dies via assert if this is not an object.
+  Json& Set(const std::string& key, Json value);
+
+  // Array append.  Dies via assert if this is not an array.
+  Json& Add(Json value);
+
+  std::size_t size() const;
+
+  // Serializes the tree.  indent > 0 pretty-prints; indent == 0 emits the
+  // compact single-line form.
+  std::string Dump(int indent = 2) const;
+
+  // JSON string escaping for one scalar (shared with tests).
+  static std::string Escape(const std::string& s);
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+// --- Experiment-type serializers --------------------------------------
+
+Json ToJson(const ThroughputResult& r);
+Json ToJson(const RatePoint& p);
+Json ToJson(const HomogeneousChoice& c);
+Json ToJson(const std::vector<RatePoint>& curve);
+
+// Report skeleton: {"schema", "bench", "smoke", "jobs"}.  Producers build
+// their payload separately and attach it with report.Set("data", ...).
+Json MakeBenchReport(const std::string& bench_name, bool smoke, int jobs);
+
+// Writes `doc.Dump()` (plus trailing newline) to `path`; throws
+// std::runtime_error when the file cannot be opened or written.
+void WriteJsonFile(const std::string& path, const Json& doc);
+
+}  // namespace pe::core

@@ -52,7 +52,8 @@ HomogeneousPartitioner::HomogeneousPartitioner(int partition_gpcs)
 PartitionPlan HomogeneousPartitioner::Plan(const hw::Cluster& cluster,
                                            int gpc_budget) {
   if (gpc_budget < partition_gpcs_) {
-    throw std::runtime_error("HomogeneousPartitioner: budget below one instance");
+    throw std::runtime_error(
+        "HomogeneousPartitioner: budget below one instance");
   }
   const int budget = std::min(gpc_budget, cluster.total_gpcs());
   // Per-GPU instance count is limited by MIG placement (e.g. only one

@@ -31,7 +31,8 @@ LayerTiming RooflineEngine::TimeLayer(const Layer& layer, int gpcs,
 
   const double tiles_m =
       std::max(1.0, std::ceil(layer.gemm_m_per_sample * b / params_.tile_m));
-  const double tiles_n = std::max(1.0, std::ceil(layer.gemm_n / params_.tile_n));
+  const double tiles_n =
+      std::max(1.0, std::ceil(layer.gemm_n / params_.tile_n));
   const double tiles = tiles_m * tiles_n * static_cast<double>(layer.groups);
   const double sms = static_cast<double>(res.sms);
   const double waves = std::ceil(tiles / sms);

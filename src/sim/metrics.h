@@ -16,7 +16,7 @@ struct QueryRecord {
   std::uint64_t id = 0;
   int batch = 1;
   SimTime arrival = 0;     // enters the server
-  SimTime dispatched = 0;  // bound to a worker (== arrival unless centrally queued)
+  SimTime dispatched = 0;  // bound to a worker (== arrival unless queued)
   SimTime started = 0;     // execution begins on the GPU partition
   SimTime finished = 0;    // execution completes
   int worker = -1;

@@ -35,7 +35,9 @@ int SampleFromCdf(const std::vector<double>& cdf, Rng& rng) {
 
 std::vector<double> BatchDistribution::PdfVector() const {
   std::vector<double> v(static_cast<std::size_t>(max_batch()) + 1, 0.0);
-  for (int b = 1; b <= max_batch(); ++b) v[static_cast<std::size_t>(b)] = Pdf(b);
+  for (int b = 1; b <= max_batch(); ++b) {
+    v[static_cast<std::size_t>(b)] = Pdf(b);
+  }
   return v;
 }
 

@@ -13,7 +13,8 @@ TEST(Conv2d, FlopsAndBytes) {
   EXPECT_EQ(l.kind, LayerKind::kConv);
   EXPECT_DOUBLE_EQ(l.flops_per_sample, 2.0 * 32 * 16 * 3 * 3 * 8 * 8);
   EXPECT_DOUBLE_EQ(l.weight_bytes, 32.0 * 16 * 3 * 3 * kDtype);
-  EXPECT_DOUBLE_EQ(l.io_bytes_per_sample, (8.0 * 8 * 16 + 8.0 * 8 * 32) * kDtype);
+  EXPECT_DOUBLE_EQ(l.io_bytes_per_sample,
+                   (8.0 * 8 * 16 + 8.0 * 8 * 32) * kDtype);
   EXPECT_DOUBLE_EQ(l.gemm_m_per_sample, 64.0);
   EXPECT_DOUBLE_EQ(l.gemm_n, 32.0);
 }

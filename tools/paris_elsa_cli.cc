@@ -19,6 +19,9 @@
 //   --rate QPS          offered load (0 = 85% of the design's capacity)
 //   --queries N         trace length (20000)
 //   --seed S            workload seed (1)
+//   --jobs N            experiment-engine threads in [1, 1024] (1);
+//                       parallelizes the sweep subcommand's probes
+//   --json PATH         also write machine-readable JSON results to PATH
 //   --csv               machine-readable output where applicable
 #include <fstream>
 #include <iostream>
@@ -27,6 +30,7 @@
 #include "common/args.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/result_io.h"
 #include "core/server_builder.h"
 #include "workload/trace.h"
 
@@ -45,6 +49,42 @@ std::size_t GetCount(const ArgParser& args, const std::string& key,
                                 std::to_string(v));
   }
   return static_cast<std::size_t>(v);
+}
+
+// Experiment-engine thread count.  Out-of-range values (including 0) are
+// a hard error rather than a silent clamp, consistent with the other
+// count-option validation.
+int GetJobs(const ArgParser& args) {
+  const long long v = args.GetInt("jobs", 1);
+  if (v < 1 || v > 1024) {
+    throw std::invalid_argument(
+        "--jobs: expected an integer in [1, 1024], got " + std::to_string(v));
+  }
+  return static_cast<int>(v);
+}
+
+// Fail-fast validation of --json PATH: reject an empty path and probe
+// that the file is writable (append mode, so an existing file's contents
+// survive the probe) before any expensive simulation starts.
+void CheckJsonSink(const ArgParser& args) {
+  const auto path = args.GetString("json");
+  if (!path) return;
+  if (path->empty()) {
+    throw std::invalid_argument("--json: expected a file path");
+  }
+  std::ofstream probe(*path, std::ios::app);
+  if (!probe) {
+    throw std::invalid_argument("--json: cannot open " + *path +
+                                " for writing");
+  }
+}
+
+// Writes `report` to --json PATH when the option is present.
+void MaybeWriteJson(const ArgParser& args, core::Json report) {
+  const auto path = args.GetString("json");
+  if (!path) return;
+  core::WriteJsonFile(*path, report);
+  std::cerr << "json: " << *path << "\n";
 }
 
 core::TestbedConfig ConfigFrom(const ArgParser& args) {
@@ -101,6 +141,11 @@ int CmdPlan(const ArgParser& args) {
 }
 
 int CmdSimulate(const ArgParser& args) {
+  // --jobs is validated for interface uniformity, but a single simulation
+  // (and the serial bisection behind auto rate) runs on one thread; the
+  // emitted report records the thread count actually used.
+  GetJobs(args);
+  CheckJsonSink(args);
   const core::Testbed tb(ConfigFrom(args));
   const auto plan = PlanFrom(tb, args.GetString("design", "paris"));
   const auto kind = SchedulerFrom(args.GetString("scheduler", "elsa"));
@@ -134,42 +179,78 @@ int CmdSimulate(const ArgParser& args) {
   } else {
     t.Print(std::cout);
   }
+
+  core::Json data = core::Json::Object();
+  data.Set("model", tb.config().model_name);
+  data.Set("design", plan.Summary());
+  data.Set("scheduler", core::ToString(kind));
+  data.Set("offered_qps", run.rate_qps);
+  data.Set("achieved_qps", stats.achieved_qps);
+  data.Set("mean_ms", stats.mean_latency_ms);
+  data.Set("p50_ms", stats.p50_latency_ms);
+  data.Set("p95_ms", stats.p95_latency_ms);
+  data.Set("p99_ms", stats.p99_latency_ms);
+  data.Set("sla_violation_rate", stats.sla_violation_rate);
+  data.Set("utilization", stats.mean_worker_utilization);
+  auto report = core::MakeBenchReport("cli_simulate", false, /*jobs=*/1);
+  report.Set("data", std::move(data));
+  MaybeWriteJson(args, std::move(report));
   return 0;
 }
 
 int CmdSweep(const ArgParser& args) {
+  const int jobs = GetJobs(args);
+  CheckJsonSink(args);
   const core::Testbed tb(ConfigFrom(args));
   const double sla_ms = TicksToMs(tb.sla_target());
   core::SearchOptions search;
   search.num_queries = GetCount(args, "queries", 4000);
+  search.jobs = jobs;
 
   Table t({"design", "qps", "normalized"});
-  struct Row {
-    std::string label;
-    partition::PartitionPlan plan;
-    core::SchedulerKind kind;
-  };
-  std::vector<Row> rows;
+  std::vector<core::ProbeSpec> specs;
   for (int size : {7, 3, 2, 1}) {
-    rows.push_back({"GPU(" + std::to_string(size) + ")+FIFS",
-                    tb.PlanHomogeneous(size), core::SchedulerKind::kFifs});
+    specs.push_back({"GPU(" + std::to_string(size) + ")+FIFS",
+                     tb.PlanHomogeneous(size), core::SchedulerKind::kFifs,
+                     sched::ElsaParams{}});
   }
-  rows.push_back({"Random+ELSA", tb.PlanRandom(), core::SchedulerKind::kElsa});
-  rows.push_back({"PARIS+FIFS", tb.PlanParis(), core::SchedulerKind::kFifs});
-  rows.push_back({"PARIS+ELSA", tb.PlanParis(), core::SchedulerKind::kElsa});
+  specs.push_back({"Random+ELSA", tb.PlanRandom(), core::SchedulerKind::kElsa,
+                   sched::ElsaParams{}});
+  specs.push_back({"PARIS+FIFS", tb.PlanParis(), core::SchedulerKind::kFifs,
+                   sched::ElsaParams{}});
+  specs.push_back({"PARIS+ELSA", tb.PlanParis(), core::SchedulerKind::kElsa,
+                   sched::ElsaParams{}});
+
+  // The designs are independent probes; fan out across --jobs threads.
+  const auto results =
+      core::LatencyBoundedThroughputBatch(tb, specs, sla_ms, search);
+
+  core::Json design_results = core::Json::Array();
   double base = 0.0;
-  for (const auto& row : rows) {
-    const auto r = core::LatencyBoundedThroughput(tb, row.plan, row.kind,
-                                                  sla_ms, search);
-    if (base == 0.0) base = r.qps;
-    t.AddRow({row.label, Table::Num(r.qps, 0),
-              Table::Num(base > 0 ? r.qps / base : 0.0, 2)});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (base == 0.0) base = results[i].qps;
+    const double norm = base > 0 ? results[i].qps / base : 0.0;
+    t.AddRow({specs[i].label, Table::Num(results[i].qps, 0),
+              Table::Num(norm, 2)});
+    core::Json d = core::ToJson(results[i]);
+    d.Set("design", specs[i].label);
+    d.Set("normalized", norm);
+    design_results.Add(std::move(d));
   }
   if (args.HasFlag("csv")) {
     t.PrintCsv(std::cout);
   } else {
     t.Print(std::cout);
   }
+
+  core::Json data = core::Json::Object();
+  data.Set("model", tb.config().model_name);
+  data.Set("sla_ms", sla_ms);
+  data.Set("baseline", specs.front().label);
+  data.Set("designs", std::move(design_results));
+  auto report = core::MakeBenchReport("cli_sweep", false, jobs);
+  report.Set("data", std::move(data));
+  MaybeWriteJson(args, std::move(report));
   return 0;
 }
 
@@ -189,7 +270,7 @@ void PrintUsage(std::ostream& os) {
   os << "usage: paris_elsa_cli <profile|plan|simulate|sweep|trace> "
         "[--model M] [--design D] [--scheduler S] [--rate QPS] "
         "[--queries N] [--median M] [--sigma S] [--max-batch B] "
-        "[--sla-n N] [--seed S] [--csv] [--help]\n";
+        "[--sla-n N] [--seed S] [--jobs N] [--json PATH] [--csv] [--help]\n";
 }
 
 }  // namespace
@@ -197,8 +278,8 @@ void PrintUsage(std::ostream& os) {
 int main(int argc, char** argv) {
   ArgParser args(argc, argv, /*flags=*/{"csv", "help", "h"});
   const auto known = std::vector<std::string>{
-      "model", "design", "scheduler", "rate", "queries", "median",
-      "sigma", "max-batch", "sla-n", "seed", "csv", "help", "h"};
+      "model", "design", "scheduler", "rate", "queries", "median", "sigma",
+      "max-batch", "sla-n", "seed", "jobs", "json", "csv", "help", "h"};
   try {
     const auto sub = args.Subcommand();
     if (args.HasFlag("help") || args.HasFlag("h") ||

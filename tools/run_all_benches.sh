@@ -9,11 +9,18 @@
 # PE_BENCH_SMOKE=1 is exported so benches that use bench::DefaultSearch()
 # run a reduced search (500 queries, 5 iterations) and finish in seconds.
 # Unset it (PE_BENCH_SMOKE=0 tools/run_all_benches.sh) for paper-fidelity
-# numbers.
+# numbers.  PE_BENCH_JOBS caps the experiment-engine threads (default:
+# hardware concurrency).
+#
+# Benches that support machine-readable output write one JSON report each
+# to <build-dir>/bench_json/; after the run they are aggregated into
+# <build-dir>/bench_results.json (CI uploads that file as an artifact).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
+json_dir="${build_dir}/bench_json"
+results_json="${build_dir}/bench_results.json"
 
 if [[ ! -f "${build_dir}/CMakeCache.txt" ]]; then
   cmake -B "${build_dir}" -S "${repo_root}"
@@ -39,6 +46,9 @@ done
 cmake --build "${build_dir}" -j "$(nproc)" -- "${bench_targets[@]}"
 
 export PE_BENCH_SMOKE="${PE_BENCH_SMOKE:-1}"
+export PE_BENCH_JSON_DIR="${json_dir}"
+mkdir -p "${json_dir}"
+rm -f "${json_dir}"/*.json "${results_json}"
 
 failures=0
 for name in "${bench_targets[@]}"; do
@@ -63,3 +73,30 @@ if [[ "${failures}" -ne 0 ]]; then
   exit 1
 fi
 echo "all ${#bench_targets[@]} benches completed"
+
+# Aggregate the per-bench reports into one machine-readable document:
+#   { "schema": "paris-elsa-bench-results-v1", "benches": [ <report>... ] }
+shopt -s nullglob
+json_files=("${json_dir}"/*.json)
+shopt -u nullglob
+if [[ "${#json_files[@]}" -eq 0 ]]; then
+  # The JSON-emitting benches all ran, so an empty sink means the reports
+  # could not be written (e.g. unwritable directory) -- that must not look
+  # like success.
+  echo "error: no per-bench JSON reports found under ${json_dir}" >&2
+  exit 1
+fi
+if command -v jq >/dev/null 2>&1; then
+  jq -s '{schema: "paris-elsa-bench-results-v1", benches: .}' \
+    "${json_files[@]}" > "${results_json}"
+  jq empty "${results_json}"  # well-formedness check
+else
+  python3 - "${results_json}" "${json_files[@]}" <<'PY'
+import json, sys
+out, *files = sys.argv[1:]
+doc = {"schema": "paris-elsa-bench-results-v1",
+       "benches": [json.load(open(f)) for f in files]}
+json.dump(doc, open(out, "w"), indent=2)
+PY
+fi
+echo "collected ${#json_files[@]} JSON report(s) into ${results_json}"
