@@ -29,6 +29,18 @@ int main() {
   opt.rate_qps = rate;
   opt.num_queries = bench::Queries(8000);
 
+  core::Json points = core::Json::Array();
+  auto add_point = [&points](const std::string& scheduler, double alpha,
+                             double beta, const sim::ServerStats& stats) {
+    core::Json p = core::ToJson(stats);
+    p.Set("scheduler", scheduler);
+    if (alpha > 0) {
+      p.Set("alpha", alpha);
+      p.Set("beta", beta);
+    }
+    points.Add(std::move(p));
+  };
+
   Table t({"scheduler", "alpha", "beta", "p95 ms", "viol. %", "util %"});
   for (double alpha : {0.5, 1.0, 1.5, 2.0}) {
     for (double beta : {0.5, 1.0, 2.0}) {
@@ -42,6 +54,7 @@ int main() {
                 Table::Num(stats.p95_latency_ms, 2),
                 Table::Num(100 * stats.sla_violation_rate, 2),
                 Table::Num(100 * stats.mean_worker_utilization, 1)});
+      add_point("ELSA", alpha, beta, stats);
     }
   }
   for (auto kind : {core::SchedulerKind::kGreedyFastest,
@@ -51,10 +64,18 @@ int main() {
               Table::Num(stats.p95_latency_ms, 2),
               Table::Num(100 * stats.sla_violation_rate, 2),
               Table::Num(100 * stats.mean_worker_utilization, 1)});
+    add_point(ToString(kind), /*alpha=*/0.0, /*beta=*/0.0, stats);
   }
   t.Print(std::cout);
   std::cout << "\nGreedyFastest = ELSA Step B only (no small-first slack "
                "rule); JSQ ignores the query's own cost; FIFS ignores "
                "heterogeneity entirely.\n";
+
+  core::Json data = core::Json::Object();
+  data.Set("model", config.model_name);
+  data.Set("sla_ms", sla_ms);
+  data.Set("offered_qps", rate);
+  data.Set("points", std::move(points));
+  bench::WriteReport("ablation_elsa_params", std::move(data));
   return 0;
 }

@@ -16,6 +16,7 @@ int main() {
 
   auto search = bench::DefaultSearch();
 
+  core::Json points = core::Json::Array();
   Table t({"frontend", "GPCs", "instances", "qps", "scaling 24->48"});
   for (bool constrained : {false, true}) {
     double qps24 = 0.0;
@@ -48,10 +49,20 @@ int main() {
       t.AddRow({std::string(constrained ? "1 lane x 400us" : "unconstrained"),
                 Table::Int(gpcs), Table::Int(plan.NumInstances()),
                 Table::Num(r.qps, 0), scaling});
+      core::Json point = core::ToJson(r);
+      point.Set("frontend_constrained", constrained);
+      point.Set("gpcs", gpcs);
+      point.Set("instances", plan.NumInstances());
+      points.Add(std::move(point));
     }
   }
   t.Print(std::cout);
   std::cout << "\nExpectation: ~2x scaling without a frontend cap; ~1x with "
                "it (the paper's reason for giving MobileNet only 24 GPCs).\n";
+
+  core::Json data = core::Json::Object();
+  data.Set("model", "mobilenet");
+  data.Set("points", std::move(points));
+  bench::WriteReport("ablation_frontend", std::move(data));
   return 0;
 }

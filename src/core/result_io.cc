@@ -182,6 +182,45 @@ Json ToJson(const std::vector<RatePoint>& curve) {
   return arr;
 }
 
+Json ToJson(const sim::ServerStats& s) {
+  Json j = Json::Object();
+  j.Set("completed", static_cast<std::uint64_t>(s.completed));
+  j.Set("mean_ms", s.mean_latency_ms);
+  j.Set("p50_ms", s.p50_latency_ms);
+  j.Set("p95_ms", s.p95_latency_ms);
+  j.Set("p99_ms", s.p99_latency_ms);
+  j.Set("max_ms", s.max_latency_ms);
+  j.Set("mean_queue_delay_ms", s.mean_queue_delay_ms);
+  j.Set("sla_violation_rate", s.sla_violation_rate);
+  j.Set("achieved_qps", s.achieved_qps);
+  j.Set("utilization", s.mean_worker_utilization);
+  j.Set("reconfig_stalled", static_cast<std::uint64_t>(s.reconfig_stalled));
+  return j;
+}
+
+Json ToJson(const online::EpochStats& e) {
+  Json j = Json::Object();
+  j.Set("queries", static_cast<std::uint64_t>(e.queries));
+  j.Set("p95_ms", e.p95_ms);
+  j.Set("violation_rate", e.violation_rate);
+  j.Set("stalled", static_cast<std::uint64_t>(e.stalled));
+  j.Set("reconfigured", e.reconfigured);
+  Json layout = Json::Array();
+  for (const int gpcs : e.layout) layout.Add(gpcs);
+  j.Set("layout", std::move(layout));
+  return j;
+}
+
+Json ToJson(const online::ElasticResult& r) {
+  Json j = Json::Object();
+  j.Set("reconfigurations", r.reconfigurations);
+  j.Set("total", ToJson(r.total));
+  Json epochs = Json::Array();
+  for (const auto& e : r.epochs) epochs.Add(ToJson(e));
+  j.Set("epochs", std::move(epochs));
+  return j;
+}
+
 Json MakeBenchReport(const std::string& bench_name, bool smoke, int jobs) {
   Json j = Json::Object();
   j.Set("schema", kResultSchema);

@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "online/elastic_server.h"
+#include "sim/metrics.h"
 
 namespace pe::core {
 
@@ -89,6 +91,14 @@ Json ToJson(const ThroughputResult& r);
 Json ToJson(const RatePoint& p);
 Json ToJson(const HomogeneousChoice& c);
 Json ToJson(const std::vector<RatePoint>& curve);
+
+// Simulation / elastic-serving serializers.  ToJson(ServerStats) omits the
+// per-worker breakdown (aggregate metrics only); ToJson(ElasticResult)
+// nests the per-epoch stats and the whole-run totals, including the
+// reconfiguration stall counts.
+Json ToJson(const sim::ServerStats& s);
+Json ToJson(const online::EpochStats& e);
+Json ToJson(const online::ElasticResult& r);
 
 // Report skeleton: {"schema", "bench", "smoke", "jobs"}.  Producers build
 // their payload separately and attach it with report.Set("data", ...).

@@ -13,87 +13,82 @@ ElasticServerSim::ElasticServerSim(RepartitionController& controller,
                                    SchedulerFactory scheduler_factory,
                                    sim::LatencyFn actual_latency,
                                    SimTime sla_target,
-                                   std::size_t queries_per_epoch)
+                                   std::size_t queries_per_epoch,
+                                   std::uint64_t seed)
     : controller_(controller),
       profile_(profile),
       scheduler_factory_(std::move(scheduler_factory)),
       actual_latency_(std::move(actual_latency)),
       sla_target_(sla_target),
-      queries_per_epoch_(queries_per_epoch) {
+      queries_per_epoch_(queries_per_epoch),
+      seed_(seed) {
   assert(queries_per_epoch_ > 0);
 }
 
 ElasticResult ElasticServerSim::Run(const workload::QueryTrace& trace) {
   ElasticResult result;
-  std::vector<sim::QueryRecord> all_records;
-  all_records.reserve(trace.size());
+  if (trace.empty()) return result;
 
-  TrafficEstimator estimator(profile_.max_batch());
-  // Extra delay accumulated by reconfigurations: arrivals shift later.
-  SimTime reconfig_shift = 0;
+  // One continuous server run on the initial layout; reconfigurations are
+  // injected live at epoch boundaries (no per-epoch incarnations, no
+  // arrival re-basing, one RNG stream end to end).
+  sim::ServerConfig sc;
+  sc.partition_gpcs = controller_.current_plan().instance_gpcs;
+  sc.sla_target = sla_target_;
+  sc.seed = seed_;
+  auto scheduler = scheduler_factory_();
+  sim::InferenceServer server(sc, profile_, *scheduler, actual_latency_);
+  server.InjectTrace(trace);
 
   const auto& queries = trace.queries();
-  for (std::size_t begin = 0; begin < queries.size();
-       begin += queries_per_epoch_) {
-    const std::size_t end =
-        std::min(begin + queries_per_epoch_, queries.size());
+  const std::size_t num_epochs =
+      (queries.size() + queries_per_epoch_ - 1) / queries_per_epoch_;
+  std::vector<bool> reconfigured(num_epochs, false);
+  std::vector<std::vector<int>> layouts(num_epochs);
+  layouts[0] = controller_.current_plan().instance_gpcs;
 
-    bool reconfigured = false;
-    if (begin > 0) {
-      if (controller_.MaybeRepartition(estimator)) {
-        reconfigured = true;
-        reconfig_shift += controller_.config().reconfig_downtime;
-        ++result.reconfigurations;
-      }
+  TrafficEstimator estimator(profile_.max_batch());
+  for (std::size_t epoch = 1; epoch < num_epochs; ++epoch) {
+    const std::size_t begin = epoch * queries_per_epoch_;
+    // Simulate up to the instant the new epoch's first query arrives; the
+    // controller decides before that query is dispatched.
+    server.AdvanceTo(queries[begin].arrival);
+    for (std::size_t i = begin - queries_per_epoch_; i < begin; ++i) {
+      estimator.Observe(queries[i].batch);
     }
-
-    // Epoch-local trace: arrivals re-based to the epoch start, dense ids.
-    // Queries that arrived during a reconfiguration window pile up at 0.
-    const SimTime epoch_origin = queries[begin].arrival + reconfig_shift;
-    std::vector<workload::Query> epoch_queries;
-    epoch_queries.reserve(end - begin);
-    for (std::size_t i = begin; i < end; ++i) {
-      workload::Query q = queries[i];
-      q.id = i - begin;
-      q.arrival = std::max<SimTime>(0, q.arrival + reconfig_shift -
-                                           epoch_origin);
-      epoch_queries.push_back(q);
+    if (const auto plan = controller_.MaybeRepartition(estimator)) {
+      server.BeginReconfigure(plan->instance_gpcs,
+                              controller_.config().reconfig_downtime);
+      reconfigured[epoch] = true;
+      ++result.reconfigurations;
     }
-    workload::QueryTrace epoch_trace(std::move(epoch_queries));
-
-    sim::ServerConfig sc;
-    sc.partition_gpcs = controller_.current_plan().instance_gpcs;
-    sc.sla_target = sla_target_;
-    sc.seed = 0xE1A5 + begin;
-    auto scheduler = scheduler_factory_();
-    sim::InferenceServer server(sc, profile_, *scheduler, actual_latency_);
-    auto epoch_result = server.Run(epoch_trace);
-
-    // Feed the estimator with what was served this epoch.
-    for (const auto& q : epoch_trace.queries()) estimator.Observe(q.batch);
-
-    // Re-base records to global time and collect.
-    EpochStats es;
-    es.queries = epoch_result.records.size();
-    es.reconfigured = reconfigured;
-    es.layout = controller_.current_plan().instance_gpcs;
-    const auto stats = sim::ComputeStats(epoch_result.records, sla_target_,
-                                         /*warmup_fraction=*/0.0);
-    es.p95_ms = stats.p95_latency_ms;
-    es.violation_rate = stats.sla_violation_rate;
-    result.epochs.push_back(std::move(es));
-
-    for (auto& r : epoch_result.records) {
-      r.id += begin;
-      r.arrival += epoch_origin;
-      r.dispatched += epoch_origin;
-      r.started += epoch_origin;
-      r.finished += epoch_origin;
-      all_records.push_back(r);
-    }
+    layouts[epoch] = controller_.current_plan().instance_gpcs;
   }
 
-  result.total = sim::ComputeStats(all_records, sla_target_,
+  const auto sim_result = server.Finish();
+
+  // Per-epoch stats sliced out of the continuous record stream by query
+  // id (ids are dense and epoch membership is an id range).
+  for (std::size_t epoch = 0; epoch < num_epochs; ++epoch) {
+    const std::size_t begin = epoch * queries_per_epoch_;
+    const std::size_t end =
+        std::min(begin + queries_per_epoch_, sim_result.records.size());
+    const std::vector<sim::QueryRecord> slice(
+        sim_result.records.begin() + static_cast<std::ptrdiff_t>(begin),
+        sim_result.records.begin() + static_cast<std::ptrdiff_t>(end));
+    const auto stats =
+        sim::ComputeStats(slice, sla_target_, /*warmup_fraction=*/0.0);
+    EpochStats es;
+    es.queries = slice.size();
+    es.p95_ms = stats.p95_latency_ms;
+    es.violation_rate = stats.sla_violation_rate;
+    es.stalled = stats.reconfig_stalled;
+    es.reconfigured = reconfigured[epoch];
+    es.layout = layouts[epoch];
+    result.epochs.push_back(std::move(es));
+  }
+
+  result.total = sim::ComputeStats(sim_result.records, sla_target_,
                                    /*warmup_fraction=*/0.0);
   return result;
 }

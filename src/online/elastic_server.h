@@ -1,19 +1,22 @@
 // Elastic serving simulation (extension).
 //
-// Replays a (possibly drifting) query trace in epochs.  Within an epoch
-// the server runs a fixed PARIS layout; at each epoch boundary the
-// RepartitionController inspects the TrafficEstimator and may order a
-// reconfiguration, which is charged as downtime: queries arriving during
-// the reconfiguration window wait until the new layout is up.
+// Replays a (possibly drifting) query trace as ONE continuous
+// InferenceServer run.  At each epoch boundary the RepartitionController
+// inspects the TrafficEstimator and may order a live reconfiguration,
+// which the simulation core models as a first-class event
+// (InferenceServer::BeginReconfigure): in-flight queries drain on the old
+// layout, queued work is carried over to the new workers, and dispatch is
+// held for the drain + downtime window.  The queue build-up through a MIG
+// reconfiguration is therefore simulated, not approximated away --
+// queries delayed by a window are flagged in their records
+// (QueryRecord::reconfig_stalls) and surface as the per-epoch and total
+// `stalled` counts.
 //
-// Approximation (documented): in-flight work always drains at the epoch
-// boundary before a reconfiguration begins -- i.e. epochs are simulated as
-// independent server incarnations with a time-shifted arrival stream.
-// This slightly flatters reconfiguration (no mid-drain stragglers), which
-// is acceptable because the comparison of interest -- static-mismatched vs
-// elastic -- charges both sides identically.
+// A drift-free run (no reconfigurations) is bit-identical to a plain
+// InferenceServer::Run of the same trace on the initial layout.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -25,14 +28,17 @@
 
 namespace pe::online {
 
-// Builds a fresh scheduler for each epoch's server incarnation.
+// Builds the scheduler driving the whole continuous run (the simulator
+// borrows it; ElasticServerSim keeps it alive).
 using SchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>()>;
 
 struct EpochStats {
   std::size_t queries = 0;
   double p95_ms = 0.0;
   double violation_rate = 0.0;
-  bool reconfigured = false;  // a reconfiguration preceded this epoch
+  // Queries of this epoch whose queueing crossed a reconfiguration window.
+  std::size_t stalled = 0;
+  bool reconfigured = false;  // a reconfiguration began at this epoch
   std::vector<int> layout;    // instance sizes in effect (descending)
 };
 
@@ -42,15 +48,21 @@ struct ElasticResult {
   int reconfigurations = 0;
 };
 
+// Default seed for the continuous elastic run (override via the
+// constructor to make elastic experiments reproducible end-to-end).
+inline constexpr std::uint64_t kDefaultElasticSeed = 0xE1A5;
+
 class ElasticServerSim {
  public:
   // `queries_per_epoch` defines the epoch boundary in query count (an
-  // arrival-rate-independent proxy for the paper's "given period of time").
+  // arrival-rate-independent proxy for the paper's "given period of
+  // time").  `seed` seeds the single run's RNG stream (latency noise).
   ElasticServerSim(RepartitionController& controller,
                    const profile::ProfileTable& profile,
                    SchedulerFactory scheduler_factory,
                    sim::LatencyFn actual_latency, SimTime sla_target,
-                   std::size_t queries_per_epoch = 2000);
+                   std::size_t queries_per_epoch = 2000,
+                   std::uint64_t seed = kDefaultElasticSeed);
 
   ElasticResult Run(const workload::QueryTrace& trace);
 
@@ -61,6 +73,7 @@ class ElasticServerSim {
   sim::LatencyFn actual_latency_;
   SimTime sla_target_;
   std::size_t queries_per_epoch_;
+  std::uint64_t seed_;
 };
 
 }  // namespace pe::online

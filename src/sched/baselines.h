@@ -6,6 +6,10 @@
 //  * GreedyFastestScheduler -- always minimizes Twait + Testimated,new,
 //    i.e. ELSA with Step A removed.  Isolates the contribution of ELSA's
 //    "prefer the smallest partition with slack" rule (utilization-driven).
+//
+// Both are stateless (every decision reads fresh WorkerState snapshots),
+// so the base-class reconfiguration hooks -- no-op OnReconfigure, orphans
+// requeued like fresh arrivals -- are the correct behavior.
 #pragma once
 
 #include "profile/profile_table.h"

@@ -41,6 +41,9 @@ class ElsaScheduler final : public Scheduler {
   int OnQueryArrival(const workload::Query& query,
                      const std::vector<WorkerState>& workers) override;
   bool UsesCentralQueue() const override { return false; }
+  // Reconfiguration hooks: ELSA keeps no per-worker state, and the default
+  // RequeueOrphan (re-run Step A/B against the new layout) is exactly the
+  // right policy for orphans, so the base-class defaults apply.
   std::string name() const override { return "ELSA"; }
 
   SimTime sla_target() const { return sla_target_; }

@@ -20,6 +20,18 @@ class FifsScheduler final : public Scheduler {
   int OnQueryArrival(const workload::Query& query,
                      const std::vector<WorkerState>& workers) override;
   bool UsesCentralQueue() const override { return true; }
+
+  // Reconfiguration orphans rejoin the central FIFO rather than being
+  // re-bound directly: the server inserts them ahead of arrivals held
+  // during the downtime window, preserving strict FIFO service order
+  // across the layout swap.
+  int RequeueOrphan(const workload::Query& query,
+                    const std::vector<WorkerState>& workers) override {
+    (void)query;
+    (void)workers;
+    return kNoAssignment;
+  }
+
   std::string name() const override { return "FIFS"; }
 };
 

@@ -1,12 +1,16 @@
 // Scheduler interface.
 //
-// The inference server calls the scheduler at two points:
+// The inference server calls the scheduler at three points:
 //  * when a query arrives: the scheduler may bind it to a partition's local
 //    queue immediately (ELSA-style) or leave it in the server's central
 //    FIFO (FIFS-style) by returning kNoAssignment;
 //  * when a partition goes idle with a non-empty central queue: servers
 //    with central-queue schedulers hand the head query to that partition
-//    ("first idle, first serve").
+//    ("first idle, first serve");
+//  * when the server swaps partition layouts mid-run (a live MIG
+//    reconfiguration): OnReconfigure announces the new worker set, and
+//    RequeueOrphan re-places every query that was queued on a partition
+//    that no longer exists.
 //
 // Schedulers see workers through WorkerState snapshots; `wait_ticks` is the
 // paper's Twait (Eq. 1): the estimated execution time of everything queued
@@ -45,6 +49,26 @@ class Scheduler {
   // True if unassigned queries wait in a central FIFO that idle workers
   // pull from.  Schedulers returning kNoAssignment must return true here.
   virtual bool UsesCentralQueue() const = 0;
+
+  // Lifecycle hook: the server finished a live reconfiguration and the
+  // worker set changed from `old_workers` to `new_workers` (worker indices
+  // are NOT stable across the swap).  Stateless schedulers -- everything in
+  // this repository scores workers from per-call snapshots -- need no
+  // action; schedulers that cache per-worker state must invalidate it here.
+  virtual void OnReconfigure(const std::vector<WorkerState>& old_workers,
+                             const std::vector<WorkerState>& new_workers) {
+    (void)old_workers;
+    (void)new_workers;
+  }
+
+  // Re-places a query orphaned by a reconfiguration (it was sitting in a
+  // removed partition's local queue, never started).  Returns a new worker
+  // index or kNoAssignment to move it to the central FIFO (central-queue
+  // schedulers only).  Default: treat the orphan like a fresh arrival.
+  virtual int RequeueOrphan(const workload::Query& query,
+                            const std::vector<WorkerState>& workers) {
+    return OnQueryArrival(query, workers);
+  }
 
   virtual std::string name() const = 0;
 };

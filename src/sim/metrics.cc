@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <utility>
 
 #include "common/stats.h"
 
@@ -31,18 +32,22 @@ ServerStats ComputeStats(const std::vector<QueryRecord>& records,
   std::size_t violations = 0;
   SimTime window_begin = 0;
   SimTime window_end = 0;
-  std::map<int, WorkerStats> workers;
+  // A live reconfiguration reuses worker indices across layouts, so key
+  // by (index, gpcs): records from differently-sized partitions that
+  // happened to share an index stay separate entries.
+  std::map<std::pair<int, int>, WorkerStats> workers;
 
   for (std::size_t i = skip; i < sorted.size(); ++i) {
     const QueryRecord& r = *sorted[i];
     latency.Add(TicksToMs(r.Latency()));
     queue_delay.Add(TicksToMs(r.QueueDelay()));
     if (r.Latency() > sla_target) ++violations;
+    if (r.reconfig_stalls > 0) ++stats.reconfig_stalled;
     if (stats.completed == 0) window_begin = r.arrival;
     window_end = std::max(window_end, r.finished);
     ++stats.completed;
 
-    auto& w = workers[r.worker];
+    auto& w = workers[{r.worker, r.worker_gpcs}];
     w.index = r.worker;
     w.gpcs = r.worker_gpcs;
     w.busy_ticks += r.finished - r.started;
@@ -59,22 +64,27 @@ ServerStats ComputeStats(const std::vector<QueryRecord>& records,
   stats.sla_violation_rate =
       static_cast<double>(violations) / static_cast<double>(stats.completed);
 
+  // A zero-length measurement span (all included completions at one
+  // instant, e.g. a single record or a reconfig-dominated epoch slice)
+  // leaves the rate/utilization metrics at zero instead of dividing by it.
   const SimTime span = window_end - window_begin;
   if (span > 0) {
     stats.achieved_qps =
         static_cast<double>(stats.completed) / TicksToSec(span);
-    double gpc_busy = 0.0;
-    double gpc_total = 0.0;
-    for (auto& [idx, w] : workers) {
+  }
+  double gpc_busy = 0.0;
+  double gpc_total = 0.0;
+  for (auto& [key, w] : workers) {
+    if (span > 0) {
       w.utilization = std::min(
           1.0, static_cast<double>(w.busy_ticks) / static_cast<double>(span));
-      gpc_busy += w.utilization * w.gpcs;
-      gpc_total += w.gpcs;
-      stats.workers.push_back(w);
     }
-    if (gpc_total > 0.0) {
-      stats.mean_worker_utilization = gpc_busy / gpc_total;
-    }
+    gpc_busy += w.utilization * w.gpcs;
+    gpc_total += w.gpcs;
+    stats.workers.push_back(w);
+  }
+  if (span > 0 && gpc_total > 0.0) {
+    stats.mean_worker_utilization = gpc_busy / gpc_total;
   }
   return stats;
 }

@@ -21,6 +21,11 @@ struct QueryRecord {
   SimTime finished = 0;    // execution completes
   int worker = -1;
   int worker_gpcs = 0;
+  // Number of live-reconfiguration windows this query waited through while
+  // queued (held at arrival, already central-queued, or orphaned from a
+  // retired partition's local queue).  0 in any run without
+  // reconfigurations; the downtime itself lands in QueueDelay().
+  int reconfig_stalls = 0;
 
   SimTime Latency() const { return finished - arrival; }
   SimTime QueueDelay() const { return started - arrival; }
@@ -45,6 +50,10 @@ struct ServerStats {
   double sla_violation_rate = 0.0;  // fraction with latency > SLA target
   double achieved_qps = 0.0;        // completions / measured span
   double mean_worker_utilization = 0.0;  // GPC-weighted busy fraction
+  // Queries (among the included records) whose queueing was prolonged by
+  // at least one live reconfiguration (QueryRecord::reconfig_stalls > 0):
+  // the queue-build-up transient a layout swap causes.
+  std::size_t reconfig_stalled = 0;
   std::vector<WorkerStats> workers;
 };
 
@@ -53,7 +62,10 @@ struct ServerStats {
 //  * `warmup_fraction`: leading fraction of records (by arrival order)
 //    excluded from latency statistics, removing cold-start transients.
 // Worker utilization is measured over the span between the first and last
-// *included* completion.
+// *included* completion.  Degenerate inputs -- empty records, or a
+// measurement span of zero ticks (possible for single-record or
+// reconfig-heavy epoch slices) -- yield zeroed rate/utilization metrics
+// rather than dividing by the zero-length span.
 ServerStats ComputeStats(const std::vector<QueryRecord>& records,
                          SimTime sla_target, double warmup_fraction = 0.1);
 

@@ -19,11 +19,32 @@ InferenceServer::InferenceServer(ServerConfig config,
   if (config_.partition_gpcs.empty()) {
     throw std::invalid_argument("InferenceServer: no partitions configured");
   }
+  Reset();
+}
+
+void InferenceServer::Reset() {
+  events_ = {};
+  next_seq_ = 0;
+  now_ = 0;
+  central_queue_.clear();
+  queries_.clear();
+  records_.clear();
+  frontend_free_at_.assign(
+      static_cast<std::size_t>(std::max(1, config_.frontend.lanes)), 0);
+  reconfiguring_ = false;
+  reconfig_ready_ = 0;
+  pending_layout_.clear();
+  reconfig_gen_ = 0;
+  BuildWorkers(config_.partition_gpcs);
+}
+
+void InferenceServer::BuildWorkers(const std::vector<int>& partition_gpcs) {
   // Workers ordered by ascending partition size (then creation order);
   // FIFS's "first idle" scan and ELSA's Step A both rely on this order
   // being stable and size-ascending.
-  std::vector<int> sizes = config_.partition_gpcs;
+  std::vector<int> sizes = partition_gpcs;
   std::sort(sizes.begin(), sizes.end());
+  workers_.clear();
   workers_.reserve(sizes.size());
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     workers_.emplace_back(static_cast<int>(i), sizes[i]);
@@ -49,7 +70,16 @@ SimTime InferenceServer::EstimateTicks(int gpcs, int batch) const {
   return std::max<SimTime>(1, SecToTicks(profile_.LatencySec(gpcs, batch)));
 }
 
+std::vector<sched::WorkerState> InferenceServer::Snapshots(
+    SimTime now) const {
+  std::vector<sched::WorkerState> states;
+  states.reserve(workers_.size());
+  for (const auto& w : workers_) states.push_back(w.Snapshot(now));
+  return states;
+}
+
 void InferenceServer::StartHead(PartitionWorker& worker, SimTime now) {
+  if (reconfiguring_) return;  // dispatch held until the new layout is up
   if (!worker.CanStart()) return;
   const int batch = worker.Head().batch;
   const SimTime actual = ActualTicks(worker.gpcs(), batch);
@@ -63,11 +93,14 @@ void InferenceServer::StartHead(PartitionWorker& worker, SimTime now) {
 }
 
 void InferenceServer::Dispatch(const workload::Query& query, SimTime now) {
-  std::vector<sched::WorkerState> states;
-  states.reserve(workers_.size());
-  for (const auto& w : workers_) states.push_back(w.Snapshot(now));
-
-  const int idx = scheduler_.OnQueryArrival(query, states);
+  if (reconfiguring_) {
+    // Held for the drain + downtime window; re-dispatched (in order,
+    // behind carried-over orphans) when the new layout comes up.
+    ++records_[query.id].reconfig_stalls;
+    central_queue_.push_back(query);
+    return;
+  }
+  const int idx = scheduler_.OnQueryArrival(query, Snapshots(now));
   if (idx == sched::kNoAssignment) {
     if (!scheduler_.UsesCentralQueue()) {
       throw std::logic_error(
@@ -85,69 +118,207 @@ void InferenceServer::Dispatch(const workload::Query& query, SimTime now) {
   StartHead(worker, now);
 }
 
-SimResult InferenceServer::Run(const workload::QueryTrace& trace) {
-  // Reset run state.
-  events_ = {};
-  next_seq_ = 0;
-  central_queue_.clear();
-  records_.assign(trace.size(), QueryRecord{});
-  frontend_free_at_.assign(
-      static_cast<std::size_t>(std::max(1, config_.frontend.lanes)), 0);
-
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    const workload::Query& q = trace.queries()[i];
-    if (q.id != i) {
-      throw std::invalid_argument("trace query ids must be dense 0..n-1");
+void InferenceServer::ReofferCentralQueue(SimTime now) {
+  if (!scheduler_.UsesCentralQueue()) return;
+  while (!central_queue_.empty()) {
+    // The scheduler decides the placement (preserving e.g. FIFS's
+    // largest-idle-partition tie-break); kNoAssignment means it prefers
+    // to keep the head queued, which ends the re-offer.
+    const workload::Query head = central_queue_.front();
+    const int idx = scheduler_.OnQueryArrival(head, Snapshots(now));
+    if (idx == sched::kNoAssignment) break;
+    if (idx < 0 || idx >= static_cast<int>(workers_.size())) {
+      throw std::out_of_range("scheduler returned invalid worker index");
     }
-    records_[i].id = q.id;
-    records_[i].batch = q.batch;
-    records_[i].arrival = q.arrival;
-    Push(q.arrival, EventType::kArrival, i);
+    central_queue_.pop_front();
+    PartitionWorker& worker = workers_[static_cast<std::size_t>(idx)];
+    records_[head.id].dispatched = now;
+    worker.Enqueue(head, EstimateTicks(worker.gpcs(), head.batch));
+    StartHead(worker, now);
   }
+}
 
+void InferenceServer::InjectQuery(const workload::Query& query) {
+  if (query.id != queries_.size()) {
+    throw std::invalid_argument("trace query ids must be dense 0..n-1");
+  }
+  if (query.arrival < now_) {
+    throw std::invalid_argument(
+        "InferenceServer: arrival predates the current simulation time");
+  }
+  queries_.push_back(query);
+  QueryRecord rec;
+  rec.id = query.id;
+  rec.batch = query.batch;
+  rec.arrival = query.arrival;
+  records_.push_back(rec);
+  Push(query.arrival, EventType::kArrival, queries_.size() - 1);
+}
+
+void InferenceServer::InjectTrace(const workload::QueryTrace& trace) {
+  for (const workload::Query& q : trace.queries()) InjectQuery(q);
+}
+
+void InferenceServer::BeginReconfigure(std::vector<int> new_layout,
+                                       SimTime downtime) {
+  if (new_layout.empty()) {
+    throw std::invalid_argument("BeginReconfigure: empty layout");
+  }
+  for (int gpcs : new_layout) {
+    if (gpcs < 1) {
+      throw std::invalid_argument(
+          "BeginReconfigure: partition sizes must be >= 1 GPC");
+    }
+  }
+  if (downtime < 0) {
+    throw std::invalid_argument("BeginReconfigure: negative downtime");
+  }
+  // In-flight queries drain on the old layout; the swap lands after the
+  // last of them completes plus the downtime charge.
+  SimTime drain_end = now_;
+  for (const auto& w : workers_) {
+    if (w.busy()) drain_end = std::max(drain_end, w.busy_until());
+  }
+  SimTime ready = drain_end + downtime;
+  if (reconfiguring_) {
+    // Superseding an open window: retarget the layout, never shorten.
+    ready = std::max(ready, reconfig_ready_);
+  } else {
+    // Queries already waiting centrally are now additionally delayed by
+    // this window; arrivals during the window are marked as they land.
+    for (const auto& q : central_queue_) ++records_[q.id].reconfig_stalls;
+  }
+  reconfiguring_ = true;
+  reconfig_ready_ = ready;
+  pending_layout_ = std::move(new_layout);
+  Push(ready, EventType::kReconfigDone, ++reconfig_gen_);
+}
+
+void InferenceServer::CompleteReconfigure(SimTime now) {
+  // Carry over queued-but-unstarted work from the retiring partitions, in
+  // global dispatch order (then id, for same-instant determinism).
+  std::vector<workload::Query> orphans;
+  const auto old_states = Snapshots(now);
+  for (auto& worker : workers_) {
+    assert(!worker.busy());  // drain window covered every in-flight query
+    auto q = worker.TakeQueue();
+    orphans.insert(orphans.end(), q.begin(), q.end());
+  }
+  std::stable_sort(orphans.begin(), orphans.end(),
+                   [this](const workload::Query& a, const workload::Query& b) {
+                     const SimTime da = records_[a.id].dispatched;
+                     const SimTime db = records_[b.id].dispatched;
+                     if (da != db) return da < db;
+                     return a.id < b.id;
+                   });
+
+  BuildWorkers(pending_layout_);
+  reconfiguring_ = false;
+  reconfig_ready_ = 0;
+  pending_layout_.clear();
+  scheduler_.OnReconfigure(old_states, Snapshots(now));
+
+  // Orphans are re-placed first (they were dispatched before anything the
+  // window held), then the held arrivals in their original order.
+  std::deque<workload::Query> held = std::move(central_queue_);
+  central_queue_.clear();
+  for (const workload::Query& q : orphans) {
+    ++records_[q.id].reconfig_stalls;
+    const int idx = scheduler_.RequeueOrphan(q, Snapshots(now));
+    if (idx == sched::kNoAssignment) {
+      if (!scheduler_.UsesCentralQueue()) {
+        throw std::logic_error(
+            "scheduler returned kNoAssignment but has no central queue");
+      }
+      central_queue_.push_back(q);
+      continue;
+    }
+    if (idx < 0 || idx >= static_cast<int>(workers_.size())) {
+      throw std::out_of_range("scheduler returned invalid worker index");
+    }
+    PartitionWorker& worker = workers_[static_cast<std::size_t>(idx)];
+    records_[q.id].dispatched = now;
+    worker.Enqueue(q, EstimateTicks(worker.gpcs(), q.batch));
+    StartHead(worker, now);
+  }
+  ReofferCentralQueue(now);
+  for (const workload::Query& q : held) Dispatch(q, now);
+}
+
+void InferenceServer::ProcessEvent(const Event& ev) {
+  const SimTime now = ev.time;
+  switch (ev.type) {
+    case EventType::kArrival: {
+      if (config_.frontend.enabled) {
+        // G/D/c preprocessing stage: earliest-free lane serves FIFO.  The
+        // host-side frontend keeps working through a reconfiguration; only
+        // dispatch to the GPU partitions is held.
+        auto lane = std::min_element(frontend_free_at_.begin(),
+                                     frontend_free_at_.end());
+        const SimTime start = std::max(now, *lane);
+        const SimTime done = start + config_.frontend.cost_per_query;
+        *lane = done;
+        Push(done, EventType::kFrontendDone, ev.payload);
+      } else {
+        Dispatch(queries_[ev.payload], now);
+      }
+      break;
+    }
+    case EventType::kFrontendDone: {
+      Dispatch(queries_[ev.payload], now);
+      break;
+    }
+    case EventType::kWorkerDone: {
+      PartitionWorker& worker = workers_[ev.payload];
+      const workload::Query done = worker.Finish();
+      records_[done.id].finished = now;
+      if (reconfiguring_) break;  // draining: nothing new starts
+      // Start next local query, or pull from the central queue.
+      if (worker.CanStart()) {
+        StartHead(worker, now);
+      } else if (scheduler_.UsesCentralQueue() && !central_queue_.empty()) {
+        const workload::Query next = central_queue_.front();
+        central_queue_.pop_front();
+        records_[next.id].dispatched = now;
+        worker.Enqueue(next, EstimateTicks(worker.gpcs(), next.batch));
+        StartHead(worker, now);
+      }
+      break;
+    }
+    case EventType::kReconfigDone: {
+      // A superseded window's completion carries a stale generation.
+      if (reconfiguring_ && ev.payload == reconfig_gen_) {
+        CompleteReconfigure(now);
+      }
+      break;
+    }
+  }
+}
+
+void InferenceServer::AdvanceTo(SimTime when) {
+  while (!events_.empty() && events_.top().time < when) {
+    const Event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    ProcessEvent(ev);
+  }
+  now_ = std::max(now_, when);
+}
+
+SimResult InferenceServer::Finish() {
   while (!events_.empty()) {
     const Event ev = events_.top();
     events_.pop();
-    const SimTime now = ev.time;
-    switch (ev.type) {
-      case EventType::kArrival: {
-        if (config_.frontend.enabled) {
-          // G/D/c preprocessing stage: earliest-free lane serves FIFO.
-          auto lane = std::min_element(frontend_free_at_.begin(),
-                                       frontend_free_at_.end());
-          const SimTime start = std::max(now, *lane);
-          const SimTime done = start + config_.frontend.cost_per_query;
-          *lane = done;
-          Push(done, EventType::kFrontendDone, ev.payload);
-        } else {
-          Dispatch(trace.queries()[ev.payload], now);
-        }
-        break;
-      }
-      case EventType::kFrontendDone: {
-        Dispatch(trace.queries()[ev.payload], now);
-        break;
-      }
-      case EventType::kWorkerDone: {
-        PartitionWorker& worker = workers_[ev.payload];
-        const workload::Query done = worker.Finish();
-        records_[done.id].finished = now;
-        // Start next local query, or pull from the central queue.
-        if (worker.CanStart()) {
-          StartHead(worker, now);
-        } else if (scheduler_.UsesCentralQueue() && !central_queue_.empty()) {
-          const workload::Query next = central_queue_.front();
-          central_queue_.pop_front();
-          records_[next.id].dispatched = now;
-          worker.Enqueue(next, EstimateTicks(worker.gpcs(), next.batch));
-          StartHead(worker, now);
-        }
-        break;
-      }
-    }
+    now_ = ev.time;
+    ProcessEvent(ev);
   }
-
   return SimResult{std::move(records_)};
+}
+
+SimResult InferenceServer::Run(const workload::QueryTrace& trace) {
+  Reset();
+  InjectTrace(trace);
+  return Finish();
 }
 
 }  // namespace pe::sim

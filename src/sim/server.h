@@ -10,6 +10,21 @@
 // (the roofline model, optionally with log-normal noise); the scheduler
 // only ever sees the profiled estimates, so estimate/actual divergence is
 // faithfully represented when noise is enabled.
+//
+// The engine can be driven two ways:
+//  * batch: Run(trace) replays a whole trace to completion;
+//  * incremental: InjectQuery/InjectTrace feed arrivals, AdvanceTo(T)
+//    simulates up to (but not including) instant T, BeginReconfigure swaps
+//    the partition layout live, and Finish() drains everything left.
+//
+// A live reconfiguration models a MIG layout change as a first-class
+// simulation event: in-flight queries drain on the old layout, queued work
+// (central FIFO and the retired partitions' local queues) is carried over
+// to the new workers through the scheduler's requeue hook, and dispatch is
+// held for the drain + downtime window.  Queries delayed this way are
+// marked in their QueryRecord (reconfig_stalls), so the queue-build-up
+// transient a reconfiguration causes is measurable.  One RNG stream spans
+// the whole run regardless of how many reconfigurations occur.
 #pragma once
 
 #include <cstdint>
@@ -66,19 +81,50 @@ class InferenceServer {
   InferenceServer(ServerConfig config, const profile::ProfileTable& profile,
                   sched::Scheduler& scheduler, LatencyFn actual_latency);
 
-  // Replays the trace to completion and returns per-query records.
+  // Batch driving: resets incremental state, replays the whole trace to
+  // completion, and returns per-query records.  Equivalent to a fresh
+  // InjectTrace(trace) + Finish().
   SimResult Run(const workload::QueryTrace& trace);
+
+  // --- Incremental driving API ---------------------------------------
+  // Feeds one arrival.  Ids must stay dense (query.id == number of queries
+  // injected so far) and arrivals must not predate the current time.
+  void InjectQuery(const workload::Query& query);
+
+  // Feeds every query of `trace` (ids continuing the dense sequence).
+  void InjectTrace(const workload::QueryTrace& trace);
+
+  // Processes every pending event strictly before `when`, then sets the
+  // current time to `when` (no-op when `when` is in the past).  Events at
+  // exactly `when` stay pending: AdvanceTo leaves the simulation in the
+  // state at the *start* of that instant.
+  void AdvanceTo(SimTime when);
+
+  // Begins a live reconfiguration to `new_layout` at the current time:
+  // dispatch is held from now on, in-flight queries drain on the old
+  // workers, and the new layout comes up `downtime` ticks after the drain
+  // completes.  Queued work is carried over (nothing is lost or re-run).
+  // Calling again before the window closes supersedes the pending target
+  // layout and extends the window -- it never shortens.
+  void BeginReconfigure(std::vector<int> new_layout, SimTime downtime);
+
+  // Drains every remaining event (including a pending reconfiguration)
+  // and returns the per-query records.
+  SimResult Finish();
+
+  SimTime now() const { return now_; }
+  bool reconfiguring() const { return reconfiguring_; }
 
   const std::vector<PartitionWorker>& workers() const { return workers_; }
 
  private:
-  enum class EventType { kArrival, kFrontendDone, kWorkerDone };
+  enum class EventType { kArrival, kFrontendDone, kWorkerDone, kReconfigDone };
 
   struct Event {
     SimTime time = 0;
     std::uint64_t seq = 0;  // tie-breaker: deterministic FIFO order
     EventType type = EventType::kArrival;
-    std::size_t payload = 0;  // trace index or worker index
+    std::size_t payload = 0;  // query index, worker index, or reconfig gen
 
     bool operator>(const Event& other) const {
       if (time != other.time) return time > other.time;
@@ -86,8 +132,17 @@ class InferenceServer {
     }
   };
 
+  void Reset();
   void Push(SimTime time, EventType type, std::size_t payload);
+  void ProcessEvent(const Event& ev);
   void Dispatch(const workload::Query& query, SimTime now);
+  void CompleteReconfigure(SimTime now);
+  // Re-offers central-queue heads to the scheduler (central-queue
+  // schedulers only), stopping at the first it declines; used after a
+  // reconfiguration brings the new (all-idle) workers up.
+  void ReofferCentralQueue(SimTime now);
+  std::vector<sched::WorkerState> Snapshots(SimTime now) const;
+  void BuildWorkers(const std::vector<int>& partition_gpcs);
   // Starts the worker's head query if the worker is free, recording start
   // metadata and scheduling the completion event.
   void StartHead(PartitionWorker& worker, SimTime now);
@@ -102,11 +157,24 @@ class InferenceServer {
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
   std::uint64_t next_seq_ = 0;
+  SimTime now_ = 0;
 
   std::vector<PartitionWorker> workers_;
+  // Unassigned queries.  For central-queue schedulers this is the ordinary
+  // central FIFO; during a reconfiguration window it additionally holds
+  // every arrival (any scheduler) until the new layout is up.
   std::deque<workload::Query> central_queue_;
   std::vector<SimTime> frontend_free_at_;  // per lane
+  std::vector<workload::Query> queries_;   // injected arrivals, by id
   std::vector<QueryRecord> records_;
+
+  // Live-reconfiguration state: while `reconfiguring_`, no query starts
+  // and arrivals are held.  `reconfig_gen_` stamps the kReconfigDone event
+  // so a superseded window's completion is ignored.
+  bool reconfiguring_ = false;
+  SimTime reconfig_ready_ = 0;
+  std::vector<int> pending_layout_;
+  std::size_t reconfig_gen_ = 0;
 };
 
 }  // namespace pe::sim

@@ -44,6 +44,15 @@ workload::Query PartitionWorker::Finish() {
   return done;
 }
 
+std::vector<workload::Query> PartitionWorker::TakeQueue() {
+  std::vector<workload::Query> orphans;
+  orphans.reserve(queue_.size());
+  for (const Pending& p : queue_) orphans.push_back(p.query);
+  queue_.clear();
+  queued_estimated_ = 0;
+  return orphans;
+}
+
 SimTime PartitionWorker::EstimatedWait(SimTime now) const {
   SimTime wait = queued_estimated_;
   if (busy()) {

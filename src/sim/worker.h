@@ -13,6 +13,7 @@
 
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "common/sim_time.h"
 #include "sched/scheduler.h"
@@ -46,6 +47,12 @@ class PartitionWorker {
 
   // Completes the in-flight query; the worker becomes free.
   workload::Query Finish();
+
+  // Removes and returns every not-yet-started local-queue entry in FIFO
+  // order, leaving the queue empty.  The in-flight query (if any) is
+  // unaffected.  Used when a reconfiguration retires this partition and
+  // its queued work must be carried over to the new layout.
+  std::vector<workload::Query> TakeQueue();
 
   const workload::Query& current() const { return *current_; }
   SimTime current_started() const { return current_started_; }

@@ -29,6 +29,54 @@ TEST(ComputeStats, EmptyRecords) {
   const auto s = ComputeStats({}, MsToTicks(10));
   EXPECT_EQ(s.completed, 0u);
   EXPECT_EQ(s.p95_latency_ms, 0.0);
+  EXPECT_EQ(s.achieved_qps, 0.0);
+  EXPECT_EQ(s.mean_worker_utilization, 0.0);
+  EXPECT_EQ(s.reconfig_stalled, 0u);
+  EXPECT_TRUE(s.workers.empty());
+}
+
+TEST(ComputeStats, ZeroLengthSpanYieldsZeroedRates) {
+  // A single record whose measurement window has zero length (arrival ==
+  // finished): latency stats are real, rate/utilization metrics zero out
+  // instead of dividing by the zero-length span.  Possible in a short
+  // reconfig-heavy epoch slice.
+  QueryRecord r = Rec(0, MsToTicks(5), MsToTicks(5), MsToTicks(5));
+  const auto s = ComputeStats({r}, MsToTicks(10), 0.0);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_latency_ms, 0.0);
+  EXPECT_EQ(s.achieved_qps, 0.0);
+  EXPECT_EQ(s.mean_worker_utilization, 0.0);
+  // The per-worker breakdown still exists, with zero utilization.
+  ASSERT_EQ(s.workers.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.workers[0].utilization, 0.0);
+}
+
+TEST(ComputeStats, ReusedWorkerIndexAcrossLayoutsStaysSeparate) {
+  // A live reconfiguration reuses worker indices: index 0 was a GPU(7)
+  // before the swap and a GPU(4) after.  The per-worker breakdown (and
+  // the GPC-weighted utilization) must keep the two partitions distinct.
+  std::vector<QueryRecord> recs = {
+      Rec(0, 0, 0, MsToTicks(5), /*worker=*/0, /*gpcs=*/7),
+      Rec(1, 0, MsToTicks(5), MsToTicks(10), /*worker=*/0, /*gpcs=*/4),
+  };
+  const auto s = ComputeStats(recs, MsToTicks(100), 0.0);
+  ASSERT_EQ(s.workers.size(), 2u);
+  EXPECT_EQ(s.workers[0].gpcs, 4);
+  EXPECT_EQ(s.workers[1].gpcs, 7);
+  EXPECT_EQ(s.workers[0].queries, 1u);
+  EXPECT_EQ(s.workers[1].queries, 1u);
+}
+
+TEST(ComputeStats, CountsReconfigStalledQueries) {
+  std::vector<QueryRecord> recs;
+  for (int i = 0; i < 6; ++i) {
+    QueryRecord r = Rec(static_cast<std::uint64_t>(i), MsToTicks(i),
+                        MsToTicks(i), MsToTicks(i + 2));
+    r.reconfig_stalls = (i % 3 == 0) ? 2 : 0;
+    recs.push_back(r);
+  }
+  const auto s = ComputeStats(recs, MsToTicks(10), 0.0);
+  EXPECT_EQ(s.reconfig_stalled, 2u);  // ids 0 and 3
 }
 
 TEST(ComputeStats, SingleRecordNoWarmup) {

@@ -6,6 +6,8 @@
 //   simulate  -- replay a Poisson/log-normal workload on a chosen design
 //   sweep     -- latency-bounded throughput of all paper designs
 //   trace     -- generate a query trace CSV for external tools
+//   elastic   -- one continuous run under workload drift with live
+//                re-partitioning (reconfigurations as simulation events)
 //
 // Common options:
 //   --model NAME        shufflenet|mobilenet|resnet|bert|conformer (resnet)
@@ -23,6 +25,15 @@
 //                       parallelizes the sweep subcommand's probes
 //   --json PATH         also write machine-readable JSON results to PATH
 //   --csv               machine-readable output where applicable
+// elastic options:
+//   --epochs N          target number of epochs: the trace is split into
+//                       chunks of ceil(queries/N); when N does not divide
+//                       --queries the actual count can be one lower (8)
+//   --drift T           total-variation drift threshold that triggers
+//                       re-partitioning (0.15)
+//   --drift-median M    log-normal batch median of the drifted middle
+//                       phase of the workload (18)
+//   --downtime-ms D     downtime charged per reconfiguration (2000)
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -32,6 +43,8 @@
 #include "core/experiment.h"
 #include "core/result_io.h"
 #include "core/server_builder.h"
+#include "online/elastic_server.h"
+#include "online/repartition_controller.h"
 #include "workload/trace.h"
 
 namespace {
@@ -254,6 +267,101 @@ int CmdSweep(const ArgParser& args) {
   return 0;
 }
 
+int CmdElastic(const ArgParser& args) {
+  CheckJsonSink(args);
+  const core::Testbed tb(ConfigFrom(args));
+  const auto kind = SchedulerFrom(args.GetString("scheduler", "elsa"));
+
+  const std::size_t num_queries = GetCount(args, "queries", 12000);
+  const std::size_t epochs = GetCount(args, "epochs", 8);
+  if (epochs < 1 || epochs > num_queries) {
+    throw std::invalid_argument(
+        "--epochs: expected an integer in [1, --queries], got " +
+        std::to_string(epochs));
+  }
+  const double drift = args.GetDouble("drift", 0.15);
+  const double drift_median = args.GetDouble("drift-median", 18.0);
+  const double downtime_ms = args.GetDouble("downtime-ms", 2000.0);
+  if (downtime_ms < 0.0) {
+    throw std::invalid_argument("--downtime-ms: expected >= 0, got " +
+                                std::to_string(downtime_ms));
+  }
+  const auto seed = static_cast<std::uint64_t>(GetCount(args, "seed", 1));
+  double rate_qps = args.GetDouble("rate", 300.0);
+
+  // Day-cycle drift: base-median phase, drifted-median phase, and back.
+  const auto& cfg = tb.config();
+  workload::LogNormalBatchDist base(cfg.dist_median, cfg.dist_sigma,
+                                    cfg.max_batch);
+  workload::LogNormalBatchDist drifted(drift_median, cfg.dist_sigma,
+                                       cfg.max_batch);
+  workload::PoissonArrivals arrivals(rate_qps);
+  Rng rng(seed);
+  const std::size_t third = num_queries / 3;
+  const auto trace = workload::GenerateDriftingTrace(
+      arrivals,
+      {{&base, third}, {&drifted, third}, {&base, num_queries - 2 * third}},
+      rng);
+
+  const std::size_t queries_per_epoch = (num_queries + epochs - 1) / epochs;
+  online::ElasticConfig econfig;
+  econfig.drift_threshold = drift;
+  econfig.reconfig_downtime = MsToTicks(downtime_ms);
+  // Trust the estimator once it has seen half an epoch (capped at the
+  // library default) so short smoke runs can still reconfigure.
+  econfig.min_observations =
+      std::min<std::size_t>(econfig.min_observations, queries_per_epoch / 2);
+  online::RepartitionController controller(tb.profile(), tb.cluster(),
+                                           tb.table1().gpc_budget, tb.dist(),
+                                           cfg.paris, econfig);
+  online::ElasticServerSim sim(
+      controller, tb.profile(), [&] { return tb.MakeScheduler(kind); },
+      tb.ActualLatency(), tb.sla_target(), queries_per_epoch, seed);
+  const auto result = sim.Run(trace);
+
+  Table e({"epoch", "layout", "p95 ms", "viol. %", "stalled", "reconfig"});
+  for (std::size_t i = 0; i < result.epochs.size(); ++i) {
+    const auto& ep = result.epochs[i];
+    partition::PartitionPlan tmp;
+    tmp.instance_gpcs = ep.layout;
+    e.AddRow({Table::Int(static_cast<long long>(i)), tmp.Summary(),
+              Table::Num(ep.p95_ms, 2), Table::Num(100 * ep.violation_rate, 2),
+              Table::Int(static_cast<long long>(ep.stalled)),
+              ep.reconfigured ? "yes" : ""});
+  }
+  Table t({"metric", "value"});
+  t.AddRow({"model", cfg.model_name});
+  t.AddRow({"scheduler", ToString(kind)});
+  t.AddRow({"offered qps", Table::Num(rate_qps, 1)});
+  t.AddRow({"reconfigurations", Table::Int(result.reconfigurations)});
+  t.AddRow({"stalled queries",
+            Table::Int(static_cast<long long>(result.total.reconfig_stalled))});
+  t.AddRow({"p95 ms", Table::Num(result.total.p95_latency_ms, 3)});
+  t.AddRow({"SLA violation %",
+            Table::Num(100 * result.total.sla_violation_rate, 2)});
+  if (args.HasFlag("csv")) {
+    e.PrintCsv(std::cout);
+    t.PrintCsv(std::cout);
+  } else {
+    e.Print(std::cout);
+    std::cout << "\n";
+    t.Print(std::cout);
+  }
+
+  core::Json data = core::ToJson(result);
+  data.Set("model", cfg.model_name);
+  data.Set("scheduler", core::ToString(kind));
+  data.Set("offered_qps", rate_qps);
+  data.Set("queries_per_epoch", static_cast<std::uint64_t>(queries_per_epoch));
+  data.Set("drift_threshold", drift);
+  data.Set("downtime_ms", downtime_ms);
+  data.Set("seed", seed);
+  auto report = core::MakeBenchReport("cli_elastic", false, /*jobs=*/1);
+  report.Set("data", std::move(data));
+  MaybeWriteJson(args, std::move(report));
+  return 0;
+}
+
 int CmdTrace(const ArgParser& args) {
   const auto config = ConfigFrom(args);
   Rng rng(static_cast<std::uint64_t>(GetCount(args, "seed", 1)));
@@ -267,10 +375,12 @@ int CmdTrace(const ArgParser& args) {
 }
 
 void PrintUsage(std::ostream& os) {
-  os << "usage: paris_elsa_cli <profile|plan|simulate|sweep|trace> "
+  os << "usage: paris_elsa_cli <profile|plan|simulate|sweep|trace|elastic> "
         "[--model M] [--design D] [--scheduler S] [--rate QPS] "
         "[--queries N] [--median M] [--sigma S] [--max-batch B] "
-        "[--sla-n N] [--seed S] [--jobs N] [--json PATH] [--csv] [--help]\n";
+        "[--sla-n N] [--seed S] [--jobs N] [--json PATH] [--csv] "
+        "[--epochs N] [--drift T] [--drift-median M] [--downtime-ms D] "
+        "[--help]\n";
 }
 
 }  // namespace
@@ -279,7 +389,8 @@ int main(int argc, char** argv) {
   ArgParser args(argc, argv, /*flags=*/{"csv", "help", "h"});
   const auto known = std::vector<std::string>{
       "model", "design", "scheduler", "rate", "queries", "median", "sigma",
-      "max-batch", "sla-n", "seed", "jobs", "json", "csv", "help", "h"};
+      "max-batch", "sla-n", "seed", "jobs", "json", "csv", "epochs", "drift",
+      "drift-median", "downtime-ms", "help", "h"};
   try {
     const auto sub = args.Subcommand();
     if (args.HasFlag("help") || args.HasFlag("h") ||
@@ -299,6 +410,7 @@ int main(int argc, char** argv) {
     if (*sub == "simulate") return CmdSimulate(args);
     if (*sub == "sweep") return CmdSweep(args);
     if (*sub == "trace") return CmdTrace(args);
+    if (*sub == "elastic") return CmdElastic(args);
     std::cerr << "unknown subcommand: " << *sub << "\n";
     PrintUsage(std::cerr);
     return 2;
