@@ -1,0 +1,110 @@
+#include "core/mix_runner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/paper_config.h"
+#include "sched/baselines.h"
+#include "sched/elsa.h"
+#include "sched/fifs.h"
+#include "workload/arrival.h"
+
+namespace pe::core {
+
+MixTestbed::MixTestbed(MixConfig config)
+    : config_(std::move(config)),
+      cluster_(std::max(1, config_.num_gpus), config_.gpu) {
+  if (config_.models.empty()) {
+    throw std::invalid_argument("MixTestbed: no models configured");
+  }
+  if (config_.swap_cost_us < 0.0) {
+    throw std::invalid_argument("MixTestbed: negative swap cost");
+  }
+  const perf::RooflineEngine engine(config_.gpu, config_.roofline);
+  std::vector<std::string> names;
+  names.reserve(config_.models.size());
+  for (const auto& m : config_.models) {
+    if (std::find(names.begin(), names.end(), m.model) != names.end()) {
+      throw std::invalid_argument("MixTestbed: duplicate model " + m.model);
+    }
+    names.push_back(m.model);
+  }
+  repertoire_ =
+      profile::BuildZooRepertoire(names, engine, config_.max_batch);
+
+  sla_target_ = 0;
+  for (std::size_t i = 0; i < config_.models.size(); ++i) {
+    const auto& m = config_.models[i];
+    dists_.push_back(std::make_unique<workload::LogNormalBatchDist>(
+        m.dist_median, m.dist_sigma, config_.max_batch));
+    workload::MixComponent component;
+    component.model_id = static_cast<int>(i);
+    component.share = m.share;
+    component.dist = dists_.back().get();
+    mix_.components.push_back(component);
+    // The shared SLA is the strictest rule that covers every model: the
+    // max of the per-model Section V targets.
+    sla_target_ = std::max(
+        sla_target_, SlaTarget(repertoire_.profile(static_cast<int>(i)),
+                               config_.max_batch, config_.sla_n));
+  }
+  mix_.NormalizedShares();  // validates the share vector
+}
+
+partition::MixedPlan MixTestbed::PlanMixed() const {
+  std::vector<partition::MixModelInput> inputs;
+  for (const auto& c : mix_.components) {
+    partition::MixModelInput in;
+    in.model_id = c.model_id;
+    in.share = c.share;
+    in.profile = &repertoire_.profile(c.model_id);
+    in.dist = c.dist;
+    inputs.push_back(in);
+  }
+  return partition::PlanMixedParis(inputs, cluster_, config_.gpc_budget,
+                                   config_.paris);
+}
+
+workload::QueryTrace MixTestbed::GenerateMix(double rate_qps,
+                                             std::size_t num_queries,
+                                             std::uint64_t seed) const {
+  Rng rng(seed);
+  workload::PoissonArrivals arrivals(rate_qps);
+  return workload::GenerateMixedTrace(arrivals, mix_, num_queries, rng);
+}
+
+std::unique_ptr<sched::Scheduler> MixTestbed::MakeScheduler(
+    SchedulerKind kind, sched::ElsaParams elsa) const {
+  switch (kind) {
+    case SchedulerKind::kFifs:
+      return std::make_unique<sched::FifsScheduler>();
+    case SchedulerKind::kElsa:
+      return std::make_unique<sched::ElsaScheduler>(repertoire_, sla_target_,
+                                                    elsa);
+    case SchedulerKind::kJsq:
+      return std::make_unique<sched::JsqScheduler>();
+    case SchedulerKind::kGreedyFastest:
+      return std::make_unique<sched::GreedyFastestScheduler>(
+          repertoire_.profile(0));
+  }
+  throw std::invalid_argument("MixTestbed::MakeScheduler: unknown kind");
+}
+
+sim::SimResult MixTestbed::Run(const std::vector<int>& partition_gpcs,
+                               sched::Scheduler& scheduler,
+                               const workload::QueryTrace& trace,
+                               std::uint64_t seed) const {
+  if (partition_gpcs.empty()) {
+    throw std::invalid_argument("MixTestbed::Run: empty partition layout");
+  }
+  sim::ServerConfig sc;
+  sc.partition_gpcs = partition_gpcs;
+  sc.sla_target = sla_target_;
+  sc.latency_noise_sigma = config_.latency_noise_sigma;
+  sc.seed = seed ^ 0xA5A5A5A5ULL;  // matches Testbed::Run
+  sc.model_swap_cost = UsToTicks(config_.swap_cost_us);
+  sim::InferenceServer server(sc, repertoire_, scheduler);
+  return server.Run(trace);
+}
+
+}  // namespace pe::core

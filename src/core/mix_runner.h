@@ -1,0 +1,97 @@
+// MixTestbed: the multi-model counterpart of Testbed.
+//
+// Owns, for a *mix* of DNN models sharing one MIG server:
+//   * a ModelRepertoire (per-model profile table + ground-truth latency),
+//   * per-model batch-size distributions and traffic shares (MixSpec),
+//   * the physical cluster and the total GPC budget,
+//   * one SLA target (the strictest rule across the mix: the max of the
+//     per-model Section V targets -- per-model SLA scheduling is a
+//     follow-on, see ROADMAP).
+//
+// From it, callers derive consolidated (mixed-PARIS union) and dedicated
+// (per-model) layouts, generate interleaved traces, and run trace-driven
+// simulations with a configurable model-swap penalty.  A one-model mix
+// with share 1.0 and swap cost 0 reproduces the single-model Testbed
+// simulate path bit-for-bit (asserted by core_mix_test).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/server_builder.h"
+#include "hw/cluster.h"
+#include "partition/mix.h"
+#include "profile/model_repertoire.h"
+#include "sched/scheduler.h"
+#include "sim/server.h"
+#include "workload/batch_dist.h"
+#include "workload/trace.h"
+
+namespace pe::core {
+
+struct MixModelConfig {
+  std::string model = "resnet";  // model-zoo name
+  double share = 1.0;            // relative traffic weight
+  // Batch-size distribution (paper defaults).
+  double dist_median = 6.0;
+  double dist_sigma = 0.9;
+};
+
+struct MixConfig {
+  std::vector<MixModelConfig> models;
+  int max_batch = 32;
+  double sla_n = 1.5;
+  int num_gpus = 8;
+  int gpc_budget = 48;
+  // Model-swap penalty charged when a partition starts a query of a model
+  // other than its resident one.
+  double swap_cost_us = 0.0;
+  double latency_noise_sigma = 0.0;
+  perf::RooflineParams roofline;
+  hw::GpuSpec gpu;
+  partition::ParisConfig paris;
+};
+
+class MixTestbed {
+ public:
+  explicit MixTestbed(MixConfig config);
+
+  const MixConfig& config() const { return config_; }
+  const profile::ModelRepertoire& repertoire() const { return repertoire_; }
+  const hw::Cluster& cluster() const { return cluster_; }
+  SimTime sla_target() const { return sla_target_; }
+  int num_models() const { return repertoire_.size(); }
+
+  // The traffic mix (components borrow this testbed's distributions).
+  const workload::MixSpec& mix() const { return mix_; }
+
+  // Consolidated layout: per-model PARIS within share-derived budgets,
+  // union packed on the cluster.
+  partition::MixedPlan PlanMixed() const;
+
+  // Interleaved multi-model trace at `rate_qps` total offered load.
+  workload::QueryTrace GenerateMix(double rate_qps, std::size_t num_queries,
+                                   std::uint64_t seed) const;
+
+  std::unique_ptr<sched::Scheduler> MakeScheduler(
+      SchedulerKind kind, sched::ElsaParams elsa = sched::ElsaParams{}) const;
+
+  // Replays `trace` on a server with the given partition sizes.  The seed
+  // derivation matches Testbed::Run so the one-model mix is bit-identical
+  // to the single-model simulate path.
+  sim::SimResult Run(const std::vector<int>& partition_gpcs,
+                     sched::Scheduler& scheduler,
+                     const workload::QueryTrace& trace,
+                     std::uint64_t seed) const;
+
+ private:
+  MixConfig config_;
+  profile::ModelRepertoire repertoire_;
+  std::vector<std::unique_ptr<workload::BatchDistribution>> dists_;
+  workload::MixSpec mix_;
+  hw::Cluster cluster_;
+  SimTime sla_target_;
+};
+
+}  // namespace pe::core

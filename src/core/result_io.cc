@@ -195,6 +195,26 @@ Json ToJson(const sim::ServerStats& s) {
   j.Set("achieved_qps", s.achieved_qps);
   j.Set("utilization", s.mean_worker_utilization);
   j.Set("reconfig_stalled", static_cast<std::uint64_t>(s.reconfig_stalled));
+  if (s.model_swaps > 0 || s.models.size() > 1) {
+    // Mixed-traffic runs carry the per-model breakdown; single-model runs
+    // keep the legacy document shape.
+    j.Set("model_swaps", static_cast<std::uint64_t>(s.model_swaps));
+    Json models = Json::Array();
+    for (const auto& m : s.models) models.Add(ToJson(m));
+    j.Set("models", std::move(models));
+  }
+  return j;
+}
+
+Json ToJson(const sim::ModelStats& m) {
+  Json j = Json::Object();
+  j.Set("model", m.model);
+  j.Set("completed", static_cast<std::uint64_t>(m.completed));
+  j.Set("mean_ms", m.mean_latency_ms);
+  j.Set("p95_ms", m.p95_latency_ms);
+  j.Set("p99_ms", m.p99_latency_ms);
+  j.Set("sla_violation_rate", m.sla_violation_rate);
+  j.Set("swaps", static_cast<std::uint64_t>(m.swaps));
   return j;
 }
 

@@ -93,10 +93,13 @@ Json ToJson(const HomogeneousChoice& c);
 Json ToJson(const std::vector<RatePoint>& curve);
 
 // Simulation / elastic-serving serializers.  ToJson(ServerStats) omits the
-// per-worker breakdown (aggregate metrics only); ToJson(ElasticResult)
-// nests the per-epoch stats and the whole-run totals, including the
-// reconfiguration stall counts.
+// per-worker breakdown (aggregate metrics only) and adds the per-model
+// breakdown only for mixed-traffic runs (more than one model, or any
+// model swap), keeping single-model documents in the legacy shape;
+// ToJson(ElasticResult) nests the per-epoch stats and the whole-run
+// totals, including the reconfiguration stall counts.
 Json ToJson(const sim::ServerStats& s);
+Json ToJson(const sim::ModelStats& m);
 Json ToJson(const online::EpochStats& e);
 Json ToJson(const online::ElasticResult& r);
 

@@ -35,18 +35,32 @@ profile::ProfileTable BuildProfile(const perf::DnnModel& model,
   return profiler.Profile(model, config);
 }
 
+profile::ModelRepertoire SingleModelRepertoire(
+    const std::string& name, const perf::DnnModel& model,
+    const perf::RooflineEngine& engine, int max_batch) {
+  profile::ModelRepertoire repertoire;
+  // Bind copies so the ground-truth function stays valid independently of
+  // the testbed.
+  repertoire.Register(name, BuildProfile(model, engine, max_batch),
+                      [engine, model](int gpcs, int batch) {
+                        return engine.LatencySec(model, gpcs, batch);
+                      });
+  return repertoire;
+}
+
 }  // namespace
 
 Testbed::Testbed(TestbedConfig config)
     : config_(std::move(config)),
       model_(perf::BuildModelByName(config_.model_name)),
       engine_(config_.gpu, config_.roofline),
-      profile_(BuildProfile(model_, engine_, config_.max_batch)),
+      repertoire_(SingleModelRepertoire(config_.model_name, model_, engine_,
+                                        config_.max_batch)),
       dist_(std::make_unique<workload::LogNormalBatchDist>(
           config_.dist_median, config_.dist_sigma, config_.max_batch)),
       table1_(Table1For(config_.model_name)),
       cluster_(table1_.num_gpus, config_.gpu),
-      sla_target_(SlaTarget(profile_, config_.max_batch, config_.sla_n)) {}
+      sla_target_(SlaTarget(profile(), config_.max_batch, config_.sla_n)) {}
 
 int Testbed::BudgetFor(int homogeneous_size) const {
   return homogeneous_size == 7 ? table1_.gpc_budget_gpu7 : table1_.gpc_budget;
@@ -63,7 +77,7 @@ partition::PartitionPlan Testbed::PlanRandom(std::uint64_t seed) const {
 }
 
 partition::PartitionPlan Testbed::PlanParis() const {
-  partition::ParisPartitioner p(profile_, *dist_, config_.paris);
+  partition::ParisPartitioner p(profile(), *dist_, config_.paris);
   return p.Plan(cluster_, table1_.gpc_budget);
 }
 
@@ -73,21 +87,22 @@ std::unique_ptr<sched::Scheduler> Testbed::MakeScheduler(
     case SchedulerKind::kFifs:
       return std::make_unique<sched::FifsScheduler>();
     case SchedulerKind::kElsa:
-      return std::make_unique<sched::ElsaScheduler>(profile_, sla_target_,
+      // The repertoire form: Testimated routes through the arriving
+      // query's model profile (one entry here, the degenerate case).
+      return std::make_unique<sched::ElsaScheduler>(repertoire_, sla_target_,
                                                     elsa);
     case SchedulerKind::kJsq:
       return std::make_unique<sched::JsqScheduler>();
     case SchedulerKind::kGreedyFastest:
-      return std::make_unique<sched::GreedyFastestScheduler>(profile_);
+      return std::make_unique<sched::GreedyFastestScheduler>(profile());
   }
   throw std::invalid_argument("MakeScheduler: unknown kind");
 }
 
 sim::LatencyFn Testbed::ActualLatency() const {
-  // Bind copies so the function stays valid independently of this Testbed.
-  return [engine = engine_, model = model_](int gpcs, int batch) {
-    return engine.LatencySec(model, gpcs, batch);
-  };
+  // The repertoire's function already binds copies of the engine and
+  // model, so the returned copy stays valid independently of this Testbed.
+  return repertoire_.actual(0);
 }
 
 sim::SimResult Testbed::Run(const partition::PartitionPlan& plan,
@@ -108,7 +123,7 @@ sim::SimResult Testbed::Run(const partition::PartitionPlan& plan,
   sc.seed = options.seed ^ 0xA5A5A5A5ULL;
   sc.frontend = config_.frontend;
 
-  sim::InferenceServer server(sc, profile_, scheduler, ActualLatency());
+  sim::InferenceServer server(sc, repertoire_, scheduler);
   return server.Run(trace);
 }
 

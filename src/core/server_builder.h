@@ -27,6 +27,7 @@
 #include "partition/partitioner.h"
 #include "perf/model.h"
 #include "perf/roofline.h"
+#include "profile/model_repertoire.h"
 #include "profile/profile_table.h"
 #include "sched/elsa.h"
 #include "sched/scheduler.h"
@@ -69,7 +70,12 @@ class Testbed {
   const TestbedConfig& config() const { return config_; }
   const perf::DnnModel& model() const { return model_; }
   const perf::RooflineEngine& engine() const { return engine_; }
-  const profile::ProfileTable& profile() const { return profile_; }
+  // This testbed's model registered as id 0 of a one-entry repertoire (the
+  // degenerate single-model case of the multi-model serving path).
+  const profile::ModelRepertoire& repertoire() const { return repertoire_; }
+  const profile::ProfileTable& profile() const {
+    return repertoire_.profile(0);
+  }
   const workload::BatchDistribution& dist() const { return *dist_; }
   const ModelServerConfig& table1() const { return table1_; }
   const hw::Cluster& cluster() const { return cluster_; }
@@ -107,7 +113,7 @@ class Testbed {
   TestbedConfig config_;
   perf::DnnModel model_;
   perf::RooflineEngine engine_;
-  profile::ProfileTable profile_;
+  profile::ModelRepertoire repertoire_;
   std::unique_ptr<workload::BatchDistribution> dist_;
   ModelServerConfig table1_;
   hw::Cluster cluster_;

@@ -118,6 +118,9 @@ std::optional<ClusterLayout> PackWithRepair(const Cluster& cluster,
     auto it = std::max_element(sizes.begin(), sizes.end());
     if (it == sizes.end() || *it <= 1) return std::nullopt;
     const auto parts = split(*it);
+    // A size with no split rule (an invalid MIG profile) cannot be
+    // repaired; erasing it would silently shrink the demand instead.
+    if (parts.empty()) return std::nullopt;
     sizes.erase(it);
     sizes.insert(sizes.end(), parts.begin(), parts.end());
   }

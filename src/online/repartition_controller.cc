@@ -1,8 +1,27 @@
 #include "online/repartition_controller.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace pe::online {
+namespace {
+
+// pmf indexed by batch size ([0] unused) -> EmpiricalBatchDist weights.
+workload::EmpiricalBatchDist DistFromPmf(const std::vector<double>& pmf) {
+  if (pmf.size() < 2) {
+    throw std::invalid_argument("DistFromPmf: empty PMF");
+  }
+  std::vector<double> weights(pmf.size() - 1, 0.0);
+  for (std::size_t b = 1; b < pmf.size(); ++b) weights[b - 1] = pmf[b];
+  return workload::EmpiricalBatchDist(std::move(weights));
+}
+
+std::vector<int> SortedSizes(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace
 
 RepartitionController::RepartitionController(
     const profile::ProfileTable& profile, hw::Cluster cluster, int gpc_budget,
@@ -37,18 +56,143 @@ std::optional<partition::PartitionPlan> RepartitionController::MaybeRepartition(
 
   // Identical layouts need no reconfiguration -- but the committed PMF is
   // refreshed so drift is measured against what the plan now represents.
-  auto sorted = [](std::vector<int> v) {
-    std::sort(v.begin(), v.end());
-    return v;
-  };
-  const bool same_layout =
-      sorted(candidate.instance_gpcs) == sorted(plan_.instance_gpcs);
+  const bool same_layout = SortedSizes(candidate.instance_gpcs) ==
+                           SortedSizes(plan_.instance_gpcs);
   plan_pmf_ = estimator.Pmf();
   if (same_layout) return std::nullopt;
 
   plan_ = std::move(candidate);
   ++reconfigurations_;
   return plan_;
+}
+
+MixedRepartitionController::MixedRepartitionController(
+    const profile::ModelRepertoire& repertoire, hw::Cluster cluster,
+    int gpc_budget, const workload::MixSpec& initial_mix,
+    partition::ParisConfig paris, ElasticConfig config)
+    : repertoire_(repertoire),
+      cluster_(std::move(cluster)),
+      gpc_budget_(gpc_budget),
+      paris_config_(paris),
+      config_(config) {
+  const auto norm = initial_mix.NormalizedShares();
+  shares_.assign(static_cast<std::size_t>(repertoire_.size()), 0.0);
+  pmfs_.assign(shares_.size(), {});
+  for (std::size_t i = 0; i < initial_mix.components.size(); ++i) {
+    const auto& c = initial_mix.components[i];
+    if (!repertoire_.Has(c.model_id)) {
+      throw std::invalid_argument(
+          "MixedRepartitionController: mix references unknown model");
+    }
+    const auto m = static_cast<std::size_t>(c.model_id);
+    if (!pmfs_[m].empty()) {
+      // Two components for one model would need share-weighted PMF
+      // blending to form a correct drift baseline; reject rather than
+      // silently letting the last component's PMF win.
+      throw std::invalid_argument(
+          "MixedRepartitionController: duplicate model in mix");
+    }
+    shares_[m] = norm[i];
+    pmfs_[m] = c.dist->PdfVector();
+  }
+  for (std::size_t m = 0; m < pmfs_.size(); ++m) {
+    if (shares_[m] > 0.0 && pmfs_[m].empty()) {
+      throw std::invalid_argument(
+          "MixedRepartitionController: component without distribution");
+    }
+  }
+  plan_ = PlanFor(shares_, pmfs_);
+}
+
+partition::MixedPlan MixedRepartitionController::PlanFor(
+    const std::vector<double>& shares,
+    const std::vector<std::vector<double>>& pmfs) const {
+  // Models with no traffic are left out of the union entirely; their ids
+  // keep a zero budget in the result for index stability.
+  std::vector<partition::MixModelInput> inputs;
+  std::vector<workload::EmpiricalBatchDist> dists;
+  dists.reserve(shares.size());
+  std::vector<std::size_t> input_model(shares.size());
+  for (std::size_t m = 0; m < shares.size(); ++m) {
+    if (shares[m] <= 0.0) continue;
+    dists.push_back(DistFromPmf(pmfs[m]));
+    partition::MixModelInput in;
+    in.model_id = static_cast<int>(m);
+    in.share = shares[m];
+    in.profile = &repertoire_.profile(static_cast<int>(m));
+    in.dist = &dists.back();
+    input_model[inputs.size()] = m;
+    inputs.push_back(in);
+  }
+  if (inputs.empty()) {
+    throw std::invalid_argument(
+        "MixedRepartitionController: no model has traffic");
+  }
+  partition::MixedPlan packed =
+      partition::PlanMixedParis(inputs, cluster_, gpc_budget_, paris_config_);
+  // Re-index budgets/sizes by model id (PlanMixedParis aligns to inputs).
+  partition::MixedPlan result;
+  result.plan = std::move(packed.plan);
+  result.budgets.assign(shares.size(), 0);
+  result.per_model_sizes.assign(shares.size(), {});
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    result.budgets[input_model[i]] = packed.budgets[i];
+    result.per_model_sizes[input_model[i]] =
+        std::move(packed.per_model_sizes[i]);
+  }
+  return result;
+}
+
+double MixedRepartitionController::DriftOf(
+    const TrafficEstimator& estimator) const {
+  double drift = estimator.ShareDrift(shares_);
+  for (std::size_t m = 0; m < pmfs_.size(); ++m) {
+    if (estimator.ModelCount(static_cast<int>(m)) == 0) continue;
+    if (pmfs_[m].empty()) {
+      // A model with live traffic but no committed PMF is maximal drift.
+      drift = 1.0;
+      continue;
+    }
+    const auto live = estimator.ModelPmf(static_cast<int>(m));
+    const std::size_t n = std::max(live.size(), pmfs_[m].size());
+    double tv = 0.0;
+    for (std::size_t b = 1; b < n; ++b) {
+      const double a = b < live.size() ? live[b] : 0.0;
+      const double o = b < pmfs_[m].size() ? pmfs_[m][b] : 0.0;
+      tv += std::abs(a - o);
+    }
+    drift = std::max(drift, 0.5 * tv);
+  }
+  return drift;
+}
+
+std::optional<partition::PartitionPlan>
+MixedRepartitionController::MaybeRepartition(
+    const TrafficEstimator& estimator) {
+  if (estimator.count() < config_.min_observations) return std::nullopt;
+  if (DriftOf(estimator) < config_.drift_threshold) return std::nullopt;
+
+  // Live mix: observed shares; observed per-model PMFs where available,
+  // the committed PMF otherwise.
+  std::vector<double> shares =
+      estimator.ModelShares(static_cast<std::size_t>(repertoire_.size()));
+  std::vector<std::vector<double>> pmfs(pmfs_);
+  for (std::size_t m = 0; m < shares.size(); ++m) {
+    if (estimator.ModelCount(static_cast<int>(m)) > 0) {
+      pmfs[m] = estimator.ModelPmf(static_cast<int>(m));
+    }
+  }
+  partition::MixedPlan candidate = PlanFor(shares, pmfs);
+
+  const bool same_layout = SortedSizes(candidate.plan.instance_gpcs) ==
+                           SortedSizes(plan_.plan.instance_gpcs);
+  shares_ = std::move(shares);
+  pmfs_ = std::move(pmfs);
+  if (same_layout) return std::nullopt;
+
+  plan_ = std::move(candidate);
+  ++reconfigurations_;
+  return plan_.plan;
 }
 
 }  // namespace pe::online

@@ -1,13 +1,20 @@
-// Epoch-based elastic re-partitioning controller (extension).
+// Epoch-based elastic re-partitioning controllers (extension).
 //
 // The paper derives one PARIS configuration offline.  In production the
-// batch-size distribution drifts (time of day, service popularity); this
-// controller closes the loop: at every epoch boundary it compares the live
-// PMF from the TrafficEstimator against the PMF the current plan was built
-// for, and if the total-variation drift exceeds a threshold it re-runs
-// PARIS and -- if the resulting layout actually differs -- orders a
-// reconfiguration.  MIG reconfiguration is not free (instances must drain
-// and be re-created), which the elastic simulator charges as downtime.
+// workload drifts (time of day, service popularity); these controllers
+// close the loop: at every epoch boundary they compare the live traffic
+// from the TrafficEstimator against what the current plan was built for,
+// and if the drift exceeds a threshold they re-run PARIS and -- if the
+// resulting layout actually differs -- order a reconfiguration.  MIG
+// reconfiguration is not free (instances must drain and be re-created),
+// which the elastic simulator charges as downtime.
+//
+//  * RepartitionController: single-model; drift is the total-variation
+//    distance between the live batch PMF and the committed plan's PMF.
+//  * MixedRepartitionController: multi-model; drift is the larger of the
+//    model-share drift (the *mix* moving) and any model's own batch-PMF
+//    drift, and re-planning re-derives per-model GPC budgets from the live
+//    shares (partition::PlanMixedParis).
 #pragma once
 
 #include <optional>
@@ -16,23 +23,40 @@
 #include "common/sim_time.h"
 #include "hw/cluster.h"
 #include "online/traffic_estimator.h"
+#include "partition/mix.h"
 #include "partition/paris.h"
 #include "partition/partitioner.h"
+#include "profile/model_repertoire.h"
 #include "profile/profile_table.h"
+#include "workload/trace.h"
 
 namespace pe::online {
 
 struct ElasticConfig {
   // Minimum observations before the estimator is trusted.
   std::size_t min_observations = 500;
-  // Total-variation drift (vs the PMF of the current plan) that triggers
-  // re-partitioning.
+  // Total-variation drift (vs what the current plan was built for) that
+  // triggers re-partitioning.
   double drift_threshold = 0.10;
   // Downtime charged per reconfiguration (drain + MIG re-create).
   SimTime reconfig_downtime = MsToTicks(2000.0);
 };
 
-class RepartitionController {
+// The epoch-boundary decision interface the elastic simulator drives.
+class RepartitionPolicy {
+ public:
+  virtual ~RepartitionPolicy() = default;
+
+  virtual const partition::PartitionPlan& current_plan() const = 0;
+  virtual const ElasticConfig& config() const = 0;
+
+  // Epoch-boundary decision.  Returns the new plan if a reconfiguration is
+  // warranted (and commits to it), nullopt to keep the current plan.
+  virtual std::optional<partition::PartitionPlan> MaybeRepartition(
+      const TrafficEstimator& estimator) = 0;
+};
+
+class RepartitionController : public RepartitionPolicy {
  public:
   // `profile` must outlive the controller.  `initial_dist` seeds the first
   // plan (e.g. yesterday's traffic or a provisioning guess).
@@ -42,15 +66,15 @@ class RepartitionController {
                         partition::ParisConfig paris = {},
                         ElasticConfig config = {});
 
-  const partition::PartitionPlan& current_plan() const { return plan_; }
+  const partition::PartitionPlan& current_plan() const override {
+    return plan_;
+  }
   const std::vector<double>& current_pmf() const { return plan_pmf_; }
   int reconfigurations() const { return reconfigurations_; }
-  const ElasticConfig& config() const { return config_; }
+  const ElasticConfig& config() const override { return config_; }
 
-  // Epoch-boundary decision.  Returns the new plan if a reconfiguration is
-  // warranted (and commits to it), nullopt to keep the current plan.
   std::optional<partition::PartitionPlan> MaybeRepartition(
-      const TrafficEstimator& estimator);
+      const TrafficEstimator& estimator) override;
 
   // Drift of the live traffic vs the committed plan's PMF.
   double DriftOf(const TrafficEstimator& estimator) const;
@@ -66,6 +90,52 @@ class RepartitionController {
   int reconfigurations_ = 0;
 
   partition::PartitionPlan PlanFor(const workload::BatchDistribution& dist);
+};
+
+// Multi-model controller: tracks the committed per-model shares and batch
+// PMFs; drift in either re-derives per-model budgets and re-packs the
+// union layout.
+class MixedRepartitionController : public RepartitionPolicy {
+ public:
+  // `repertoire` must outlive the controller.  `initial_mix` seeds the
+  // first plan: component model_ids index the repertoire, shares give the
+  // provisioning guess of the traffic split.
+  MixedRepartitionController(const profile::ModelRepertoire& repertoire,
+                             hw::Cluster cluster, int gpc_budget,
+                             const workload::MixSpec& initial_mix,
+                             partition::ParisConfig paris = {},
+                             ElasticConfig config = {});
+
+  const partition::PartitionPlan& current_plan() const override {
+    return plan_.plan;
+  }
+  const ElasticConfig& config() const override { return config_; }
+  // Per-model GPC budgets of the committed plan, indexed by model id.
+  const std::vector<int>& current_budgets() const { return plan_.budgets; }
+  const std::vector<double>& committed_shares() const { return shares_; }
+  int reconfigurations() const { return reconfigurations_; }
+
+  std::optional<partition::PartitionPlan> MaybeRepartition(
+      const TrafficEstimator& estimator) override;
+
+  // max(share drift, max over models of batch-PMF drift).
+  double DriftOf(const TrafficEstimator& estimator) const;
+
+ private:
+  const profile::ModelRepertoire& repertoire_;
+  hw::Cluster cluster_;
+  int gpc_budget_;
+  partition::ParisConfig paris_config_;
+  ElasticConfig config_;
+  partition::MixedPlan plan_;
+  // Committed state, indexed by model id.
+  std::vector<double> shares_;
+  std::vector<std::vector<double>> pmfs_;  // index = batch size, [0] unused
+  int reconfigurations_ = 0;
+
+  partition::MixedPlan PlanFor(
+      const std::vector<double>& shares,
+      const std::vector<std::vector<double>>& pmfs) const;
 };
 
 }  // namespace pe::online

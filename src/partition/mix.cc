@@ -1,0 +1,108 @@
+#include "partition/mix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "partition/homogeneous.h"
+
+namespace pe::partition {
+
+std::vector<int> ShareBudgets(const std::vector<double>& shares,
+                              int total_gpcs) {
+  if (shares.empty()) {
+    throw std::invalid_argument("ShareBudgets: no shares");
+  }
+  if (total_gpcs < 1) {
+    throw std::invalid_argument("ShareBudgets: total budget must be >= 1");
+  }
+  double sum = 0.0;
+  for (double s : shares) {
+    if (s < 0.0) throw std::invalid_argument("ShareBudgets: negative share");
+    sum += s;
+  }
+  if (sum <= 0.0) {
+    throw std::invalid_argument("ShareBudgets: shares sum to zero");
+  }
+
+  const std::size_t n = shares.size();
+  std::vector<int> budgets(n, 0);
+  std::vector<double> exact(n), frac(n);
+  int used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    exact[i] = shares[i] / sum * static_cast<double>(total_gpcs);
+    budgets[i] = static_cast<int>(std::floor(exact[i]));
+    frac[i] = exact[i] - std::floor(exact[i]);
+    used += budgets[i];
+  }
+  // Largest fractional remainders absorb the leftover GPCs.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return frac[a] > frac[b];
+  });
+  for (std::size_t j = 0; used < total_gpcs; j = (j + 1) % n) {
+    ++budgets[order[j]];
+    ++used;
+  }
+  // Floor: every model with traffic gets at least 1 GPC (a 0-GPC model
+  // would have no partition at all for its queries), funded by the largest
+  // allocations while they stay above the floor themselves.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (shares[i] > 0.0 && budgets[i] == 0) {
+      auto donor = std::max_element(budgets.begin(), budgets.end());
+      if (*donor <= 1) break;  // nothing left to donate
+      --*donor;
+      ++budgets[i];
+    }
+  }
+  return budgets;
+}
+
+MixedPlan PlanMixedParis(const std::vector<MixModelInput>& inputs,
+                         const hw::Cluster& cluster, int gpc_budget,
+                         ParisConfig config) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("PlanMixedParis: no models");
+  }
+  std::vector<double> shares;
+  shares.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    if (in.profile == nullptr || in.dist == nullptr) {
+      throw std::invalid_argument("PlanMixedParis: null profile or dist");
+    }
+    shares.push_back(in.share);
+  }
+
+  MixedPlan result;
+  const int budget = std::min(gpc_budget, cluster.total_gpcs());
+  result.budgets = ShareBudgets(shares, budget);
+
+  std::vector<int> union_sizes;
+  std::ostringstream why;
+  why << "mixed PARIS budgets={";
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (i > 0) why << ',';
+    why << "model" << inputs[i].model_id << ':' << result.budgets[i];
+    std::vector<int> sizes;
+    if (result.budgets[i] > 0) {
+      ParisPartitioner paris(*inputs[i].profile, *inputs[i].dist, config);
+      const ParisDerivation d = paris.Derive(result.budgets[i]);
+      for (std::size_t k = 0; k < d.partition_sizes.size(); ++k) {
+        for (int c = 0; c < d.instances[k]; ++c) {
+          sizes.push_back(d.partition_sizes[k]);
+        }
+      }
+    }
+    union_sizes.insert(union_sizes.end(), sizes.begin(), sizes.end());
+    result.per_model_sizes.push_back(std::move(sizes));
+  }
+  why << "}";
+  result.plan = MakePlan(cluster, std::move(union_sizes), why.str());
+  return result;
+}
+
+}  // namespace pe::partition

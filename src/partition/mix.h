@@ -1,0 +1,54 @@
+// Multi-model PARIS: one heterogeneous MIG layout serving a traffic mix.
+//
+// The paper partitions a server for a single model's batch-size PDF.  For
+// a mix of models, each model's share of the traffic earns it a slice of
+// the total GPC budget (largest-remainder split), PARIS derives that
+// model's instance multiset within its slice, and the union multiset is
+// packed onto the physical cluster through Cluster::Pack (with the usual
+// split-repair fallback).  The per-model multisets are kept alongside the
+// packed union so dedicated-per-model layouts can be compared against the
+// consolidated one at equal total GPCs.
+#pragma once
+
+#include <vector>
+
+#include "partition/paris.h"
+#include "partition/partitioner.h"
+#include "profile/profile_table.h"
+#include "workload/batch_dist.h"
+
+namespace pe::partition {
+
+// One model's inputs to the mixed planner.  `profile` and `dist` are
+// borrowed and must outlive the PlanMixedParis call.
+struct MixModelInput {
+  int model_id = 0;
+  double share = 1.0;  // relative traffic weight; normalized internally
+  const profile::ProfileTable* profile = nullptr;
+  const workload::BatchDistribution* dist = nullptr;
+};
+
+struct MixedPlan {
+  PartitionPlan plan;  // packed union across all models
+  // Index-aligned with the PlanMixedParis inputs:
+  std::vector<int> budgets;                       // GPCs granted per model
+  std::vector<std::vector<int>> per_model_sizes;  // PARIS multiset per model
+};
+
+// Largest-remainder split of `total_gpcs` across `shares` (normalized
+// internally).  Every strictly positive share receives at least 1 GPC when
+// `total_gpcs` allows, taken from the largest allocations.  Throws
+// std::invalid_argument on an empty/negative/all-zero share vector or a
+// non-positive total.
+std::vector<int> ShareBudgets(const std::vector<double>& shares,
+                              int total_gpcs);
+
+// Runs PARIS per model within its share-derived budget and packs the union
+// onto `cluster`.  A single-input mix with share 1.0 degenerates to
+// ParisPartitioner::Plan on the full budget.  Throws std::runtime_error if
+// even the repaired union cannot pack.
+MixedPlan PlanMixedParis(const std::vector<MixModelInput>& inputs,
+                         const hw::Cluster& cluster, int gpc_budget,
+                         ParisConfig config = ParisConfig{});
+
+}  // namespace pe::partition

@@ -8,13 +8,34 @@ namespace pe::sched {
 
 ElsaScheduler::ElsaScheduler(const profile::ProfileTable& profile,
                              SimTime sla_target, ElsaParams params)
-    : profile_(profile), sla_target_(sla_target), params_(params) {
+    : profile_(&profile), sla_target_(sla_target), params_(params) {
   assert(sla_target_ > 0);
 }
 
+ElsaScheduler::ElsaScheduler(const profile::ModelRepertoire& repertoire,
+                             SimTime sla_target, ElsaParams params)
+    : repertoire_(&repertoire), sla_target_(sla_target), params_(params) {
+  assert(sla_target_ > 0);
+  assert(!repertoire.empty());
+}
+
+double ElsaScheduler::EstimateSec(int model_id, int gpcs, int batch) const {
+  // The single-profile form serves exactly one model; its table answers
+  // regardless of the id so legacy callers stay model-oblivious.
+  if (repertoire_ != nullptr) {
+    return repertoire_->EstimateSec(model_id, gpcs, batch);
+  }
+  return profile_->LatencySec(gpcs, batch);
+}
+
 double ElsaScheduler::SlackSec(const WorkerState& worker, int batch) const {
+  return SlackSec(worker, /*model_id=*/0, batch);
+}
+
+double ElsaScheduler::SlackSec(const WorkerState& worker, int model_id,
+                               int batch) const {
   const double t_wait = TicksToSec(worker.wait_ticks);
-  const double t_new = profile_.LatencySec(worker.gpcs, batch);
+  const double t_new = EstimateSec(model_id, worker.gpcs, batch);
   return TicksToSec(sla_target_) -
          params_.alpha * (t_wait + params_.beta * t_new);
 }
@@ -23,9 +44,8 @@ int ElsaScheduler::OnQueryArrival(const workload::Query& query,
                                   const std::vector<WorkerState>& workers) {
   assert(!workers.empty());
 
-  // Step A: smallest partition whose predicted slack is positive.  Workers
-  // are visited in ascending (gpcs, index) order regardless of their order
-  // in the vector.
+  // Workers are visited in ascending (gpcs, index) order regardless of
+  // their order in the vector.
   std::vector<const WorkerState*> sorted;
   sorted.reserve(workers.size());
   for (const auto& w : workers) sorted.push_back(&w);
@@ -34,22 +54,49 @@ int ElsaScheduler::OnQueryArrival(const workload::Query& query,
               if (a->gpcs != b->gpcs) return a->gpcs < b->gpcs;
               return a->index < b->index;
             });
+
+  const auto completion_sec = [&](const WorkerState& w) {
+    return TicksToSec(w.wait_ticks) +
+           EstimateSec(query.model_id, w.gpcs, query.batch);
+  };
+  // Among positive-slack candidates, a swap-free partition -- one whose
+  // resident model already matches the query, or one that has never loaded
+  // a model (-1) -- wins over `chosen` when its predicted completion ties
+  // within the locality window: the query avoids a model-swap penalty at
+  // no predicted SLA cost.
+  const auto swap_free = [&](const WorkerState& w) {
+    return w.resident_model == query.model_id || w.resident_model == -1;
+  };
+  const auto prefer_local = [&](const WorkerState* chosen) {
+    if (params_.locality_tie_sec <= 0.0 || chosen == nullptr) return chosen;
+    if (swap_free(*chosen)) return chosen;
+    const double bound = completion_sec(*chosen) + params_.locality_tie_sec;
+    for (const WorkerState* w : sorted) {
+      if (!swap_free(*w)) continue;
+      if (SlackSec(*w, query.model_id, query.batch) <= 0.0) continue;
+      if (completion_sec(*w) <= bound) return w;
+    }
+    return chosen;
+  };
+
+  // Step A: smallest partition whose predicted slack is positive.
   for (const WorkerState* w : sorted) {
-    if (SlackSec(*w, query.batch) > 0.0) return w->index;
+    if (SlackSec(*w, query.model_id, query.batch) > 0.0) {
+      return prefer_local(w)->index;
+    }
   }
 
   // Step B: no partition satisfies the SLA; pick minimum completion time.
   double t_min = std::numeric_limits<double>::infinity();
-  int best = sorted.front()->index;
+  const WorkerState* best = sorted.front();
   for (const WorkerState* w : sorted) {
-    const double t = TicksToSec(w->wait_ticks) +
-                     profile_.LatencySec(w->gpcs, query.batch);
+    const double t = completion_sec(*w);
     if (t < t_min) {
       t_min = t;
-      best = w->index;
+      best = w;
     }
   }
-  return best;
+  return best->index;
 }
 
 }  // namespace pe::sched

@@ -14,10 +14,19 @@
 // query as fast as possible so it disturbs other queries the least.
 //
 // Testimated comes from the one-time profiled lookup table; Twait comes in
-// precomputed through WorkerState (the server derives it from the same
-// table plus the in-flight query's elapsed timestamp).
+// precomputed through WorkerState (the server derives it from each queued
+// query's own model profile plus the in-flight query's elapsed timestamp).
+//
+// Multi-model extension: constructed from a ModelRepertoire, ELSA routes
+// every Testimated,new lookup through the *arriving query's* model profile,
+// and -- when `locality_tie_sec` is enabled -- prefers a positive-slack
+// partition whose resident model already matches the query whenever its
+// predicted completion ties the default choice within the threshold,
+// avoiding a model-swap penalty at no predicted SLA cost.  FIFS remains
+// model-oblivious as the baseline.
 #pragma once
 
+#include "profile/model_repertoire.h"
 #include "profile/profile_table.h"
 #include "sched/scheduler.h"
 
@@ -29,14 +38,26 @@ struct ElsaParams {
   // noise-free execution.
   double alpha = 1.0;
   double beta = 1.0;
+  // Model-locality tie-break window: a swap-free partition (resident
+  // model already matching the query, or never loaded) wins over the
+  // default Step A choice when its predicted completion is within this
+  // many seconds of the default's.  0 (default) disables the tie-break,
+  // reproducing the paper's model-oblivious Algorithm 2 exactly.
+  double locality_tie_sec = 0.0;
 };
 
 class ElsaScheduler final : public Scheduler {
  public:
-  // `profile` must outlive the scheduler.  `sla_target` is the model's SLA
-  // target (Section V: N x the max-batch latency on GPU(7)).
+  // Single-model form: `profile` must outlive the scheduler.  `sla_target`
+  // is the model's SLA target (Section V: N x the max-batch latency on
+  // GPU(7)).
   ElsaScheduler(const profile::ProfileTable& profile, SimTime sla_target,
                 ElsaParams params = ElsaParams{});
+
+  // Multi-model form: Testimated lookups route through the arriving
+  // query's model profile.  `repertoire` must outlive the scheduler.
+  ElsaScheduler(const profile::ModelRepertoire& repertoire,
+                SimTime sla_target, ElsaParams params = ElsaParams{});
 
   int OnQueryArrival(const workload::Query& query,
                      const std::vector<WorkerState>& workers) override;
@@ -49,12 +70,19 @@ class ElsaScheduler final : public Scheduler {
   SimTime sla_target() const { return sla_target_; }
   const ElsaParams& params() const { return params_; }
 
-  // Predicted slack of scheduling `batch` on a worker (exposed for tests
-  // and for the slack-visualisation example).
+  // Predicted slack of scheduling `batch` of model 0 on a worker (exposed
+  // for tests and for the slack-visualisation example).
   double SlackSec(const WorkerState& worker, int batch) const;
 
+  // Model-aware form of the slack predictor.
+  double SlackSec(const WorkerState& worker, int model_id, int batch) const;
+
  private:
-  const profile::ProfileTable& profile_;
+  double EstimateSec(int model_id, int gpcs, int batch) const;
+
+  // Exactly one of the two sources is set.
+  const profile::ProfileTable* profile_ = nullptr;
+  const profile::ModelRepertoire* repertoire_ = nullptr;
   SimTime sla_target_;
   ElsaParams params_;
 };

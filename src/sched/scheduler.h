@@ -32,6 +32,11 @@ struct WorkerState {
   bool idle = true;             // not executing and local queue empty
   SimTime wait_ticks = 0;       // Twait per Eq. 1
   std::size_t queue_length = 0;
+  // Model most recently started on this partition (the one its weights
+  // are loaded for); -1 until the first query starts.  Model-locality-
+  // aware schedulers prefer partitions whose resident model matches the
+  // arriving query so the server avoids a model-swap penalty.
+  int resident_model = -1;
 };
 
 // Sentinel: leave the query in the central queue.

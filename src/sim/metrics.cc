@@ -36,6 +36,23 @@ ServerStats ComputeStats(const std::vector<QueryRecord>& records,
   // by (index, gpcs): records from differently-sized partitions that
   // happened to share an index stay separate entries.
   std::map<std::pair<int, int>, WorkerStats> workers;
+  // Per-model latency slices of a mixed-traffic run.  Single-model runs
+  // (the common case on every legacy hot path) skip the duplicate sample
+  // storage: their one models[] entry is synthesized from the aggregate.
+  struct ModelAccum {
+    Percentile latency;
+    std::size_t violations = 0;
+    std::size_t swaps = 0;
+    std::size_t completed = 0;
+  };
+  std::map<int, ModelAccum> models;
+  bool multi_model = false;
+  for (std::size_t i = skip; i < sorted.size(); ++i) {
+    if (sorted[i]->model != sorted[skip]->model) {
+      multi_model = true;
+      break;
+    }
+  }
 
   for (std::size_t i = skip; i < sorted.size(); ++i) {
     const QueryRecord& r = *sorted[i];
@@ -43,6 +60,7 @@ ServerStats ComputeStats(const std::vector<QueryRecord>& records,
     queue_delay.Add(TicksToMs(r.QueueDelay()));
     if (r.Latency() > sla_target) ++violations;
     if (r.reconfig_stalls > 0) ++stats.reconfig_stalled;
+    if (r.model_swap) ++stats.model_swaps;
     if (stats.completed == 0) window_begin = r.arrival;
     window_end = std::max(window_end, r.finished);
     ++stats.completed;
@@ -52,6 +70,14 @@ ServerStats ComputeStats(const std::vector<QueryRecord>& records,
     w.gpcs = r.worker_gpcs;
     w.busy_ticks += r.finished - r.started;
     ++w.queries;
+
+    if (multi_model) {
+      auto& m = models[r.model];
+      m.latency.Add(TicksToMs(r.Latency()));
+      if (r.Latency() > sla_target) ++m.violations;
+      if (r.model_swap) ++m.swaps;
+      ++m.completed;
+    }
   }
   if (stats.completed == 0) return stats;
 
@@ -85,6 +111,31 @@ ServerStats ComputeStats(const std::vector<QueryRecord>& records,
   }
   if (span > 0 && gpc_total > 0.0) {
     stats.mean_worker_utilization = gpc_busy / gpc_total;
+  }
+  if (multi_model) {
+    for (auto& [model, m] : models) {
+      ModelStats ms;
+      ms.model = model;
+      ms.completed = m.completed;
+      ms.mean_latency_ms = m.latency.Mean();
+      ms.p95_latency_ms = m.latency.P95();
+      ms.p99_latency_ms = m.latency.P99();
+      ms.sla_violation_rate = static_cast<double>(m.violations) /
+                              static_cast<double>(m.completed);
+      ms.swaps = m.swaps;
+      stats.models.push_back(std::move(ms));
+    }
+  } else {
+    // One model: its slice IS the aggregate.
+    ModelStats ms;
+    ms.model = sorted[skip]->model;
+    ms.completed = stats.completed;
+    ms.mean_latency_ms = stats.mean_latency_ms;
+    ms.p95_latency_ms = stats.p95_latency_ms;
+    ms.p99_latency_ms = stats.p99_latency_ms;
+    ms.sla_violation_rate = stats.sla_violation_rate;
+    ms.swaps = stats.model_swaps;
+    stats.models.push_back(std::move(ms));
   }
   return stats;
 }

@@ -15,12 +15,17 @@ namespace pe::sim {
 struct QueryRecord {
   std::uint64_t id = 0;
   int batch = 1;
+  // Model identity (repertoire id); 0 for single-model runs.
+  int model = 0;
   SimTime arrival = 0;     // enters the server
   SimTime dispatched = 0;  // bound to a worker (== arrival unless queued)
   SimTime started = 0;     // execution begins on the GPU partition
   SimTime finished = 0;    // execution completes
   int worker = -1;
   int worker_gpcs = 0;
+  // True when starting this query displaced a different resident model on
+  // its partition (the server charged the model-swap penalty, if any).
+  bool model_swap = false;
   // Number of live-reconfiguration windows this query waited through while
   // queued (held at arrival, already central-queued, or orphaned from a
   // retired partition's local queue).  0 in any run without
@@ -39,6 +44,18 @@ struct WorkerStats {
   double utilization = 0.0;  // busy fraction of the measured span
 };
 
+// Per-model slice of a (possibly mixed-traffic) run.
+struct ModelStats {
+  int model = 0;
+  std::size_t completed = 0;
+  double mean_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double sla_violation_rate = 0.0;
+  // Completions whose start displaced a different resident model.
+  std::size_t swaps = 0;
+};
+
 struct ServerStats {
   std::size_t completed = 0;
   double mean_latency_ms = 0.0;
@@ -54,7 +71,14 @@ struct ServerStats {
   // at least one live reconfiguration (QueryRecord::reconfig_stalls > 0):
   // the queue-build-up transient a layout swap causes.
   std::size_t reconfig_stalled = 0;
+  // Starts (among the included records) that displaced a different
+  // resident model on their partition -- the cross-model interference a
+  // consolidated multi-model layout pays for sharing partitions.
+  std::size_t model_swaps = 0;
   std::vector<WorkerStats> workers;
+  // One entry per model id seen in the included records, ascending; a
+  // single entry (model 0) for single-model runs.
+  std::vector<ModelStats> models;
 };
 
 // Aggregates records into ServerStats.

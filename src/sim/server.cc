@@ -7,17 +7,46 @@
 
 namespace pe::sim {
 
+namespace {
+
+std::unique_ptr<profile::ModelRepertoire> WrapSingleModel(
+    const profile::ProfileTable& profile, LatencyFn actual_latency) {
+  auto repertoire = std::make_unique<profile::ModelRepertoire>();
+  const std::string name =
+      profile.model_name().empty() ? "model" : profile.model_name();
+  repertoire->Register(name, profile, std::move(actual_latency));
+  return repertoire;
+}
+
+}  // namespace
+
 InferenceServer::InferenceServer(ServerConfig config,
                                  const profile::ProfileTable& profile,
                                  sched::Scheduler& scheduler,
                                  LatencyFn actual_latency)
     : config_(std::move(config)),
-      profile_(profile),
+      owned_repertoire_(WrapSingleModel(profile, std::move(actual_latency))),
+      repertoire_(owned_repertoire_.get()),
       scheduler_(scheduler),
-      actual_latency_(std::move(actual_latency)),
       rng_(config_.seed) {
   if (config_.partition_gpcs.empty()) {
     throw std::invalid_argument("InferenceServer: no partitions configured");
+  }
+  Reset();
+}
+
+InferenceServer::InferenceServer(ServerConfig config,
+                                 const profile::ModelRepertoire& repertoire,
+                                 sched::Scheduler& scheduler)
+    : config_(std::move(config)),
+      repertoire_(&repertoire),
+      scheduler_(scheduler),
+      rng_(config_.seed) {
+  if (config_.partition_gpcs.empty()) {
+    throw std::invalid_argument("InferenceServer: no partitions configured");
+  }
+  if (repertoire.empty()) {
+    throw std::invalid_argument("InferenceServer: empty model repertoire");
   }
   Reset();
 }
@@ -49,6 +78,7 @@ void InferenceServer::BuildWorkers(const std::vector<int>& partition_gpcs) {
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     workers_.emplace_back(static_cast<int>(i), sizes[i]);
   }
+  snapshots_.reserve(workers_.size());
 }
 
 void InferenceServer::Push(SimTime time, EventType type,
@@ -56,8 +86,8 @@ void InferenceServer::Push(SimTime time, EventType type,
   events_.push(Event{time, next_seq_++, type, payload});
 }
 
-SimTime InferenceServer::ActualTicks(int gpcs, int batch) {
-  double sec = actual_latency_(gpcs, batch);
+SimTime InferenceServer::ActualTicks(int model_id, int gpcs, int batch) {
+  double sec = repertoire_->ActualSec(model_id, gpcs, batch);
   if (config_.latency_noise_sigma > 0.0) {
     const double sigma = config_.latency_noise_sigma;
     // Mean-one log-normal multiplier so noise does not shift mean latency.
@@ -66,28 +96,35 @@ SimTime InferenceServer::ActualTicks(int gpcs, int batch) {
   return std::max<SimTime>(1, SecToTicks(sec));
 }
 
-SimTime InferenceServer::EstimateTicks(int gpcs, int batch) const {
-  return std::max<SimTime>(1, SecToTicks(profile_.LatencySec(gpcs, batch)));
+SimTime InferenceServer::EstimateTicks(int model_id, int gpcs,
+                                       int batch) const {
+  return std::max<SimTime>(
+      1, SecToTicks(repertoire_->EstimateSec(model_id, gpcs, batch)));
 }
 
-std::vector<sched::WorkerState> InferenceServer::Snapshots(
+const std::vector<sched::WorkerState>& InferenceServer::Snapshots(
     SimTime now) const {
-  std::vector<sched::WorkerState> states;
-  states.reserve(workers_.size());
-  for (const auto& w : workers_) states.push_back(w.Snapshot(now));
-  return states;
+  snapshots_.clear();
+  for (const auto& w : workers_) snapshots_.push_back(w.Snapshot(now));
+  return snapshots_;
 }
 
 void InferenceServer::StartHead(PartitionWorker& worker, SimTime now) {
   if (reconfiguring_) return;  // dispatch held until the new layout is up
   if (!worker.CanStart()) return;
-  const int batch = worker.Head().batch;
-  const SimTime actual = ActualTicks(worker.gpcs(), batch);
+  const workload::Query& head = worker.Head();
+  SimTime actual = ActualTicks(head.model_id, worker.gpcs(), head.batch);
+  // Displacing a different resident model re-loads weights; the charge
+  // extends this query's occupancy of the partition.
+  const bool swap = worker.resident_model() != -1 &&
+                    worker.resident_model() != head.model_id;
+  if (swap) actual += config_.model_swap_cost;
   const workload::Query q = worker.Start(now, actual);
   QueryRecord& rec = records_[q.id];
   rec.started = now;
   rec.worker = worker.index();
   rec.worker_gpcs = worker.gpcs();
+  rec.model_swap = swap;
   Push(now + actual, EventType::kWorkerDone,
        static_cast<std::size_t>(worker.index()));
 }
@@ -114,7 +151,8 @@ void InferenceServer::Dispatch(const workload::Query& query, SimTime now) {
   }
   PartitionWorker& worker = workers_[static_cast<std::size_t>(idx)];
   records_[query.id].dispatched = now;
-  worker.Enqueue(query, EstimateTicks(worker.gpcs(), query.batch));
+  worker.Enqueue(query,
+                 EstimateTicks(query.model_id, worker.gpcs(), query.batch));
   StartHead(worker, now);
 }
 
@@ -133,7 +171,8 @@ void InferenceServer::ReofferCentralQueue(SimTime now) {
     central_queue_.pop_front();
     PartitionWorker& worker = workers_[static_cast<std::size_t>(idx)];
     records_[head.id].dispatched = now;
-    worker.Enqueue(head, EstimateTicks(worker.gpcs(), head.batch));
+    worker.Enqueue(head,
+                   EstimateTicks(head.model_id, worker.gpcs(), head.batch));
     StartHead(worker, now);
   }
 }
@@ -146,10 +185,16 @@ void InferenceServer::InjectQuery(const workload::Query& query) {
     throw std::invalid_argument(
         "InferenceServer: arrival predates the current simulation time");
   }
+  if (!repertoire_->Has(query.model_id)) {
+    throw std::invalid_argument(
+        "InferenceServer: query model_id " + std::to_string(query.model_id) +
+        " is not in the repertoire");
+  }
   queries_.push_back(query);
   QueryRecord rec;
   rec.id = query.id;
   rec.batch = query.batch;
+  rec.model = query.model_id;
   rec.arrival = query.arrival;
   records_.push_back(rec);
   Push(query.arrival, EventType::kArrival, queries_.size() - 1);
@@ -198,7 +243,9 @@ void InferenceServer::CompleteReconfigure(SimTime now) {
   // Carry over queued-but-unstarted work from the retiring partitions, in
   // global dispatch order (then id, for same-instant determinism).
   std::vector<workload::Query> orphans;
-  const auto old_states = Snapshots(now);
+  // Snapshots() returns the reusable scratch; the old layout's states must
+  // survive BuildWorkers, so copy them out.
+  const std::vector<sched::WorkerState> old_states = Snapshots(now);
   for (auto& worker : workers_) {
     assert(!worker.busy());  // drain window covered every in-flight query
     auto q = worker.TakeQueue();
@@ -238,7 +285,7 @@ void InferenceServer::CompleteReconfigure(SimTime now) {
     }
     PartitionWorker& worker = workers_[static_cast<std::size_t>(idx)];
     records_[q.id].dispatched = now;
-    worker.Enqueue(q, EstimateTicks(worker.gpcs(), q.batch));
+    worker.Enqueue(q, EstimateTicks(q.model_id, worker.gpcs(), q.batch));
     StartHead(worker, now);
   }
   ReofferCentralQueue(now);
@@ -280,7 +327,8 @@ void InferenceServer::ProcessEvent(const Event& ev) {
         const workload::Query next = central_queue_.front();
         central_queue_.pop_front();
         records_[next.id].dispatched = now;
-        worker.Enqueue(next, EstimateTicks(worker.gpcs(), next.batch));
+        worker.Enqueue(next,
+                       EstimateTicks(next.model_id, worker.gpcs(), next.batch));
         StartHead(worker, now);
       }
       break;

@@ -36,6 +36,7 @@
 
 #include "common/rng.h"
 #include "common/sim_time.h"
+#include "profile/model_repertoire.h"
 #include "profile/profile_table.h"
 #include "sched/scheduler.h"
 #include "sim/metrics.h"
@@ -45,7 +46,8 @@
 namespace pe::sim {
 
 // Ground truth: actual execution latency of (partition gpcs, batch).
-using LatencyFn = std::function<double(int gpcs, int batch)>;
+// Alias of the repertoire's per-model function type.
+using LatencyFn = profile::LatencyFn;
 
 struct FrontendConfig {
   bool enabled = false;
@@ -65,6 +67,11 @@ struct ServerConfig {
   double latency_noise_sigma = 0.0;
   std::uint64_t seed = 0x5EED;
   FrontendConfig frontend;
+  // Charged on top of a query's execution time when its start displaces a
+  // different resident model on the partition (weight re-load / context
+  // switch).  0 (the default) models free swaps; single-model runs never
+  // swap, so the knob cannot perturb them either way.
+  SimTime model_swap_cost = 0;
 };
 
 struct SimResult {
@@ -76,10 +83,19 @@ struct SimResult {
 
 class InferenceServer {
  public:
-  // `profile` (estimates) and `scheduler` must outlive the server.
-  // `actual_latency` returns seconds for (gpcs, batch).
+  // Single-model convenience: wraps `profile` + `actual_latency` into an
+  // owned one-entry repertoire (model id 0).  `profile` is copied, so only
+  // `scheduler` must outlive the server.
   InferenceServer(ServerConfig config, const profile::ProfileTable& profile,
                   sched::Scheduler& scheduler, LatencyFn actual_latency);
+
+  // Multi-model serving: every injected query's model_id must be a valid
+  // id of `repertoire`, whose per-model tables provide the scheduler
+  // estimates and whose latency functions provide the ground truth.
+  // `repertoire` and `scheduler` must outlive the server.
+  InferenceServer(ServerConfig config,
+                  const profile::ModelRepertoire& repertoire,
+                  sched::Scheduler& scheduler);
 
   // Batch driving: resets incremental state, replays the whole trace to
   // completion, and returns per-query records.  Equivalent to a fresh
@@ -141,18 +157,24 @@ class InferenceServer {
   // schedulers only), stopping at the first it declines; used after a
   // reconfiguration brings the new (all-idle) workers up.
   void ReofferCentralQueue(SimTime now);
-  std::vector<sched::WorkerState> Snapshots(SimTime now) const;
+  // Refills and returns the member scratch vector: the hot path runs once
+  // per scheduler consultation, so the per-event allocation of a fresh
+  // vector is avoided.  The reference is invalidated by the next call.
+  const std::vector<sched::WorkerState>& Snapshots(SimTime now) const;
   void BuildWorkers(const std::vector<int>& partition_gpcs);
   // Starts the worker's head query if the worker is free, recording start
-  // metadata and scheduling the completion event.
+  // metadata (including any model-swap charge) and scheduling the
+  // completion event.
   void StartHead(PartitionWorker& worker, SimTime now);
-  SimTime ActualTicks(int gpcs, int batch);
-  SimTime EstimateTicks(int gpcs, int batch) const;
+  SimTime ActualTicks(int model_id, int gpcs, int batch);
+  SimTime EstimateTicks(int model_id, int gpcs, int batch) const;
 
   ServerConfig config_;
-  const profile::ProfileTable& profile_;
+  // `repertoire_` points at either the borrowed multi-model repertoire or
+  // the owned single-model wrapper built by the legacy constructor.
+  std::unique_ptr<profile::ModelRepertoire> owned_repertoire_;
+  const profile::ModelRepertoire* repertoire_;
   sched::Scheduler& scheduler_;
-  LatencyFn actual_latency_;
   Rng rng_;
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
@@ -167,6 +189,8 @@ class InferenceServer {
   std::vector<SimTime> frontend_free_at_;  // per lane
   std::vector<workload::Query> queries_;   // injected arrivals, by id
   std::vector<QueryRecord> records_;
+  // Scratch for Snapshots(): reserved once per layout, reused per event.
+  mutable std::vector<sched::WorkerState> snapshots_;
 
   // Live-reconfiguration state: while `reconfiguring_`, no query starts
   // and arrivals are held.  `reconfig_gen_` stamps the kReconfigDone event

@@ -33,6 +33,7 @@ workload::Query PartitionWorker::Start(SimTime now, SimTime actual) {
   current_estimated_ = head.estimated;
   current_started_ = now;
   busy_until_ = now + actual;
+  resident_model_ = head.query.model_id;
   return head.query;
 }
 
@@ -69,6 +70,7 @@ sched::WorkerState PartitionWorker::Snapshot(SimTime now) const {
   s.idle = idle();
   s.wait_ticks = EstimatedWait(now);
   s.queue_length = queue_.size();
+  s.resident_model = resident_model_;
   return s;
 }
 

@@ -28,6 +28,11 @@ class PartitionWorker {
   int index() const { return index_; }
   int gpcs() const { return gpcs_; }
 
+  // Model whose weights are loaded on this partition: the model of the
+  // most recently started query, -1 until the first start.  Persists
+  // across idle periods (the model stays resident until displaced).
+  int resident_model() const { return resident_model_; }
+
   bool busy() const { return current_.has_value(); }
   bool idle() const { return !busy() && queue_.empty(); }
   std::size_t queue_length() const { return queue_.size(); }
@@ -73,6 +78,7 @@ class PartitionWorker {
 
   int index_;
   int gpcs_;
+  int resident_model_ = -1;
   std::deque<Pending> queue_;
   SimTime queued_estimated_ = 0;  // running sum over queue_
 

@@ -38,10 +38,32 @@ double QueryTrace::MeanBatch() const {
   return sum / static_cast<double>(queries_.size());
 }
 
-void QueryTrace::SaveCsv(std::ostream& os) const {
-  os << "id,arrival_ns,batch\n";
+int QueryTrace::NumModels() const {
+  int max_id = 0;
+  for (const auto& q : queries_) max_id = std::max(max_id, q.model_id);
+  return max_id + 1;
+}
+
+QueryTrace QueryTrace::FilterModel(int model_id) const {
+  std::vector<Query> filtered;
   for (const auto& q : queries_) {
-    os << q.id << ',' << q.arrival << ',' << q.batch << '\n';
+    if (q.model_id != model_id) continue;
+    Query copy = q;
+    copy.id = filtered.size();
+    filtered.push_back(copy);
+  }
+  return QueryTrace(std::move(filtered));
+}
+
+void QueryTrace::SaveCsv(std::ostream& os) const {
+  const bool multi =
+      std::any_of(queries_.begin(), queries_.end(),
+                  [](const Query& q) { return q.model_id != 0; });
+  os << (multi ? "id,arrival_ns,batch,model\n" : "id,arrival_ns,batch\n");
+  for (const auto& q : queries_) {
+    os << q.id << ',' << q.arrival << ',' << q.batch;
+    if (multi) os << ',' << q.model_id;
+    os << '\n';
   }
 }
 
@@ -50,6 +72,7 @@ QueryTrace QueryTrace::LoadCsv(std::istream& is) {
   if (!std::getline(is, line)) {
     throw std::runtime_error("QueryTrace::LoadCsv: empty input");
   }
+  const bool multi = line.find(",model") != std::string::npos;
   std::vector<Query> queries;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
@@ -62,6 +85,9 @@ QueryTrace QueryTrace::LoadCsv(std::istream& is) {
     q.arrival = std::stoll(field);
     std::getline(ls, field, ',');
     q.batch = std::stoi(field);
+    if (multi && std::getline(ls, field, ',')) {
+      q.model_id = std::stoi(field);
+    }
     queries.push_back(q);
   }
   return QueryTrace(std::move(queries));
@@ -85,6 +111,65 @@ QueryTrace GenerateDriftingTrace(ArrivalProcess& arrivals,
       q.batch = phase.dist->Sample(rng);
       queries.push_back(q);
     }
+  }
+  return QueryTrace(std::move(queries));
+}
+
+std::vector<double> MixSpec::NormalizedShares() const {
+  if (components.empty()) {
+    throw std::invalid_argument("MixSpec: no components");
+  }
+  std::vector<double> shares;
+  shares.reserve(components.size());
+  double total = 0.0;
+  for (const auto& c : components) {
+    if (c.share < 0.0) {
+      throw std::invalid_argument("MixSpec: negative share");
+    }
+    shares.push_back(c.share);
+    total += c.share;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("MixSpec: shares sum to zero");
+  }
+  for (double& s : shares) s /= total;
+  return shares;
+}
+
+QueryTrace GenerateMixedTrace(ArrivalProcess& arrivals, const MixSpec& mix,
+                              std::size_t num_queries, Rng& rng) {
+  const std::vector<double> shares = mix.NormalizedShares();
+  for (const auto& c : mix.components) {
+    if (c.dist == nullptr) {
+      throw std::invalid_argument("GenerateMixedTrace: null distribution");
+    }
+  }
+  std::vector<Query> queries;
+  queries.reserve(num_queries);
+  SimTime now = 0;
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    now += arrivals.NextGap(rng);
+    // Single-component mixes skip the model-selection draw so the
+    // degenerate one-model case stays bit-identical to GenerateTrace.
+    std::size_t k = 0;
+    if (mix.components.size() > 1) {
+      const double u = rng.NextDouble();
+      double acc = 0.0;
+      for (std::size_t j = 0; j < shares.size(); ++j) {
+        acc += shares[j];
+        if (u < acc || j + 1 == shares.size()) {
+          k = j;
+          break;
+        }
+      }
+    }
+    const MixComponent& c = mix.components[k];
+    Query q;
+    q.id = i;
+    q.arrival = now;
+    q.batch = c.dist->Sample(rng);
+    q.model_id = c.model_id;
+    queries.push_back(q);
   }
   return QueryTrace(std::move(queries));
 }

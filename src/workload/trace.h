@@ -18,6 +18,10 @@ struct Query {
   std::uint64_t id = 0;
   SimTime arrival = 0;
   int batch = 1;
+  // Identity of the DNN model this query targets; an index into the
+  // serving repertoire (profile::ModelRepertoire).  Single-model servers
+  // leave it at 0, the degenerate one-model case.
+  int model_id = 0;
 };
 
 class QueryTrace {
@@ -38,7 +42,17 @@ class QueryTrace {
   // Mean batch size over the trace.
   double MeanBatch() const;
 
-  // CSV round trip: columns id,arrival_ns,batch.
+  // Number of distinct model ids referenced (max model_id + 1); 1 for an
+  // empty or single-model trace.
+  int NumModels() const;
+
+  // Queries of one model, keeping arrival times but re-numbering ids
+  // densely from 0 (the form a dedicated per-model server replays).
+  QueryTrace FilterModel(int model_id) const;
+
+  // CSV round trip: columns id,arrival_ns,batch[,model].  The model column
+  // is written only when some query has model_id != 0, so single-model
+  // traces keep the legacy byte-identical format; LoadCsv accepts both.
   void SaveCsv(std::ostream& os) const;
   static QueryTrace LoadCsv(std::istream& is);
 
@@ -65,5 +79,33 @@ struct WorkloadPhase {
 QueryTrace GenerateDriftingTrace(ArrivalProcess& arrivals,
                                  const std::vector<WorkloadPhase>& phases,
                                  Rng& rng);
+
+// ---- Mixed-model workloads ---------------------------------------------
+
+// One model's slice of a mixed workload: its share of the query stream and
+// its own batch-size distribution.  `dist` is borrowed and must outlive the
+// MixSpec's use.
+struct MixComponent {
+  int model_id = 0;
+  double share = 1.0;  // relative weight; normalized across the spec
+  const BatchDistribution* dist = nullptr;
+};
+
+// A multi-model traffic mix: per-model rate shares + batch distributions.
+struct MixSpec {
+  std::vector<MixComponent> components;
+
+  // Shares normalized to sum 1, indexed like `components`.  Throws
+  // std::invalid_argument on an empty spec, a negative share, or an
+  // all-zero total.
+  std::vector<double> NormalizedShares() const;
+};
+
+// Generates `num_queries` queries whose model identity is drawn from the
+// mix's shares and whose batch from the chosen component's distribution.
+// With a single component no model-selection draw is consumed, so the
+// one-model mix is bit-identical to GenerateTrace on the same Rng stream.
+QueryTrace GenerateMixedTrace(ArrivalProcess& arrivals, const MixSpec& mix,
+                              std::size_t num_queries, Rng& rng);
 
 }  // namespace pe::workload

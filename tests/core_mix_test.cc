@@ -1,0 +1,115 @@
+// MixTestbed end-to-end tests, including the acceptance contract: a
+// one-model mix (share 1.0, swap cost 0) replays bit-identically to the
+// single-model Testbed simulate path at the same seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/mix_runner.h"
+#include "core/server_builder.h"
+
+namespace pe::core {
+namespace {
+
+TEST(MixTestbed, RejectsDegenerateConfigs) {
+  EXPECT_THROW(MixTestbed{MixConfig{}}, std::invalid_argument);
+  MixConfig dup;
+  dup.models.push_back({"resnet", 0.5, 6.0, 0.9});
+  dup.models.push_back({"resnet", 0.5, 6.0, 0.9});
+  EXPECT_THROW(MixTestbed{dup}, std::invalid_argument);
+  MixConfig negative;
+  negative.models.push_back({"resnet", 1.0, 6.0, 0.9});
+  negative.swap_cost_us = -1.0;
+  EXPECT_THROW(MixTestbed{negative}, std::invalid_argument);
+}
+
+// The acceptance contract of the multi-model refactor: with one model,
+// share 1.0 and swap cost 0, the whole mix pipeline (zoo repertoire,
+// mixed-PARIS plan, mixed trace, repertoire server) must reproduce the
+// original single-model simulate path record by record.
+TEST(MixTestbed, SingleModelMixBitIdenticalToSimulatePath) {
+  const double rate_qps = 300.0;
+  const std::size_t num_queries = 3000;
+  const std::uint64_t seed = 7;
+
+  // The existing simulate path: Testbed + PARIS plan + ELSA.
+  TestbedConfig tc;
+  tc.model_name = "resnet";
+  const Testbed tb(tc);
+  const auto plan = tb.PlanParis();
+  auto scheduler = tb.MakeScheduler(SchedulerKind::kElsa);
+  RunOptions run;
+  run.rate_qps = rate_qps;
+  run.num_queries = num_queries;
+  run.seed = seed;
+  const auto expected = tb.Run(plan, *scheduler, run);
+
+  // The mix path, degenerate one-model case.
+  MixConfig mc;
+  mc.models.push_back({"resnet", 1.0, tc.dist_median, tc.dist_sigma});
+  mc.max_batch = tc.max_batch;
+  mc.sla_n = tc.sla_n;
+  mc.swap_cost_us = 0.0;
+  const MixTestbed mix_tb(mc);
+  EXPECT_EQ(mix_tb.sla_target(), tb.sla_target());
+
+  const auto mixed = mix_tb.PlanMixed();
+  auto sorted = [](std::vector<int> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  ASSERT_EQ(sorted(mixed.plan.instance_gpcs), sorted(plan.instance_gpcs));
+
+  const auto trace = mix_tb.GenerateMix(rate_qps, num_queries, seed);
+  auto mix_scheduler = mix_tb.MakeScheduler(SchedulerKind::kElsa);
+  const auto actual =
+      mix_tb.Run(mixed.plan.instance_gpcs, *mix_scheduler, trace, seed);
+
+  ASSERT_EQ(actual.records.size(), expected.records.size());
+  for (std::size_t i = 0; i < expected.records.size(); ++i) {
+    const auto& e = expected.records[i];
+    const auto& a = actual.records[i];
+    EXPECT_EQ(a.id, e.id) << "query " << i;
+    EXPECT_EQ(a.batch, e.batch) << "query " << i;
+    EXPECT_EQ(a.model, 0) << "query " << i;
+    EXPECT_EQ(a.arrival, e.arrival) << "query " << i;
+    EXPECT_EQ(a.dispatched, e.dispatched) << "query " << i;
+    EXPECT_EQ(a.started, e.started) << "query " << i;
+    EXPECT_EQ(a.finished, e.finished) << "query " << i;
+    EXPECT_EQ(a.worker, e.worker) << "query " << i;
+    EXPECT_EQ(a.worker_gpcs, e.worker_gpcs) << "query " << i;
+    EXPECT_FALSE(a.model_swap) << "query " << i;
+  }
+}
+
+TEST(MixTestbed, TwoModelMixServesBothWithinPlan) {
+  MixConfig mc;
+  mc.models.push_back({"resnet", 0.6, 6.0, 0.9});
+  mc.models.push_back({"mobilenet", 0.4, 4.0, 0.9});
+  mc.swap_cost_us = 500.0;
+  const MixTestbed tb(mc);
+  ASSERT_EQ(tb.num_models(), 2);
+
+  const auto mixed = tb.PlanMixed();
+  EXPECT_EQ(mixed.budgets.size(), 2u);
+  EXPECT_LE(mixed.plan.TotalGpcs(), mc.gpc_budget);
+
+  const auto trace = tb.GenerateMix(250.0, 2000, /*seed=*/3);
+  EXPECT_EQ(trace.NumModels(), 2);
+  auto scheduler = tb.MakeScheduler(SchedulerKind::kElsa);
+  const auto result =
+      tb.Run(mixed.plan.instance_gpcs, *scheduler, trace, /*seed=*/3);
+  const auto stats = result.Stats(tb.sla_target(), /*warmup_fraction=*/0.0);
+
+  EXPECT_EQ(stats.completed, trace.size());
+  ASSERT_EQ(stats.models.size(), 2u);
+  EXPECT_GT(stats.models[0].completed, 0u);
+  EXPECT_GT(stats.models[1].completed, 0u);
+  EXPECT_EQ(stats.models[0].completed + stats.models[1].completed,
+            stats.completed);
+  // Interleaved traffic on shared partitions must have displaced models.
+  EXPECT_GT(stats.model_swaps, 0u);
+}
+
+}  // namespace
+}  // namespace pe::core

@@ -120,6 +120,67 @@ TEST(PackWithRepair, DegradesToAllOnes) {
   EXPECT_EQ(layout->TotalUsedGpcs(), 7);
 }
 
+TEST(PackWithRepair, RepairChainDownToAllOnes) {
+  // Two single-slice GPUs: nothing but 1g instances can ever place, so a
+  // 2g demand must walk the full split chain (2 -> 1+1) before packing.
+  GpuSpec tiny;
+  tiny.gpcs = 1;
+  Cluster c(2, tiny);
+  EXPECT_FALSE(c.Pack({2}).has_value());
+  auto layout = PackWithRepair(c, {2});
+  ASSERT_TRUE(layout.has_value());
+  EXPECT_EQ(layout->AllInstanceSizes(), (std::vector<int>{1, 1}));
+  EXPECT_EQ(layout->TotalUsedGpcs(), 2);
+
+  // Four such GPUs force the longest chain: 4 -> 3+1 -> 2+1+1 -> 1x4.
+  Cluster c4(4, tiny);
+  auto deep = PackWithRepair(c4, {4});
+  ASSERT_TRUE(deep.has_value());
+  EXPECT_EQ(deep->AllInstanceSizes(), (std::vector<int>{1, 1, 1, 1}));
+  EXPECT_EQ(deep->TotalUsedGpcs(), 4);
+}
+
+TEST(PackWithRepair, ExactCapacityFits) {
+  // Direct exact-capacity fit: eight 7g instances fill 8 A100s to the GPC.
+  Cluster full(8);
+  auto layout = PackWithRepair(full, std::vector<int>(8, 7));
+  ASSERT_TRUE(layout.has_value());
+  EXPECT_EQ(layout->TotalUsedGpcs(), full.total_gpcs());
+
+  // Exact capacity through repair: {4,4,4,1,1} = 14 GPCs on 2 GPUs only
+  // packs after splitting one 4 into 3+1 ({4,3} | {4,1,1,1}).
+  Cluster two(2);
+  EXPECT_FALSE(two.Pack({4, 4, 4, 1, 1}).has_value());
+  auto repaired = PackWithRepair(two, {4, 4, 4, 1, 1});
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(repaired->TotalUsedGpcs(), two.total_gpcs());
+
+  // Exact capacity in all-1s: fourteen 1g instances on 2 GPUs.
+  auto ones = PackWithRepair(two, std::vector<int>(14, 1));
+  ASSERT_TRUE(ones.has_value());
+  EXPECT_EQ(ones->TotalUsedGpcs(), 14);
+}
+
+TEST(PackWithRepair, OverCapacityInfeasibleEvenAfterFullRepair) {
+  // One GPC over capacity: no split sequence can shed demand, so the
+  // repair loop must terminate with nullopt (total GPCs are preserved by
+  // every split).
+  Cluster two(2);
+  EXPECT_FALSE(PackWithRepair(two, {7, 7, 1}).has_value());
+  EXPECT_FALSE(PackWithRepair(two, std::vector<int>(15, 1)).has_value());
+  // Over capacity with splittable sizes only: still infeasible.
+  EXPECT_FALSE(PackWithRepair(two, {4, 4, 4, 3}).has_value());
+}
+
+TEST(PackWithRepair, InvalidProfileSizeIsNotSilentlyDropped) {
+  // 5 GPCs is not a MIG profile and has no split rule; the repair must
+  // report infeasibility rather than erase the demand and "succeed" with
+  // an emptier layout.
+  Cluster c(2);
+  EXPECT_FALSE(PackWithRepair(c, {5}).has_value());
+  EXPECT_FALSE(PackWithRepair(c, {5, 1, 1}).has_value());
+}
+
 TEST(ClusterLayout, AllInstanceSizesSortedDescending) {
   Cluster c(2);
   auto layout = c.Pack({1, 7, 2, 3});

@@ -1,0 +1,208 @@
+// Tests for the multi-model online path: per-model traffic estimation and
+// the mixed repartition controller reacting to drift in the *mix*, driven
+// end-to-end through the continuous elastic simulator.
+#include <gtest/gtest.h>
+
+#include "online/elastic_server.h"
+#include "online/repartition_controller.h"
+#include "online/traffic_estimator.h"
+#include "profile/model_repertoire.h"
+#include "sched/elsa.h"
+#include "workload/arrival.h"
+#include "workload/batch_dist.h"
+
+namespace pe::online {
+namespace {
+
+TEST(TrafficEstimatorMix, TracksPerModelSharesAndPmfs) {
+  TrafficEstimator est(8);
+  for (int i = 0; i < 30; ++i) est.Observe(0, 2);
+  for (int i = 0; i < 10; ++i) est.Observe(1, 8);
+  EXPECT_EQ(est.count(), 40u);
+  EXPECT_EQ(est.ModelCount(0), 30u);
+  EXPECT_EQ(est.ModelCount(1), 10u);
+  EXPECT_EQ(est.ModelCount(5), 0u);
+
+  const auto shares = est.ModelShares();
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_DOUBLE_EQ(shares[0], 0.75);
+  EXPECT_DOUBLE_EQ(shares[1], 0.25);
+  // Padding to a larger model universe.
+  EXPECT_EQ(est.ModelShares(4).size(), 4u);
+
+  const auto pmf0 = est.ModelPmf(0);
+  EXPECT_DOUBLE_EQ(pmf0[2], 1.0);
+  const auto pmf1 = est.ModelPmf(1);
+  EXPECT_DOUBLE_EQ(pmf1[8], 1.0);
+  // The aggregate PMF blends both models.
+  const auto pmf = est.Pmf();
+  EXPECT_DOUBLE_EQ(pmf[2], 0.75);
+  EXPECT_DOUBLE_EQ(pmf[8], 0.25);
+
+  const auto snap1 = est.ModelSnapshot(1);
+  EXPECT_DOUBLE_EQ(snap1.Pdf(8), 1.0);
+  EXPECT_THROW(est.ModelSnapshot(3), std::logic_error);
+  EXPECT_THROW(est.Observe(-1, 4), std::invalid_argument);
+}
+
+TEST(TrafficEstimatorMix, EvictionAndShareDrift) {
+  TrafficEstimator est(8, /*window=*/10);
+  for (int i = 0; i < 10; ++i) est.Observe(0, 2);
+  EXPECT_DOUBLE_EQ(est.ShareDrift({1.0, 0.0}), 0.0);
+  // Model 1 floods the window: shares flip, old observations evict.
+  for (int i = 0; i < 10; ++i) est.Observe(1, 4);
+  EXPECT_EQ(est.ModelCount(0), 0u);
+  EXPECT_EQ(est.ModelCount(1), 10u);
+  EXPECT_DOUBLE_EQ(est.ShareDrift({1.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(est.ShareDrift({0.0, 1.0}), 0.0);
+  est.Clear();
+  EXPECT_EQ(est.ModelCount(1), 0u);
+  // Empty estimator: shares are all-zero, so drift vs any baseline is
+  // half the baseline's mass (same convention as TotalVariation); the
+  // controllers never consult it below min_observations.
+  EXPECT_DOUBLE_EQ(est.ShareDrift({0.0, 1.0}), 0.5);
+}
+
+TEST(TrafficEstimatorMix, LegacySingleArgObserveIsModelZero) {
+  TrafficEstimator est(8);
+  est.Observe(4);
+  EXPECT_EQ(est.ModelCount(0), 1u);
+  const auto shares = est.ModelShares();
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_DOUBLE_EQ(shares[0], 1.0);
+}
+
+class MixedControllerFixture : public ::testing::Test {
+ protected:
+  static const profile::ModelRepertoire& Repertoire() {
+    static const profile::ModelRepertoire rep =
+        profile::BuildZooRepertoire({"resnet", "mobilenet"});
+    return rep;
+  }
+
+  // 50/50 provisioning guess with moderate batch sizes for both models.
+  static MixedRepartitionController MakeController(ElasticConfig config = {}) {
+    static const workload::LogNormalBatchDist heavy(6.0, 0.6, 32);
+    static const workload::LogNormalBatchDist light(4.0, 0.6, 32);
+    workload::MixSpec mix;
+    mix.components.push_back({0, 0.5, &heavy});
+    mix.components.push_back({1, 0.5, &light});
+    return MixedRepartitionController(Repertoire(), hw::Cluster(8), 48, mix,
+                                      partition::ParisConfig{}, config);
+  }
+};
+
+TEST_F(MixedControllerFixture, InitialPlanSplitsBudgetByShares) {
+  auto controller = MakeController();
+  EXPECT_EQ(controller.current_budgets().size(), 2u);
+  EXPECT_EQ(controller.current_budgets()[0], 24);
+  EXPECT_EQ(controller.current_budgets()[1], 24);
+  EXPECT_LE(controller.current_plan().TotalGpcs(), 48);
+  EXPECT_EQ(controller.reconfigurations(), 0);
+}
+
+TEST_F(MixedControllerFixture, NoRepartitionWithoutMixDrift) {
+  auto controller = MakeController();
+  TrafficEstimator est(32);
+  workload::LogNormalBatchDist heavy(6.0, 0.6, 32);
+  workload::LogNormalBatchDist light(4.0, 0.6, 32);
+  Rng rng(3);
+  for (int i = 0; i < 4000; ++i) {
+    est.Observe(i % 2, (i % 2 == 0 ? heavy : light).Sample(rng));
+  }
+  EXPECT_LT(controller.DriftOf(est), 0.1);
+  EXPECT_FALSE(controller.MaybeRepartition(est).has_value());
+}
+
+TEST_F(MixedControllerFixture, ShareDriftAloneTriggersRepartition) {
+  ElasticConfig config;
+  config.drift_threshold = 0.15;
+  auto controller = MakeController(config);
+  const auto before = controller.current_budgets();
+
+  // Same per-model batch PMFs, but the mix flips to 90/10: only the
+  // share axis drifts.
+  TrafficEstimator est(32);
+  workload::LogNormalBatchDist heavy(6.0, 0.6, 32);
+  workload::LogNormalBatchDist light(4.0, 0.6, 32);
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const int model = (i % 10) < 9 ? 0 : 1;
+    est.Observe(model, (model == 0 ? heavy : light).Sample(rng));
+  }
+  EXPECT_GT(controller.DriftOf(est), 0.3);
+  const auto plan = controller.MaybeRepartition(est);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(controller.reconfigurations(), 1);
+  // The dominant model's budget grew at the other's expense.
+  EXPECT_GT(controller.current_budgets()[0], before[0]);
+  EXPECT_LT(controller.current_budgets()[1], before[1]);
+  // Committed state refreshed: same traffic again is drift-free.
+  EXPECT_LT(controller.DriftOf(est), 0.05);
+  EXPECT_FALSE(controller.MaybeRepartition(est).has_value());
+}
+
+TEST_F(MixedControllerFixture, BelowMinObservationsNeverTriggers) {
+  ElasticConfig config;
+  config.min_observations = 1000;
+  auto controller = MakeController(config);
+  TrafficEstimator est(32);
+  for (int i = 0; i < 500; ++i) est.Observe(0, 32);  // wildly drifted
+  EXPECT_FALSE(controller.MaybeRepartition(est).has_value());
+}
+
+// End to end: one continuous multi-model run whose mix flips mid-trace;
+// the controller must order at least one live reconfiguration and the
+// layout must shift toward the newly dominant model.
+TEST_F(MixedControllerFixture, MixDriftDrivesLiveReconfiguration) {
+  const auto& rep = Repertoire();
+  workload::LogNormalBatchDist heavy(6.0, 0.6, 32);
+  workload::LogNormalBatchDist light(4.0, 0.6, 32);
+
+  // Phase 1: 50/50; phase 2: 90/10 toward the heavy model.
+  workload::MixSpec balanced;
+  balanced.components.push_back({0, 0.5, &heavy});
+  balanced.components.push_back({1, 0.5, &light});
+  workload::MixSpec skewed;
+  skewed.components.push_back({0, 0.9, &heavy});
+  skewed.components.push_back({1, 0.1, &light});
+
+  workload::PoissonArrivals arrivals(300.0);
+  Rng rng(6);
+  const auto phase1 = workload::GenerateMixedTrace(arrivals, balanced, 3000,
+                                                   rng);
+  const auto phase2 = workload::GenerateMixedTrace(arrivals, skewed, 3000,
+                                                   rng);
+  std::vector<workload::Query> all = phase1.queries();
+  const SimTime offset = phase1.Span();
+  for (workload::Query q : phase2.queries()) {
+    q.id += phase1.size();
+    q.arrival += offset;
+    all.push_back(q);
+  }
+  const workload::QueryTrace trace(std::move(all));
+
+  ElasticConfig config;
+  config.drift_threshold = 0.15;
+  config.min_observations = 400;
+  auto controller = MakeController(config);
+  const auto initial_budgets = controller.current_budgets();
+
+  const SimTime sla = SecToTicks(1.5 * rep.profile(0).LatencySec(7, 32));
+  ElasticServerSim sim(
+      controller, rep,
+      [&] { return std::make_unique<sched::ElsaScheduler>(rep, sla); }, sla,
+      /*queries_per_epoch=*/1000, /*seed=*/42);
+  const auto result = sim.Run(trace);
+
+  EXPECT_EQ(result.total.completed, trace.size());
+  EXPECT_GE(result.reconfigurations, 1);
+  EXPECT_GT(result.total.reconfig_stalled, 0u);
+  EXPECT_GT(controller.current_budgets()[0], initial_budgets[0]);
+  ASSERT_EQ(result.total.models.size(), 2u);
+  EXPECT_GT(result.total.models[0].completed,
+            result.total.models[1].completed);
+}
+
+}  // namespace
+}  // namespace pe::online

@@ -1,0 +1,106 @@
+// Tests for multi-model PARIS: share-derived GPC budgets and the packed
+// union layout, including the single-model degenerate identity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "partition/mix.h"
+#include "partition/paris.h"
+#include "profile/model_repertoire.h"
+#include "workload/batch_dist.h"
+
+namespace pe::partition {
+namespace {
+
+class MixFixture : public ::testing::Test {
+ protected:
+  static const profile::ModelRepertoire& Repertoire() {
+    static const profile::ModelRepertoire rep =
+        profile::BuildZooRepertoire({"resnet", "mobilenet"});
+    return rep;
+  }
+};
+
+TEST(ShareBudgets, LargestRemainderSumsExactly) {
+  EXPECT_EQ(ShareBudgets({0.5, 0.5}, 48), (std::vector<int>{24, 24}));
+  EXPECT_EQ(ShareBudgets({0.6, 0.4}, 48), (std::vector<int>{29, 19}));
+  // Unnormalized weights are fine.
+  EXPECT_EQ(ShareBudgets({3.0, 1.0}, 8), (std::vector<int>{6, 2}));
+  const auto split = ShareBudgets({0.21, 0.33, 0.46}, 48);
+  EXPECT_EQ(std::accumulate(split.begin(), split.end(), 0), 48);
+}
+
+TEST(ShareBudgets, PositiveShareGetsAtLeastOneGpc) {
+  const auto budgets = ShareBudgets({0.99, 0.01}, 10);
+  EXPECT_EQ(budgets, (std::vector<int>{9, 1}));
+  // Zero shares stay at zero.
+  EXPECT_EQ(ShareBudgets({1.0, 0.0}, 10), (std::vector<int>{10, 0}));
+}
+
+TEST(ShareBudgets, RejectsDegenerateInputs) {
+  EXPECT_THROW(ShareBudgets({}, 10), std::invalid_argument);
+  EXPECT_THROW(ShareBudgets({0.5}, 0), std::invalid_argument);
+  EXPECT_THROW(ShareBudgets({-0.1, 1.1}, 10), std::invalid_argument);
+  EXPECT_THROW(ShareBudgets({0.0, 0.0}, 10), std::invalid_argument);
+}
+
+TEST_F(MixFixture, UnionPacksWithinBudget) {
+  const auto& rep = Repertoire();
+  workload::LogNormalBatchDist heavy(6.0, 0.9, 32);
+  workload::LogNormalBatchDist light(4.0, 0.9, 32);
+  std::vector<MixModelInput> inputs;
+  inputs.push_back({0, 0.6, &rep.profile(0), &heavy});
+  inputs.push_back({1, 0.4, &rep.profile(1), &light});
+  const hw::Cluster cluster(8);
+  const auto mixed = PlanMixedParis(inputs, cluster, 48);
+
+  ASSERT_EQ(mixed.budgets.size(), 2u);
+  EXPECT_EQ(mixed.budgets[0] + mixed.budgets[1], 48);
+  EXPECT_EQ(mixed.budgets[0], 29);
+  EXPECT_LE(mixed.plan.TotalGpcs(), 48);
+  EXPECT_GT(mixed.plan.NumInstances(), 0);
+
+  // Each model's multiset fits its own budget, and the union is exactly
+  // the concatenation (possibly re-ordered / split-repaired by packing).
+  int union_gpcs = 0;
+  for (std::size_t m = 0; m < mixed.per_model_sizes.size(); ++m) {
+    const auto& sizes = mixed.per_model_sizes[m];
+    const int total = std::accumulate(sizes.begin(), sizes.end(), 0);
+    EXPECT_LE(total, mixed.budgets[m]);
+    EXPECT_FALSE(sizes.empty());
+    union_gpcs += total;
+  }
+  EXPECT_EQ(mixed.plan.TotalGpcs(), union_gpcs);
+}
+
+TEST_F(MixFixture, SingleModelDegeneratesToPlainParis) {
+  const auto& rep = Repertoire();
+  workload::LogNormalBatchDist dist(6.0, 0.9, 32);
+  const hw::Cluster cluster(8);
+
+  std::vector<MixModelInput> inputs;
+  inputs.push_back({0, 1.0, &rep.profile(0), &dist});
+  const auto mixed = PlanMixedParis(inputs, cluster, 48);
+
+  ParisPartitioner paris(rep.profile(0), dist);
+  const auto plain = paris.Plan(cluster, 48);
+
+  auto sorted = [](std::vector<int> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(mixed.plan.instance_gpcs), sorted(plain.instance_gpcs));
+  EXPECT_EQ(mixed.budgets, (std::vector<int>{48}));
+}
+
+TEST_F(MixFixture, RejectsNullInputsAndEmptyMix) {
+  const hw::Cluster cluster(8);
+  EXPECT_THROW(PlanMixedParis({}, cluster, 48), std::invalid_argument);
+  std::vector<MixModelInput> inputs;
+  inputs.push_back({0, 1.0, nullptr, nullptr});
+  EXPECT_THROW(PlanMixedParis(inputs, cluster, 48), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pe::partition

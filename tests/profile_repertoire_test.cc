@@ -1,0 +1,83 @@
+// Tests for the ModelRepertoire: registration, lookups, error paths, and
+// the model-zoo builder.
+#include <gtest/gtest.h>
+
+#include "perf/model_zoo.h"
+#include "profile/model_repertoire.h"
+
+namespace pe::profile {
+namespace {
+
+ProfileTable MakeTable(const std::string& name, double scale) {
+  ProfileTable table(name, {1, 2}, {1, 2, 4});
+  for (int g : {1, 2}) {
+    for (int b : {1, 2, 4}) {
+      ProfileEntry e;
+      e.latency_sec = scale * b / g;
+      e.utilization = 0.5;
+      table.Set(g, b, e);
+    }
+  }
+  return table;
+}
+
+TEST(ModelRepertoire, RegisterAndLookup) {
+  ModelRepertoire rep;
+  EXPECT_TRUE(rep.empty());
+  const int a = rep.Register("alpha", MakeTable("alpha", 0.001),
+                             [](int, int) { return 0.001; });
+  const int b = rep.Register("beta", MakeTable("beta", 0.002),
+                             [](int, int) { return 0.002; });
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(rep.size(), 2);
+  EXPECT_EQ(rep.name(0), "alpha");
+  EXPECT_EQ(rep.name(1), "beta");
+  EXPECT_EQ(rep.IdOf("beta"), 1);
+  EXPECT_EQ(rep.IdOf("gamma"), -1);
+  EXPECT_TRUE(rep.Has(1));
+  EXPECT_FALSE(rep.Has(2));
+  EXPECT_FALSE(rep.Has(-1));
+  EXPECT_DOUBLE_EQ(rep.EstimateSec(0, 2, 4), 0.001 * 4 / 2);
+  EXPECT_DOUBLE_EQ(rep.EstimateSec(1, 1, 2), 0.002 * 2);
+  EXPECT_DOUBLE_EQ(rep.ActualSec(1, 1, 1), 0.002);
+  EXPECT_EQ(rep.max_batch(), 4);
+}
+
+TEST(ModelRepertoire, RejectsDuplicatesAndBadLookups) {
+  ModelRepertoire rep;
+  rep.Register("alpha", MakeTable("alpha", 0.001),
+               [](int, int) { return 0.001; });
+  EXPECT_THROW(rep.Register("alpha", MakeTable("alpha", 0.001),
+                            [](int, int) { return 0.001; }),
+               std::invalid_argument);
+  EXPECT_THROW(rep.Register("null", MakeTable("null", 0.001), LatencyFn{}),
+               std::invalid_argument);
+  EXPECT_THROW(rep.profile(1), std::out_of_range);
+  EXPECT_THROW(rep.name(-1), std::out_of_range);
+  EXPECT_THROW(rep.EstimateSec(7, 1, 1), std::out_of_range);
+}
+
+TEST(ModelRepertoire, ZooBuilderProfilesEachModel) {
+  const auto rep =
+      BuildZooRepertoire({"shufflenet", "mobilenet"}, perf::RooflineEngine{},
+                         /*max_batch=*/32);
+  ASSERT_EQ(rep.size(), 2);
+  EXPECT_EQ(rep.IdOf("shufflenet"), 0);
+  EXPECT_EQ(rep.IdOf("mobilenet"), 1);
+  // Profiled at least to batch 64 so knee detection sees the plateau.
+  EXPECT_GE(rep.max_batch(), 64);
+  for (int m = 0; m < rep.size(); ++m) {
+    // Estimates come from the profiled grid of the model's own table, and
+    // ground truth from the bound roofline engine: they agree on grid
+    // points by construction.
+    EXPECT_NEAR(rep.EstimateSec(m, 7, 8), rep.ActualSec(m, 7, 8), 1e-12);
+    // More compute never hurts.
+    EXPECT_LE(rep.EstimateSec(m, 7, 8), rep.EstimateSec(m, 1, 8));
+  }
+  // Distinct models, distinct tables.
+  EXPECT_NE(rep.EstimateSec(0, 7, 8), rep.EstimateSec(1, 7, 8));
+}
+
+}  // namespace
+}  // namespace pe::profile

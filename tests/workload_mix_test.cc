@@ -1,0 +1,161 @@
+// Tests for mixed-model workload generation: MixSpec share handling, the
+// one-component bit-identity with GenerateTrace, model-tagged CSV round
+// trips, and the per-model trace split used by dedicated layouts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/arrival.h"
+#include "workload/batch_dist.h"
+#include "workload/trace.h"
+
+namespace pe::workload {
+namespace {
+
+TEST(MixSpec, NormalizesShares) {
+  LogNormalBatchDist dist(4.0, 0.6, 16);
+  MixSpec mix;
+  mix.components.push_back({0, 3.0, &dist});
+  mix.components.push_back({1, 1.0, &dist});
+  const auto shares = mix.NormalizedShares();
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_DOUBLE_EQ(shares[0], 0.75);
+  EXPECT_DOUBLE_EQ(shares[1], 0.25);
+}
+
+TEST(MixSpec, RejectsDegenerateShares) {
+  LogNormalBatchDist dist(4.0, 0.6, 16);
+  EXPECT_THROW(MixSpec{}.NormalizedShares(), std::invalid_argument);
+  MixSpec negative;
+  negative.components.push_back({0, -0.5, &dist});
+  EXPECT_THROW(negative.NormalizedShares(), std::invalid_argument);
+  MixSpec zero;
+  zero.components.push_back({0, 0.0, &dist});
+  zero.components.push_back({1, 0.0, &dist});
+  EXPECT_THROW(zero.NormalizedShares(), std::invalid_argument);
+}
+
+// The degenerate one-model mix must consume the same Rng draws as the
+// single-model generator: bit-identical queries, model_id 0 throughout.
+TEST(GenerateMixedTrace, SingleComponentBitIdenticalToGenerateTrace) {
+  LogNormalBatchDist dist(6.0, 0.9, 32);
+
+  Rng rng_plain(41);
+  PoissonArrivals arrivals_plain(250.0);
+  const auto plain = GenerateTrace(arrivals_plain, dist, 2000, rng_plain);
+
+  Rng rng_mix(41);
+  PoissonArrivals arrivals_mix(250.0);
+  MixSpec mix;
+  mix.components.push_back({0, 1.0, &dist});
+  const auto mixed = GenerateMixedTrace(arrivals_mix, mix, 2000, rng_mix);
+
+  ASSERT_EQ(mixed.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    const Query& a = plain.queries()[i];
+    const Query& b = mixed.queries()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.arrival, b.arrival);
+    EXPECT_EQ(a.batch, b.batch);
+    EXPECT_EQ(b.model_id, 0);
+  }
+}
+
+TEST(GenerateMixedTrace, SharesRespectedAndIdsDense) {
+  LogNormalBatchDist small(3.0, 0.5, 16);
+  LogNormalBatchDist large(12.0, 0.5, 16);
+  MixSpec mix;
+  mix.components.push_back({0, 0.7, &small});
+  mix.components.push_back({1, 0.3, &large});
+  Rng rng(5);
+  PoissonArrivals arrivals(500.0);
+  const auto trace = GenerateMixedTrace(arrivals, mix, 6000, rng);
+
+  ASSERT_EQ(trace.size(), 6000u);
+  EXPECT_EQ(trace.NumModels(), 2);
+  std::size_t model1 = 0;
+  SimTime prev = -1;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Query& q = trace.queries()[i];
+    EXPECT_EQ(q.id, i);
+    EXPECT_GT(q.arrival, prev);
+    prev = q.arrival;
+    ASSERT_GE(q.model_id, 0);
+    ASSERT_LT(q.model_id, 2);
+    if (q.model_id == 1) ++model1;
+  }
+  const double share1 = static_cast<double>(model1) / 6000.0;
+  EXPECT_NEAR(share1, 0.3, 0.03);
+}
+
+TEST(GenerateMixedTrace, RejectsNullDistribution) {
+  MixSpec mix;
+  mix.components.push_back({0, 1.0, nullptr});
+  Rng rng(1);
+  PoissonArrivals arrivals(100.0);
+  EXPECT_THROW(GenerateMixedTrace(arrivals, mix, 10, rng),
+               std::invalid_argument);
+}
+
+TEST(QueryTrace, FilterModelRenumbersDensely) {
+  std::vector<Query> queries;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Query q;
+    q.id = i;
+    q.arrival = static_cast<SimTime>(100 * (i + 1));
+    q.batch = static_cast<int>(i % 4) + 1;
+    q.model_id = static_cast<int>(i % 2);
+    queries.push_back(q);
+  }
+  const QueryTrace trace(std::move(queries));
+  const auto odd = trace.FilterModel(1);
+  ASSERT_EQ(odd.size(), 5u);
+  for (std::size_t i = 0; i < odd.size(); ++i) {
+    EXPECT_EQ(odd.queries()[i].id, i);
+    EXPECT_EQ(odd.queries()[i].model_id, 1);
+    // Original arrival instants survive the split.
+    EXPECT_EQ(odd.queries()[i].arrival,
+              static_cast<SimTime>(100 * (2 * i + 2)));
+  }
+}
+
+TEST(QueryTrace, CsvRoundTripsModelColumn) {
+  std::vector<Query> queries;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    Query q;
+    q.id = i;
+    q.arrival = static_cast<SimTime>(10 * (i + 1));
+    q.batch = 2;
+    q.model_id = static_cast<int>(i % 3);
+    queries.push_back(q);
+  }
+  const QueryTrace trace(std::move(queries));
+  std::stringstream ss;
+  trace.SaveCsv(ss);
+  EXPECT_NE(ss.str().find("id,arrival_ns,batch,model"), std::string::npos);
+  const auto loaded = QueryTrace::LoadCsv(ss);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded.queries()[i].model_id, trace.queries()[i].model_id);
+  }
+}
+
+// Single-model traces must keep the legacy 3-column format byte-for-byte.
+TEST(QueryTrace, CsvStaysLegacyForSingleModel) {
+  std::vector<Query> queries;
+  Query q;
+  q.id = 0;
+  q.arrival = 42;
+  q.batch = 3;
+  queries.push_back(q);
+  const QueryTrace trace(std::move(queries));
+  std::stringstream ss;
+  trace.SaveCsv(ss);
+  EXPECT_EQ(ss.str(), "id,arrival_ns,batch\n0,42,3\n");
+  const auto loaded = QueryTrace::LoadCsv(ss);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.queries()[0].model_id, 0);
+}
+
+}  // namespace
+}  // namespace pe::workload

@@ -8,6 +8,9 @@
 //   trace     -- generate a query trace CSV for external tools
 //   elastic   -- one continuous run under workload drift with live
 //                re-partitioning (reconfigurations as simulation events)
+//   mix       -- multi-model serving: a consolidated mixed-PARIS layout
+//                replays an interleaved multi-model trace with a
+//                configurable model-swap penalty
 //
 // Common options:
 //   --model NAME        shufflenet|mobilenet|resnet|bert|conformer (resnet)
@@ -34,6 +37,15 @@
 //   --drift-median M    log-normal batch median of the drifted middle
 //                       phase of the workload (18)
 //   --downtime-ms D     downtime charged per reconfiguration (2000)
+// mix options:
+//   --models A,B,...    comma-separated model-zoo names (resnet,mobilenet)
+//   --shares X,Y,...    per-model traffic shares, index-aligned with
+//                       --models (uniform when omitted)
+//   --medians X,Y,...   per-model log-normal batch medians (--median each)
+//   --swap-cost-us C    model-swap penalty charged when a partition starts
+//                       a query of a non-resident model (0)
+//   --budget G          total GPC budget of the consolidated server (48)
+//   --gpus N            physical GPUs in the cluster (8)
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -41,6 +53,7 @@
 #include "common/args.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/mix_runner.h"
 #include "core/result_io.h"
 #include "core/server_builder.h"
 #include "online/elastic_server.h"
@@ -362,6 +375,154 @@ int CmdElastic(const ArgParser& args) {
   return 0;
 }
 
+// Splits a comma-separated option value ("a,b,c" -> {"a","b","c"}).
+std::vector<std::string> SplitList(const std::string& value) {
+  std::vector<std::string> items;
+  std::string::size_type begin = 0;
+  for (;;) {
+    const auto comma = value.find(',', begin);
+    items.push_back(value.substr(begin, comma - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return items;
+}
+
+// Comma-separated doubles for --shares/--medians; must be index-aligned
+// with --models when present.
+std::vector<double> GetDoubleList(const ArgParser& args,
+                                  const std::string& key,
+                                  std::size_t expected) {
+  const auto raw = args.GetString(key);
+  if (!raw) return {};
+  const auto items = SplitList(*raw);
+  if (items.size() != expected) {
+    throw std::invalid_argument("--" + key + ": expected " +
+                                std::to_string(expected) +
+                                " comma-separated values, got " +
+                                std::to_string(items.size()));
+  }
+  std::vector<double> values;
+  for (const auto& item : items) {
+    // Strict parse (same contract as ArgParser::GetDouble): the whole
+    // token must be consumed, so "0.6x" is an error, not 0.6.
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(item, &pos);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--" + key + ": bad number '" + item + "'");
+    }
+    if (pos != item.size()) {
+      throw std::invalid_argument("--" + key + ": bad number '" + item + "'");
+    }
+    values.push_back(value);
+  }
+  return values;
+}
+
+int CmdMix(const ArgParser& args) {
+  CheckJsonSink(args);
+  const auto model_names =
+      SplitList(args.GetString("models", "resnet,mobilenet"));
+  const auto shares = GetDoubleList(args, "shares", model_names.size());
+  const auto medians = GetDoubleList(args, "medians", model_names.size());
+  const double default_median = args.GetDouble("median", 6.0);
+
+  core::MixConfig mc;
+  for (std::size_t i = 0; i < model_names.size(); ++i) {
+    core::MixModelConfig m;
+    m.model = model_names[i];
+    m.share = shares.empty() ? 1.0 : shares[i];
+    m.dist_median = medians.empty() ? default_median : medians[i];
+    m.dist_sigma = args.GetDouble("sigma", m.dist_sigma);
+    mc.models.push_back(std::move(m));
+  }
+  const long long max_batch = args.GetInt("max-batch", 32);
+  if (max_batch < 1 || max_batch > 4096) {
+    throw std::invalid_argument(
+        "--max-batch: expected an integer in [1, 4096], got " +
+        std::to_string(max_batch));
+  }
+  mc.max_batch = static_cast<int>(max_batch);
+  mc.sla_n = args.GetDouble("sla-n", 1.5);
+  mc.num_gpus = static_cast<int>(GetCount(args, "gpus", 8));
+  mc.gpc_budget = static_cast<int>(GetCount(args, "budget", 48));
+  mc.swap_cost_us = args.GetDouble("swap-cost-us", 0.0);
+  if (mc.swap_cost_us < 0.0) {
+    throw std::invalid_argument("--swap-cost-us: expected >= 0, got " +
+                                std::to_string(mc.swap_cost_us));
+  }
+  const core::MixTestbed tb(mc);
+  const auto kind = SchedulerFrom(args.GetString("scheduler", "elsa"));
+  const double rate_qps = args.GetDouble("rate", 300.0);
+  const std::size_t num_queries = GetCount(args, "queries", 20000);
+  const auto seed = static_cast<std::uint64_t>(GetCount(args, "seed", 1));
+
+  const auto mixed = tb.PlanMixed();
+  const auto trace = tb.GenerateMix(rate_qps, num_queries, seed);
+  auto scheduler = tb.MakeScheduler(kind);
+  const auto result =
+      tb.Run(mixed.plan.instance_gpcs, *scheduler, trace, seed);
+  const auto stats = result.Stats(tb.sla_target());
+
+  Table t({"metric", "value"});
+  t.AddRow({"design", mixed.plan.Summary()});
+  t.AddRow({"scheduler", ToString(kind)});
+  t.AddRow({"offered qps", Table::Num(rate_qps, 1)});
+  t.AddRow({"achieved qps", Table::Num(stats.achieved_qps, 1)});
+  t.AddRow({"p95 ms", Table::Num(stats.p95_latency_ms, 3)});
+  t.AddRow({"p99 ms", Table::Num(stats.p99_latency_ms, 3)});
+  t.AddRow({"SLA violation %", Table::Num(100 * stats.sla_violation_rate, 2)});
+  t.AddRow({"model swaps",
+            Table::Int(static_cast<long long>(stats.model_swaps))});
+
+  // Report the *normalized* traffic split, not the raw weights (which
+  // need not sum to 1, e.g. when --shares is omitted).
+  const auto norm_shares = tb.mix().NormalizedShares();
+  Table per_model({"model", "share", "budget", "queries", "p95 ms",
+                   "viol. %", "swaps"});
+  for (const auto& m : stats.models) {
+    const auto idx = static_cast<std::size_t>(m.model);
+    per_model.AddRow(
+        {tb.repertoire().name(m.model),
+         Table::Num(norm_shares[idx], 2),
+         Table::Int(mixed.budgets[idx]),
+         Table::Int(static_cast<long long>(m.completed)),
+         Table::Num(m.p95_latency_ms, 3),
+         Table::Num(100 * m.sla_violation_rate, 2),
+         Table::Int(static_cast<long long>(m.swaps))});
+  }
+  if (args.HasFlag("csv")) {
+    t.PrintCsv(std::cout);
+    per_model.PrintCsv(std::cout);
+  } else {
+    t.Print(std::cout);
+    std::cout << "\n";
+    per_model.Print(std::cout);
+  }
+
+  core::Json data = core::ToJson(stats);
+  core::Json models = core::Json::Array();
+  for (std::size_t i = 0; i < mc.models.size(); ++i) {
+    core::Json m = core::Json::Object();
+    m.Set("model", mc.models[i].model);
+    m.Set("share", norm_shares[i]);
+    m.Set("budget_gpcs", mixed.budgets[i]);
+    models.Add(std::move(m));
+  }
+  data.Set("mix", std::move(models));
+  data.Set("design", mixed.plan.Summary());
+  data.Set("scheduler", core::ToString(kind));
+  data.Set("offered_qps", rate_qps);
+  data.Set("swap_cost_us", mc.swap_cost_us);
+  data.Set("seed", seed);
+  auto report = core::MakeBenchReport("cli_mix", false, /*jobs=*/1);
+  report.Set("data", std::move(data));
+  MaybeWriteJson(args, std::move(report));
+  return 0;
+}
+
 int CmdTrace(const ArgParser& args) {
   const auto config = ConfigFrom(args);
   Rng rng(static_cast<std::uint64_t>(GetCount(args, "seed", 1)));
@@ -375,12 +536,14 @@ int CmdTrace(const ArgParser& args) {
 }
 
 void PrintUsage(std::ostream& os) {
-  os << "usage: paris_elsa_cli <profile|plan|simulate|sweep|trace|elastic> "
+  os << "usage: paris_elsa_cli "
+        "<profile|plan|simulate|sweep|trace|elastic|mix> "
         "[--model M] [--design D] [--scheduler S] [--rate QPS] "
         "[--queries N] [--median M] [--sigma S] [--max-batch B] "
         "[--sla-n N] [--seed S] [--jobs N] [--json PATH] [--csv] "
         "[--epochs N] [--drift T] [--drift-median M] [--downtime-ms D] "
-        "[--help]\n";
+        "[--models A,B] [--shares X,Y] [--medians X,Y] [--swap-cost-us C] "
+        "[--budget G] [--gpus N] [--help]\n";
 }
 
 }  // namespace
@@ -390,7 +553,8 @@ int main(int argc, char** argv) {
   const auto known = std::vector<std::string>{
       "model", "design", "scheduler", "rate", "queries", "median", "sigma",
       "max-batch", "sla-n", "seed", "jobs", "json", "csv", "epochs", "drift",
-      "drift-median", "downtime-ms", "help", "h"};
+      "drift-median", "downtime-ms", "models", "shares", "medians",
+      "swap-cost-us", "budget", "gpus", "help", "h"};
   try {
     const auto sub = args.Subcommand();
     if (args.HasFlag("help") || args.HasFlag("h") ||
@@ -411,6 +575,7 @@ int main(int argc, char** argv) {
     if (*sub == "sweep") return CmdSweep(args);
     if (*sub == "trace") return CmdTrace(args);
     if (*sub == "elastic") return CmdElastic(args);
+    if (*sub == "mix") return CmdMix(args);
     std::cerr << "unknown subcommand: " << *sub << "\n";
     PrintUsage(std::cerr);
     return 2;

@@ -74,27 +74,42 @@ if [[ "${failures}" -ne 0 ]]; then
 fi
 echo "all ${#bench_targets[@]} benches completed"
 
+# Expected report count, derived from the bench sources that actually ran:
+# every bench calling bench::WriteReport emits exactly one JSON document.
+# Deriving (rather than hard-coding) the count means adding or removing a
+# JSON-emitting bench cannot silently rot the validation below or in CI.
+expected_reports=0
+for name in "${bench_targets[@]}"; do
+  if grep -q "bench::WriteReport(" "${repo_root}/bench/${name}.cc"; then
+    expected_reports=$((expected_reports + 1))
+  fi
+done
+
 # Aggregate the per-bench reports into one machine-readable document:
-#   { "schema": "paris-elsa-bench-results-v1", "benches": [ <report>... ] }
+#   { "schema": "paris-elsa-bench-results-v1", "expected_reports": N,
+#     "benches": [ <report>... ] }
 shopt -s nullglob
 json_files=("${json_dir}"/*.json)
 shopt -u nullglob
-if [[ "${#json_files[@]}" -eq 0 ]]; then
-  # The JSON-emitting benches all ran, so an empty sink means the reports
-  # could not be written (e.g. unwritable directory) -- that must not look
-  # like success.
-  echo "error: no per-bench JSON reports found under ${json_dir}" >&2
+if [[ "${#json_files[@]}" -ne "${expected_reports}" ]]; then
+  # A shortfall means reports could not be written (e.g. unwritable
+  # directory) or a bench silently skipped its emission -- that must not
+  # look like success.
+  echo "error: expected ${expected_reports} per-bench JSON report(s)" \
+       "under ${json_dir}, found ${#json_files[@]}" >&2
   exit 1
 fi
 if command -v jq >/dev/null 2>&1; then
-  jq -s '{schema: "paris-elsa-bench-results-v1", benches: .}' \
+  jq -s --argjson n "${expected_reports}" \
+    '{schema: "paris-elsa-bench-results-v1", expected_reports: $n, benches: .}' \
     "${json_files[@]}" > "${results_json}"
   jq empty "${results_json}"  # well-formedness check
 else
-  python3 - "${results_json}" "${json_files[@]}" <<'PY'
+  python3 - "${results_json}" "${expected_reports}" "${json_files[@]}" <<'PY'
 import json, sys
-out, *files = sys.argv[1:]
+out, expected, *files = sys.argv[1:]
 doc = {"schema": "paris-elsa-bench-results-v1",
+       "expected_reports": int(expected),
        "benches": [json.load(open(f)) for f in files]}
 json.dump(doc, open(out, "w"), indent=2)
 PY
