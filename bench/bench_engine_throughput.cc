@@ -1,0 +1,225 @@
+// Engine-throughput trajectory bench: simulated queries per wall-clock
+// second the discrete-event engine sustains, at W in {8, 64, 256}
+// partitions x {single-model, 4-model mix} x {FIFS, ELSA}.
+//
+// Self-contained timing (std::chrono, no google-benchmark dependency).
+// Every configuration runs twice: once on the fast engine (compiled
+// profile lookups, incremental scheduler view, sorted arrival cursor) and
+// once on the reference (pre-optimization) engine, so the report carries
+// the speedup alongside the absolute throughput -- `engine_qps` is the
+// fast engine's simulated-queries-per-second, the perf trajectory number
+// CI tracks, and `speedup` is engine_qps / reference_qps on identical
+// record streams (checked by hash here, record-by-record in
+// engine_golden_test).
+//
+// Headline: `speedup_256_mix4_elsa`, the 256-partition mixed-trace ELSA
+// configuration.  Run in Release without PE_BENCH_SMOKE for meaningful
+// numbers.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "profile/model_repertoire.h"
+#include "sched/elsa.h"
+#include "sched/fifs.h"
+#include "sim/server.h"
+#include "workload/arrival.h"
+#include "workload/batch_dist.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace pe;  // NOLINT: bench-local convenience
+
+const std::vector<std::string>& MixModels() {
+  static const std::vector<std::string> kModels = {"resnet", "mobilenet",
+                                                   "bert", "shufflenet"};
+  return kModels;
+}
+
+// Heterogeneous layout of W partitions cycling the profiled MIG sizes.
+std::vector<int> MakeLayout(int workers) {
+  const int cycle[] = {1, 2, 3, 7};
+  std::vector<int> layout;
+  layout.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) layout.push_back(cycle[i % 4]);
+  return layout;
+}
+
+// Offered load tuned to keep the server busy without unbounded queues:
+// a fraction of the layout's aggregate service rate at the median batch.
+double RateFor(const profile::ModelRepertoire& rep,
+               const std::vector<int>& layout) {
+  double capacity = 0.0;
+  for (int gpcs : layout) {
+    double per_model = 0.0;
+    for (int m = 0; m < rep.size(); ++m) {
+      per_model += rep.profile(m).ThroughputQps(gpcs, 8);
+    }
+    capacity += per_model / rep.size();
+  }
+  return 0.75 * capacity;
+}
+
+workload::QueryTrace MakeTrace(bool mixed, double rate_qps, std::size_t n,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  workload::PoissonArrivals arrivals(rate_qps);
+  workload::LogNormalBatchDist d0(6.0, 0.9, 32);
+  if (!mixed) return workload::GenerateTrace(arrivals, d0, n, rng);
+  workload::LogNormalBatchDist d1(4.0, 0.8, 32);
+  workload::LogNormalBatchDist d2(9.0, 0.7, 32);
+  workload::LogNormalBatchDist d3(12.0, 0.9, 32);
+  workload::MixSpec mix;
+  mix.components.push_back({0, 0.25, &d0});
+  mix.components.push_back({1, 0.25, &d1});
+  mix.components.push_back({2, 0.25, &d2});
+  mix.components.push_back({3, 0.25, &d3});
+  return workload::GenerateMixedTrace(arrivals, mix, n, rng);
+}
+
+// FNV-1a over the fields that define a record stream; equal hashes across
+// the two engines back the speedup's apples-to-apples claim.
+std::uint64_t HashRecords(const std::vector<sim::QueryRecord>& records) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& r : records) {
+    mix(r.id);
+    mix(static_cast<std::uint64_t>(r.batch));
+    mix(static_cast<std::uint64_t>(r.model));
+    mix(static_cast<std::uint64_t>(r.started));
+    mix(static_cast<std::uint64_t>(r.finished));
+    mix(static_cast<std::uint64_t>(r.worker));
+    mix(static_cast<std::uint64_t>(r.model_swap ? 1 : 0));
+  }
+  return h;
+}
+
+struct Measurement {
+  double qps = 0.0;
+  std::uint64_t hash = 0;
+};
+
+// Best-of-`reps` wall-clock of a full Run (Reset + inject + drain).
+Measurement Measure(sim::InferenceServer& server,
+                    const workload::QueryTrace& trace, int reps) {
+  Measurement best;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = server.Run(trace);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    const double qps =
+        sec > 0.0 ? static_cast<double>(trace.size()) / sec : 0.0;
+    if (qps > best.qps) best.qps = qps;
+    best.hash = HashRecords(result.records);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using pe::bench::SmokeMode;
+  pe::bench::PrintHeader(
+      "Engine throughput (simulated queries / wall-clock second)",
+      "fast engine vs reference engine, identical record streams");
+
+  const auto repertoire = profile::BuildZooRepertoire(MixModels());
+  // Strictest per-model SLA rule across the mix (Section V shape).
+  SimTime sla = 0;
+  for (int m = 0; m < repertoire.size(); ++m) {
+    const double sec = repertoire.profile(m).LatencySec(7, 32);
+    sla = std::max(sla, SecToTicks(1.5 * sec));
+  }
+
+  const std::size_t num_queries = pe::bench::Queries(60000);
+  const int reps = SmokeMode() ? 1 : 2;
+
+  Table table({"workers", "workload", "sched", "queries", "engine_qps",
+               "reference_qps", "speedup", "identical"});
+  core::Json configs = core::Json::Array();
+  double headline_speedup = 0.0;
+  double headline_qps = 0.0;
+
+  for (const int workers : {8, 64, 256}) {
+    const auto layout = MakeLayout(workers);
+    const double rate = RateFor(repertoire, layout);
+    for (const bool mixed : {false, true}) {
+      const auto trace =
+          MakeTrace(mixed, rate, num_queries,
+                    0x5EED0 + static_cast<std::uint64_t>(workers));
+      for (const bool use_elsa : {false, true}) {
+        Measurement fast;
+        Measurement ref;
+        for (const bool reference : {false, true}) {
+          sim::ServerConfig sc;
+          sc.partition_gpcs = layout;
+          sc.sla_target = sla;
+          sc.seed = 0xBE7C4;
+          sc.reference_engine = reference;
+          std::unique_ptr<sched::Scheduler> scheduler;
+          if (use_elsa) {
+            sched::ElsaParams params;
+            params.compiled_lookups = !reference;
+            scheduler = std::make_unique<sched::ElsaScheduler>(repertoire,
+                                                               sla, params);
+          } else {
+            scheduler = std::make_unique<sched::FifsScheduler>();
+          }
+          sim::InferenceServer server(sc, repertoire, *scheduler);
+          (reference ? ref : fast) = Measure(server, trace, reps);
+        }
+        const double speedup = ref.qps > 0.0 ? fast.qps / ref.qps : 0.0;
+        const bool identical = fast.hash == ref.hash;
+        const std::string workload = mixed ? "mix4" : "single";
+        const std::string sched_name = use_elsa ? "ELSA" : "FIFS";
+        table.AddRow({std::to_string(workers), workload, sched_name,
+                      std::to_string(trace.size()), Table::Num(fast.qps, 0),
+                      Table::Num(ref.qps, 0), Table::Num(speedup, 2),
+                      identical ? "yes" : "NO"});
+        core::Json entry = core::Json::Object();
+        entry.Set("workers", workers);
+        entry.Set("workload", workload);
+        entry.Set("scheduler", sched_name);
+        entry.Set("queries", static_cast<std::uint64_t>(trace.size()));
+        entry.Set("engine_qps", fast.qps);
+        entry.Set("reference_qps", ref.qps);
+        entry.Set("speedup", speedup);
+        entry.Set("identical", identical);
+        configs.Add(std::move(entry));
+        if (workers == 256 && mixed && use_elsa) {
+          headline_speedup = speedup;
+          headline_qps = fast.qps;
+        }
+        if (!identical) {
+          std::cerr << "error: engines diverged at " << workers << "/"
+                    << workload << "/" << sched_name << "\n";
+          return 1;
+        }
+      }
+    }
+  }
+
+  table.Print(std::cout);
+  std::cout << "\nheadline (256 partitions, 4-model mix, ELSA): "
+            << Table::Num(headline_qps, 0) << " simulated queries/sec, "
+            << Table::Num(headline_speedup, 2)
+            << "x over the reference engine\n";
+
+  core::Json data = core::Json::Object();
+  data.Set("configs", std::move(configs));
+  data.Set("engine_qps_256_mix4_elsa", headline_qps);
+  data.Set("speedup_256_mix4_elsa", headline_speedup);
+  pe::bench::WriteReport("engine_throughput", std::move(data));
+  return 0;
+}

@@ -1,0 +1,106 @@
+// CompiledProfile: the profile layer's hot-path compilation.
+//
+// ProfileTable answers every scheduler/simulator lookup through a
+// std::map::find plus a lower_bound batch snap, and ModelRepertoire's
+// ground truth goes through a std::function -- costs paid once per
+// latency estimate, i.e. per worker per arrival in ELSA's inner loop.
+// CompiledProfile flattens that surface once, at construction:
+//
+//  * a per-model batch-snap table (batch -> index of the smallest profiled
+//    batch >= batch, clamped to the largest), replacing lower_bound;
+//  * a dense (gpcs, snapped-batch-index) -> {latency_sec, latency_ticks}
+//    array per model, replacing the map walk -- EstimateSec/EstimateTicks
+//    become two array indexes;
+//  * a lazily memoized ground-truth grid, so ActualSec calls the
+//    repertoire's LatencyFn at most once per (model, gpcs, batch) and
+//    serves repeats from a flat array.
+//
+// Every value is produced by the exact code path it replaces (the table's
+// LatencySec, the repertoire's ActualSec), so compiled lookups are
+// bit-identical to the uncompiled ones -- asserted by profile_compiled_test
+// and end-to-end by the engine golden determinism suite.  Lookups outside
+// the compiled range (unprofiled partition size, unknown model, sparse
+// table holes) fall back to the uncompiled path, preserving its exact
+// error behavior.
+//
+// The estimate arrays are immutable after construction and safe to share
+// across threads; the ground-truth memo mutates on first use, so a
+// CompiledProfile whose ActualSec is exercised must stay thread-private
+// (each InferenceServer owns its own).  The source table/repertoire is
+// borrowed and must outlive the CompiledProfile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "profile/model_repertoire.h"
+#include "profile/profile_table.h"
+
+namespace pe::profile {
+
+class CompiledProfile {
+ public:
+  // Empty; every lookup throws (there is no source to fall back to).
+  CompiledProfile() = default;
+
+  // Compiles every model of `repertoire` (estimates and ground truth).
+  explicit CompiledProfile(const ModelRepertoire& repertoire);
+
+  // Single-table form: estimate lookups answer regardless of model_id
+  // (the legacy single-profile scheduler behavior); there is no ground
+  // truth, so ActualSec throws std::logic_error.
+  explicit CompiledProfile(const ProfileTable& table);
+
+  bool empty() const { return models_.empty(); }
+  int num_models() const { return static_cast<int>(models_.size()); }
+
+  // Profiled (estimated) latency; identical to
+  // ModelRepertoire::EstimateSec / ProfileTable::LatencySec.
+  double EstimateSec(int model_id, int gpcs, int batch) const;
+
+  // max<SimTime>(1, SecToTicks(EstimateSec(...))): the simulator's
+  // integral estimate, precomputed per grid point.
+  SimTime EstimateTicks(int model_id, int gpcs, int batch) const;
+
+  // Ground-truth latency; identical to ModelRepertoire::ActualSec.
+  // Memoized over the (gpcs <= max profiled size, batch <= max profiled
+  // batch) grid; anything outside calls the LatencyFn directly.
+  double ActualSec(int model_id, int gpcs, int batch) const;
+
+ private:
+  struct Model {
+    // batch (0..max profiled batch) -> index into the batch grid of the
+    // smallest profiled batch >= batch; larger batches clamp to the last
+    // grid point, negative ones to the first.
+    std::vector<std::uint16_t> snap;
+    int num_batches = 0;
+    int max_gpcs = 0;
+    // gpcs -> base offset into est_sec/est_ticks, -1 when unprofiled.
+    std::vector<std::int32_t> row;
+    std::vector<double> est_sec;
+    // kMissing for holes in a sparse table (fallback re-creates the
+    // uncompiled error); valid entries are >= 1.
+    std::vector<SimTime> est_ticks;
+    // Lazy ground-truth memo over (gpcs 0..max_gpcs) x (batch
+    // 0..actual_max_batch); actual_seen gates validity.
+    int actual_max_batch = 0;
+    mutable std::vector<double> actual_sec;
+    mutable std::vector<std::uint8_t> actual_seen;
+  };
+
+  static constexpr SimTime kMissing = -1;
+
+  void CompileModel(const ProfileTable& table, Model& model);
+  // Compiled entry index for the lookup, or -1 when it must fall back.
+  std::ptrdiff_t EstimateIndex(const Model& m, int gpcs, int batch) const;
+  const Model* ModelFor(int model_id) const;
+  double FallbackEstimateSec(int model_id, int gpcs, int batch) const;
+
+  // Exactly one source is set for a non-empty profile.
+  const ModelRepertoire* repertoire_ = nullptr;
+  const ProfileTable* table_ = nullptr;
+  std::vector<Model> models_;
+};
+
+}  // namespace pe::profile

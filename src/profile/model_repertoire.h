@@ -22,6 +22,13 @@ namespace pe::profile {
 // Ground truth: actual execution latency in seconds of (partition gpcs,
 // batch).  Lives here (rather than in sim/) so every layer below the
 // simulator can be model-aware without depending on it.
+//
+// Must be a pure function of (gpcs, batch): the simulator's fast path
+// memoizes it per (model, gpcs, batch) through CompiledProfile, so a
+// stateful function (e.g. one drawing its own noise) would have its
+// first sample frozen and replayed.  Execution-time randomness belongs
+// in the simulator (ServerConfig::latency_noise_sigma), which applies
+// mean-one log-normal noise on top of this deterministic ground truth.
 using LatencyFn = std::function<double(int gpcs, int batch)>;
 
 class ModelRepertoire {
@@ -30,7 +37,7 @@ class ModelRepertoire {
 
   // Registers a model and returns its dense id (0, 1, 2, ...).  Names must
   // be unique; throws std::invalid_argument on a duplicate or a null
-  // `actual`.
+  // `actual`.  `actual` must be deterministic (see LatencyFn above).
   int Register(std::string name, ProfileTable profile, LatencyFn actual);
 
   int size() const { return static_cast<int>(entries_.size()); }

@@ -6,12 +6,14 @@
 namespace pe::sched {
 
 int JsqScheduler::OnQueryArrival(const workload::Query& query,
-                                 const std::vector<WorkerState>& workers) {
+                                 const WorkerView& workers) {
   (void)query;
-  assert(!workers.empty());
+  const std::size_t n = workers.size();
+  assert(n > 0);
   SimTime best_wait = std::numeric_limits<SimTime>::max();
-  int best = workers.front().index;
-  for (const auto& w : workers) {
+  int best = workers.Get(0).index;
+  for (std::size_t i = 0; i < n; ++i) {
+    const WorkerState& w = workers.Get(i);
     if (w.wait_ticks < best_wait) {
       best_wait = w.wait_ticks;
       best = w.index;
@@ -24,12 +26,14 @@ GreedyFastestScheduler::GreedyFastestScheduler(
     const profile::ProfileTable& profile)
     : profile_(profile) {}
 
-int GreedyFastestScheduler::OnQueryArrival(
-    const workload::Query& query, const std::vector<WorkerState>& workers) {
-  assert(!workers.empty());
+int GreedyFastestScheduler::OnQueryArrival(const workload::Query& query,
+                                           const WorkerView& workers) {
+  const std::size_t n = workers.size();
+  assert(n > 0);
   double t_min = std::numeric_limits<double>::infinity();
-  int best = workers.front().index;
-  for (const auto& w : workers) {
+  int best = workers.Get(0).index;
+  for (std::size_t i = 0; i < n; ++i) {
+    const WorkerState& w = workers.Get(i);
     const double t = TicksToSec(w.wait_ticks) +
                      profile_.LatencySec(w.gpcs, query.batch);
     if (t < t_min) {

@@ -19,8 +19,11 @@ namespace pe::sched {
 
 class JsqScheduler final : public Scheduler {
  public:
+  using Scheduler::OnQueryArrival;
+  using Scheduler::RequeueOrphan;
+
   int OnQueryArrival(const workload::Query& query,
-                     const std::vector<WorkerState>& workers) override;
+                     const WorkerView& workers) override;
   bool UsesCentralQueue() const override { return false; }
   std::string name() const override { return "JSQ"; }
 };
@@ -29,8 +32,11 @@ class GreedyFastestScheduler final : public Scheduler {
  public:
   explicit GreedyFastestScheduler(const profile::ProfileTable& profile);
 
+  using Scheduler::OnQueryArrival;
+  using Scheduler::RequeueOrphan;
+
   int OnQueryArrival(const workload::Query& query,
-                     const std::vector<WorkerState>& workers) override;
+                     const WorkerView& workers) override;
   bool UsesCentralQueue() const override { return false; }
   std::string name() const override { return "GreedyFastest"; }
 

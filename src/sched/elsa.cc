@@ -8,20 +8,30 @@ namespace pe::sched {
 
 ElsaScheduler::ElsaScheduler(const profile::ProfileTable& profile,
                              SimTime sla_target, ElsaParams params)
-    : profile_(&profile), sla_target_(sla_target), params_(params) {
+    : profile_(&profile),
+      compiled_(profile),
+      sla_target_(sla_target),
+      params_(params) {
   assert(sla_target_ > 0);
 }
 
 ElsaScheduler::ElsaScheduler(const profile::ModelRepertoire& repertoire,
                              SimTime sla_target, ElsaParams params)
-    : repertoire_(&repertoire), sla_target_(sla_target), params_(params) {
+    : repertoire_(&repertoire),
+      compiled_(repertoire),
+      sla_target_(sla_target),
+      params_(params) {
   assert(sla_target_ > 0);
   assert(!repertoire.empty());
 }
 
 double ElsaScheduler::EstimateSec(int model_id, int gpcs, int batch) const {
-  // The single-profile form serves exactly one model; its table answers
-  // regardless of the id so legacy callers stay model-oblivious.
+  // Compiled values are produced by the uncompiled path at construction,
+  // so both branches return the same doubles; the single-profile form
+  // serves exactly one model and answers regardless of the id either way.
+  if (params_.compiled_lookups) {
+    return compiled_.EstimateSec(model_id, gpcs, batch);
+  }
   if (repertoire_ != nullptr) {
     return repertoire_->EstimateSec(model_id, gpcs, batch);
   }
@@ -40,63 +50,175 @@ double ElsaScheduler::SlackSec(const WorkerState& worker, int model_id,
          params_.alpha * (t_wait + params_.beta * t_new);
 }
 
-int ElsaScheduler::OnQueryArrival(const workload::Query& query,
-                                  const std::vector<WorkerState>& workers) {
-  assert(!workers.empty());
-
+void ElsaScheduler::RefreshCandidates(const WorkerView& workers) {
+  const std::size_t n = workers.size();
+  const bool cacheable = workers.stable();
+  if (cacheable && order_cached_ && order_.size() == n &&
+      order_version_ == workers.layout_version()) {
+    return;
+  }
   // Workers are visited in ascending (gpcs, index) order regardless of
-  // their order in the vector.
-  std::vector<const WorkerState*> sorted;
-  sorted.reserve(workers.size());
-  for (const auto& w : workers) sorted.push_back(&w);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const WorkerState* a, const WorkerState* b) {
-              if (a->gpcs != b->gpcs) return a->gpcs < b->gpcs;
-              return a->index < b->index;
+  // their position order in the view.  The server's live view keeps its
+  // positions fixed within one layout, so the sort runs once per layout
+  // there; ad-hoc vector views re-sort per call as before.
+  order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order_[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(order_.begin(), order_.end(),
+            [&workers](std::uint32_t a, std::uint32_t b) {
+              const WorkerState& wa = workers.Get(a);
+              const WorkerState& wb = workers.Get(b);
+              if (wa.gpcs != wb.gpcs) return wa.gpcs < wb.gpcs;
+              return wa.index < wb.index;
             });
+  // Contiguous equal-gpcs runs of the sorted order, for the size-class
+  // skips below.
+  runs_.clear();
+  for (std::size_t k = 0; k < n;) {
+    const int gpcs = workers.Get(order_[k]).gpcs;
+    std::size_t e = k + 1;
+    while (e < n && workers.Get(order_[e]).gpcs == gpcs) ++e;
+    runs_.push_back(SizeRun{gpcs, static_cast<std::uint32_t>(k),
+                            static_cast<std::uint32_t>(e)});
+    k = e;
+  }
+  order_cached_ = cacheable;
+  order_version_ = workers.layout_version();
+  if (slack_memo_.size() != n) {
+    slack_memo_.assign(n, 0.0);
+    completion_memo_.assign(n, 0.0);
+    twait_memo_.assign(n, 0.0);
+    slack_stamp_.assign(n, 0);
+    completion_stamp_.assign(n, 0);
+    twait_stamp_.assign(n, 0);
+  }
+}
 
-  const auto completion_sec = [&](const WorkerState& w) {
-    return TicksToSec(w.wait_ticks) +
-           EstimateSec(query.model_id, w.gpcs, query.batch);
+int ElsaScheduler::OnQueryArrival(const workload::Query& query,
+                                  const WorkerView& workers) {
+  assert(workers.size() > 0);
+  RefreshCandidates(workers);
+  ++arrival_stamp_;
+
+  const double sla_sec = TicksToSec(sla_target_);
+
+  // Testimated,new depends only on (model, batch, gpcs); model and batch
+  // are fixed within one arrival, so one lookup per distinct partition
+  // size covers every candidate.
+  const auto tnew_sec = [&](int gpcs) {
+    if (gpcs < 0) return EstimateSec(query.model_id, gpcs, query.batch);
+    const auto g = static_cast<std::size_t>(gpcs);
+    if (g >= tnew_memo_.size()) {
+      tnew_memo_.resize(g + 1, 0.0);
+      tnew_stamp_.resize(g + 1, 0);
+    }
+    if (tnew_stamp_[g] != arrival_stamp_) {
+      tnew_memo_[g] = EstimateSec(query.model_id, gpcs, query.batch);
+      tnew_stamp_[g] = arrival_stamp_;
+    }
+    return tnew_memo_[g];
   };
-  // Among positive-slack candidates, a swap-free partition -- one whose
-  // resident model already matches the query, or one that has never loaded
-  // a model (-1) -- wins over `chosen` when its predicted completion ties
-  // within the locality window: the query avoids a model-swap penalty at
-  // no predicted SLA cost.
+  // Step A, the locality tie-break, and Step B consult the same predictor
+  // terms; each is computed at most once per arrival (keyed by view
+  // position via the arrival stamp).  The expressions are exactly
+  // SlackSec / Twait + Testimated,new, so memoized values are the same
+  // doubles the unmemoized path produces.  The scans read the wait
+  // through WaitTicks(i) (== Get(i).wait_ticks) so a live view skips
+  // whole-snapshot maintenance; gpcs comes from the candidate's size run.
+  const auto twait_sec = [&](std::uint32_t i) {
+    if (twait_stamp_[i] != arrival_stamp_) {
+      twait_memo_[i] = TicksToSec(workers.WaitTicks(i));
+      twait_stamp_[i] = arrival_stamp_;
+    }
+    return twait_memo_[i];
+  };
+  const auto slack_sec = [&](std::uint32_t i, int gpcs) {
+    if (slack_stamp_[i] != arrival_stamp_) {
+      slack_memo_[i] = sla_sec - params_.alpha * (twait_sec(i) +
+                                                  params_.beta *
+                                                      tnew_sec(gpcs));
+      slack_stamp_[i] = arrival_stamp_;
+    }
+    return slack_memo_[i];
+  };
+  const auto completion_sec = [&](std::uint32_t i, int gpcs) {
+    if (completion_stamp_[i] != arrival_stamp_) {
+      completion_memo_[i] = twait_sec(i) + tnew_sec(gpcs);
+      completion_stamp_[i] = arrival_stamp_;
+    }
+    return completion_memo_[i];
+  };
+  // A swap-free partition: its resident model already matches the query,
+  // or it has never loaded a model (-1).
   const auto swap_free = [&](const WorkerState& w) {
     return w.resident_model == query.model_id || w.resident_model == -1;
   };
-  const auto prefer_local = [&](const WorkerState* chosen) {
-    if (params_.locality_tie_sec <= 0.0 || chosen == nullptr) return chosen;
-    if (swap_free(*chosen)) return chosen;
-    const double bound = completion_sec(*chosen) + params_.locality_tie_sec;
-    for (const WorkerState* w : sorted) {
-      if (!swap_free(*w)) continue;
-      if (SlackSec(*w, query.model_id, query.batch) <= 0.0) continue;
-      if (completion_sec(*w) <= bound) return w;
-    }
-    return chosen;
+
+  // Size-class skips, valid only when every wait is known non-negative
+  // (the server's live view guarantees it; ad-hoc vector views scan in
+  // full).  Slack is monotone non-increasing in Twait under IEEE rounding
+  // when alpha >= 0, so a class whose *zero-wait* slack is already
+  // non-positive cannot contain a Step A (or locality) candidate; and
+  // completion >= Testimated,new, so a class whose floor cannot beat the
+  // running Step B minimum cannot improve it.  Skipping therefore changes
+  // no comparison outcome -- decisions are bit-identical to the full
+  // scan.
+  const bool skip_a = workers.stable() && params_.alpha >= 0.0;
+  const bool skip_b = workers.stable();
+  const auto zero_wait_slack = [&](int gpcs) {
+    // SlackSec with Twait = 0 (0.0 + x == x exactly, so this is the same
+    // double the per-candidate expression yields at zero wait).
+    return sla_sec - params_.alpha * (params_.beta * tnew_sec(gpcs));
   };
 
   // Step A: smallest partition whose predicted slack is positive.
-  for (const WorkerState* w : sorted) {
-    if (SlackSec(*w, query.model_id, query.batch) > 0.0) {
-      return prefer_local(w)->index;
+  for (const SizeRun& run : runs_) {
+    if (skip_a && zero_wait_slack(run.gpcs) <= 0.0) continue;
+    for (std::uint32_t k = run.begin; k < run.end; ++k) {
+      const std::uint32_t i = order_[k];
+      if (slack_sec(i, run.gpcs) <= 0.0) continue;
+      const WorkerState& w = workers.Get(i);
+      // Among positive-slack candidates, a swap-free partition wins over
+      // the default choice when its predicted completion ties within the
+      // locality window: the query avoids a model-swap penalty at no
+      // predicted SLA cost.
+      if (params_.locality_tie_sec > 0.0 && !swap_free(w)) {
+        const double bound =
+            completion_sec(i, run.gpcs) + params_.locality_tie_sec;
+        for (const SizeRun& local : runs_) {
+          if (skip_a && zero_wait_slack(local.gpcs) <= 0.0) continue;
+          for (std::uint32_t k2 = local.begin; k2 < local.end; ++k2) {
+            const std::uint32_t j = order_[k2];
+            // Pure predicates conjoined, so evaluation order is free;
+            // the memoized slack goes first to keep Get off the miss
+            // path.
+            if (slack_sec(j, local.gpcs) <= 0.0) continue;
+            const WorkerState& c = workers.Get(j);
+            if (!swap_free(c)) continue;
+            if (completion_sec(j, local.gpcs) <= bound) return c.index;
+          }
+        }
+      }
+      return w.index;
     }
   }
 
   // Step B: no partition satisfies the SLA; pick minimum completion time.
   double t_min = std::numeric_limits<double>::infinity();
-  const WorkerState* best = sorted.front();
-  for (const WorkerState* w : sorted) {
-    const double t = completion_sec(*w);
-    if (t < t_min) {
-      t_min = t;
-      best = w;
+  int best = workers.Get(order_.front()).index;
+  for (const SizeRun& run : runs_) {
+    if (skip_b && !(tnew_sec(run.gpcs) < t_min)) continue;
+    for (std::uint32_t k = run.begin; k < run.end; ++k) {
+      const std::uint32_t i = order_[k];
+      const double t = completion_sec(i, run.gpcs);
+      if (t < t_min) {
+        t_min = t;
+        best = workers.Get(i).index;
+      }
     }
   }
-  return best->index;
+  return best;
 }
 
 }  // namespace pe::sched

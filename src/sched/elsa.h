@@ -17,6 +17,23 @@
 // precomputed through WorkerState (the server derives it from each queued
 // query's own model profile plus the in-flight query's elapsed timestamp).
 //
+// Hot-path mechanics: Testimated lookups go through a CompiledProfile
+// (dense arrays instead of map + lower_bound; `compiled_lookups` in
+// ElsaParams re-enables the uncompiled path for the reference engine),
+// the size-ascending candidate order is computed once per layout and
+// cached against a stable WorkerView's layout_version() instead of
+// re-sorting every arrival, Testimated,new is computed once per distinct
+// partition size per arrival (it depends only on (model, batch, gpcs)),
+// and each candidate's slack/completion prediction is computed at most
+// once per arrival (Step A, the locality tie-break, and Step B share the
+// memo).  The cached order groups workers into contiguous equal-size
+// runs; when even a zero-wait worker of a size class has non-positive
+// slack, the whole class is skipped -- valid because slack is monotone
+// non-increasing in Twait under IEEE rounding (for alpha >= 0), so every
+// member would have failed the same test.  None of this changes any
+// decision: compiled values are bit-identical by construction and the
+// visit order (and every comparison outcome) is the same as before.
+//
 // Multi-model extension: constructed from a ModelRepertoire, ELSA routes
 // every Testimated,new lookup through the *arriving query's* model profile,
 // and -- when `locality_tie_sec` is enabled -- prefers a positive-slack
@@ -26,6 +43,10 @@
 // model-oblivious as the baseline.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
+#include "profile/compiled_profile.h"
 #include "profile/model_repertoire.h"
 #include "profile/profile_table.h"
 #include "sched/scheduler.h"
@@ -44,6 +65,11 @@ struct ElsaParams {
   // many seconds of the default's.  0 (default) disables the tie-break,
   // reproducing the paper's model-oblivious Algorithm 2 exactly.
   double locality_tie_sec = 0.0;
+  // Route Testimated lookups through the dense CompiledProfile (default).
+  // false restores the uncompiled map/lower_bound path -- the decisions
+  // are identical either way; the flag exists so the engine-throughput
+  // bench can measure a faithful pre-optimization baseline.
+  bool compiled_lookups = true;
 };
 
 class ElsaScheduler final : public Scheduler {
@@ -59,12 +85,17 @@ class ElsaScheduler final : public Scheduler {
   ElsaScheduler(const profile::ModelRepertoire& repertoire,
                 SimTime sla_target, ElsaParams params = ElsaParams{});
 
+  using Scheduler::OnQueryArrival;
+  using Scheduler::RequeueOrphan;
+
   int OnQueryArrival(const workload::Query& query,
-                     const std::vector<WorkerState>& workers) override;
+                     const WorkerView& workers) override;
   bool UsesCentralQueue() const override { return false; }
-  // Reconfiguration hooks: ELSA keeps no per-worker state, and the default
+  // Reconfiguration hooks: ELSA's only cross-call state is the per-layout
+  // candidate order, which is keyed on the stable view's layout_version()
+  // and self-invalidates when the server swaps layouts, and the default
   // RequeueOrphan (re-run Step A/B against the new layout) is exactly the
-  // right policy for orphans, so the base-class defaults apply.
+  // right policy for orphans -- so the base-class defaults apply.
   std::string name() const override { return "ELSA"; }
 
   SimTime sla_target() const { return sla_target_; }
@@ -79,12 +110,43 @@ class ElsaScheduler final : public Scheduler {
 
  private:
   double EstimateSec(int model_id, int gpcs, int batch) const;
+  // Rebuilds the (gpcs, index)-ascending candidate order unless it is
+  // already cached for this view's layout; also sizes the per-arrival
+  // memo arrays.
+  void RefreshCandidates(const WorkerView& workers);
 
   // Exactly one of the two sources is set.
   const profile::ProfileTable* profile_ = nullptr;
   const profile::ModelRepertoire* repertoire_ = nullptr;
+  profile::CompiledProfile compiled_;
   SimTime sla_target_;
   ElsaParams params_;
+
+  // Candidate order (view positions, ascending by (gpcs, index)), cached
+  // across arrivals while the stable view's layout_version() holds,
+  // grouped into contiguous equal-gpcs runs for the size-class skip.
+  struct SizeRun {
+    int gpcs = 0;
+    std::uint32_t begin = 0;  // [begin, end) into order_
+    std::uint32_t end = 0;
+  };
+  std::vector<std::uint32_t> order_;
+  std::vector<SizeRun> runs_;
+  std::uint64_t order_version_ = 0;
+  bool order_cached_ = false;
+
+  // Per-arrival memo of the predictor terms, stamped by arrival so the
+  // arrays never need clearing.  tnew is keyed by gpcs (the only variable
+  // of Testimated,new within one arrival); slack/completion by candidate.
+  std::uint64_t arrival_stamp_ = 0;
+  std::vector<double> tnew_memo_;
+  std::vector<std::uint64_t> tnew_stamp_;
+  std::vector<double> twait_memo_;
+  std::vector<std::uint64_t> twait_stamp_;
+  std::vector<double> slack_memo_;
+  std::vector<double> completion_memo_;
+  std::vector<std::uint64_t> slack_stamp_;
+  std::vector<std::uint64_t> completion_stamp_;
 };
 
 }  // namespace pe::sched

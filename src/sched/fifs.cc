@@ -3,7 +3,7 @@
 namespace pe::sched {
 
 int FifsScheduler::OnQueryArrival(const workload::Query& query,
-                                  const std::vector<WorkerState>& workers) {
+                                  const WorkerView& workers) {
   (void)query;
   // Ties among several idle GPUs are broken toward the largest partition --
   // the most charitable reading of FIFS on a heterogeneous server.  The
@@ -11,7 +11,9 @@ int FifsScheduler::OnQueryArrival(const workload::Query& query,
   // small ones, which is exactly the loaded regime the paper targets.
   int best = kNoAssignment;
   int best_gpcs = -1;
-  for (const auto& w : workers) {
+  const std::size_t n = workers.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const WorkerState& w = workers.Get(i);
     if (w.idle && w.gpcs > best_gpcs) {
       best = w.index;
       best_gpcs = w.gpcs;

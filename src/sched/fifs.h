@@ -17,8 +17,11 @@ namespace pe::sched {
 
 class FifsScheduler final : public Scheduler {
  public:
+  using Scheduler::OnQueryArrival;
+  using Scheduler::RequeueOrphan;
+
   int OnQueryArrival(const workload::Query& query,
-                     const std::vector<WorkerState>& workers) override;
+                     const WorkerView& workers) override;
   bool UsesCentralQueue() const override { return true; }
 
   // Reconfiguration orphans rejoin the central FIFO rather than being
@@ -26,7 +29,7 @@ class FifsScheduler final : public Scheduler {
   // during the downtime window, preserving strict FIFO service order
   // across the layout swap.
   int RequeueOrphan(const workload::Query& query,
-                    const std::vector<WorkerState>& workers) override {
+                    const WorkerView& workers) override {
     (void)query;
     (void)workers;
     return kNoAssignment;

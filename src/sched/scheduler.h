@@ -16,8 +16,17 @@
 // paper's Twait (Eq. 1): the estimated execution time of everything queued
 // locally plus the estimated remainder of the in-flight query, both derived
 // from the profiled lookup table.
+//
+// Snapshots are delivered through a WorkerView -- an indexed, read-only
+// window onto the worker set.  The server's live view materializes a
+// worker's state lazily and only when it actually changed, so consulting
+// the scheduler no longer copies (or re-sorts) all W workers per arrival;
+// VectorWorkerView wraps a plain snapshot vector for tests and the
+// reference engine path.
 #pragma once
 
+#include <cassert>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -42,6 +51,51 @@ struct WorkerState {
 // Sentinel: leave the query in the central queue.
 inline constexpr int kNoAssignment = -1;
 
+// Read-only, indexed access to the current worker set.  Get(i) returns the
+// state of the worker at position i, current as of the consultation; the
+// reference stays valid until the next simulation event mutates that
+// worker.
+class WorkerView {
+ public:
+  virtual ~WorkerView() = default;
+
+  virtual std::size_t size() const = 0;
+  virtual const WorkerState& Get(std::size_t i) const = 0;
+
+  // Twait of worker i alone (== Get(i).wait_ticks).  The one
+  // time-dependent field; a live view can answer it without
+  // re-materializing the whole snapshot, which is what ELSA's inner scan
+  // is bound by at large W.
+  virtual SimTime WaitTicks(std::size_t i) const { return Get(i).wait_ticks; }
+
+  // True for a long-lived, server-owned view whose Get() positions are
+  // stable within one layout and whose layout_version() uniquely
+  // identifies the worker set process-wide.  Schedulers may then cache
+  // layout-derived state (e.g. ELSA's size-ascending candidate order)
+  // keyed on the version.  Ad-hoc wrappers (VectorWorkerView) return
+  // false: their contents can differ call to call, so nothing about them
+  // may be cached.
+  virtual bool stable() const { return false; }
+  virtual std::uint64_t layout_version() const { return 0; }
+};
+
+// Wraps a snapshot vector as a WorkerView (tests, the reference engine
+// path, and the vector convenience overloads below).  Borrows the vector.
+class VectorWorkerView final : public WorkerView {
+ public:
+  explicit VectorWorkerView(const std::vector<WorkerState>& states)
+      : states_(states) {}
+
+  std::size_t size() const override { return states_.size(); }
+  const WorkerState& Get(std::size_t i) const override {
+    assert(i < states_.size());
+    return states_[i];
+  }
+
+ private:
+  const std::vector<WorkerState>& states_;
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -49,7 +103,15 @@ class Scheduler {
   // Decide where an arriving query goes: a worker index, or kNoAssignment
   // to hold it centrally.
   virtual int OnQueryArrival(const workload::Query& query,
-                             const std::vector<WorkerState>& workers) = 0;
+                             const WorkerView& workers) = 0;
+
+  // Convenience overload for callers holding a snapshot vector.  Derived
+  // classes re-expose it with `using Scheduler::OnQueryArrival;`.
+  int OnQueryArrival(const workload::Query& query,
+                     const std::vector<WorkerState>& workers) {
+    const VectorWorkerView view(workers);
+    return OnQueryArrival(query, view);
+  }
 
   // True if unassigned queries wait in a central FIFO that idle workers
   // pull from.  Schedulers returning kNoAssignment must return true here.
@@ -57,9 +119,9 @@ class Scheduler {
 
   // Lifecycle hook: the server finished a live reconfiguration and the
   // worker set changed from `old_workers` to `new_workers` (worker indices
-  // are NOT stable across the swap).  Stateless schedulers -- everything in
-  // this repository scores workers from per-call snapshots -- need no
-  // action; schedulers that cache per-worker state must invalidate it here.
+  // are NOT stable across the swap).  Schedulers that cache per-worker
+  // state must invalidate it here; per-layout caches keyed on a stable
+  // view's layout_version() self-invalidate and need no action.
   virtual void OnReconfigure(const std::vector<WorkerState>& old_workers,
                              const std::vector<WorkerState>& new_workers) {
     (void)old_workers;
@@ -71,8 +133,14 @@ class Scheduler {
   // index or kNoAssignment to move it to the central FIFO (central-queue
   // schedulers only).  Default: treat the orphan like a fresh arrival.
   virtual int RequeueOrphan(const workload::Query& query,
-                            const std::vector<WorkerState>& workers) {
+                            const WorkerView& workers) {
     return OnQueryArrival(query, workers);
+  }
+
+  int RequeueOrphan(const workload::Query& query,
+                    const std::vector<WorkerState>& workers) {
+    const VectorWorkerView view(workers);
+    return RequeueOrphan(query, view);
   }
 
   virtual std::string name() const = 0;

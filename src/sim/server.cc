@@ -1,6 +1,7 @@
 #include "sim/server.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -18,7 +19,53 @@ std::unique_ptr<profile::ModelRepertoire> WrapSingleModel(
   return repertoire;
 }
 
+// Process-unique layout stamp: every BuildWorkers gets a fresh value, so a
+// scheduler's per-layout cache can never alias two different worker sets
+// (even across servers sharing one scheduler object).
+std::uint64_t NextLayoutVersion() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
 }  // namespace
+
+std::size_t InferenceServer::LiveWorkerView::size() const {
+  return server_.workers_.size();
+}
+
+const sched::WorkerState& InferenceServer::LiveWorkerView::Get(
+    std::size_t i) const {
+  assert(i < server_.workers_.size());
+  const PartitionWorker& w = server_.workers_[i];
+  Slot& slot = slots_[i];
+  // Idle-or-queued-only workers have a time-independent snapshot, so the
+  // version check alone suffices; a busy worker's Twait remainder shrinks
+  // as time advances, hence the extra timestamp check.
+  if (slot.seen_version != w.version()) {
+    slot.state = w.Snapshot(server_.now_);
+    slot.seen_version = w.version();
+    slot.seen_at = server_.now_;
+  } else if (w.busy() && slot.seen_at != server_.now_) {
+    // Same worker state, later instant: only Twait's in-flight remainder
+    // moved; everything else in the snapshot is version-covered.
+    slot.state.wait_ticks = w.EstimatedWait(server_.now_);
+    slot.seen_at = server_.now_;
+  }
+  return slot.state;
+}
+
+SimTime InferenceServer::LiveWorkerView::WaitTicks(std::size_t i) const {
+  assert(i < server_.workers_.size());
+  // Uncached on purpose: schedulers consult each worker's wait at most
+  // once per arrival (ELSA memoizes on its side), and the direct
+  // computation is cheaper than snapshot-cache maintenance.
+  return server_.workers_[i].EstimatedWait(server_.now_);
+}
+
+void InferenceServer::LiveWorkerView::OnLayoutChange(std::size_t num_workers) {
+  slots_.assign(num_workers, Slot{});  // keeps capacity across layouts
+  version_ = NextLayoutVersion();
+}
 
 InferenceServer::InferenceServer(ServerConfig config,
                                  const profile::ProfileTable& profile,
@@ -28,7 +75,8 @@ InferenceServer::InferenceServer(ServerConfig config,
       owned_repertoire_(WrapSingleModel(profile, std::move(actual_latency))),
       repertoire_(owned_repertoire_.get()),
       scheduler_(scheduler),
-      rng_(config_.seed) {
+      rng_(config_.seed),
+      compiled_(*repertoire_) {
   if (config_.partition_gpcs.empty()) {
     throw std::invalid_argument("InferenceServer: no partitions configured");
   }
@@ -41,7 +89,8 @@ InferenceServer::InferenceServer(ServerConfig config,
     : config_(std::move(config)),
       repertoire_(&repertoire),
       scheduler_(scheduler),
-      rng_(config_.seed) {
+      rng_(config_.seed),
+      compiled_(*repertoire_) {
   if (config_.partition_gpcs.empty()) {
     throw std::invalid_argument("InferenceServer: no partitions configured");
   }
@@ -52,7 +101,13 @@ InferenceServer::InferenceServer(ServerConfig config,
 }
 
 void InferenceServer::Reset() {
-  events_ = {};
+  // clear() everywhere (never a fresh container): a server re-used across
+  // incarnations -- Run after Run, or the experiment engine replaying
+  // probes -- keeps its event/arrival/record capacity instead of
+  // reallocating it each time.
+  events_.clear();
+  arrivals_.clear();
+  arrival_cursor_ = 0;
   next_seq_ = 0;
   now_ = 0;
   central_queue_.clear();
@@ -79,15 +134,48 @@ void InferenceServer::BuildWorkers(const std::vector<int>& partition_gpcs) {
     workers_.emplace_back(static_cast<int>(i), sizes[i]);
   }
   snapshots_.reserve(workers_.size());
+  view_.OnLayoutChange(workers_.size());
+}
+
+void InferenceServer::PushWithSeq(SimTime time, std::uint64_t seq,
+                                  EventType type, std::uint32_t payload) {
+  events_.push_back(Event{time, seq, payload, type});
+  std::push_heap(events_.begin(), events_.end(), std::greater<Event>{});
 }
 
 void InferenceServer::Push(SimTime time, EventType type,
-                           std::size_t payload) {
-  events_.push(Event{time, next_seq_++, type, payload});
+                           std::uint32_t payload) {
+  PushWithSeq(time, next_seq_++, type, payload);
+}
+
+bool InferenceServer::PopNextEvent(SimTime bound, bool bounded, Event& ev) {
+  const bool have_heap = !events_.empty();
+  const bool have_arrival = arrival_cursor_ < arrivals_.size();
+  if (!have_heap && !have_arrival) return false;
+  bool take_arrival = have_arrival;
+  if (have_heap && have_arrival) {
+    const PendingArrival& a = arrivals_[arrival_cursor_];
+    const Event& h = events_.front();
+    take_arrival = a.time != h.time ? a.time < h.time : a.seq < h.seq;
+  }
+  if (take_arrival) {
+    const PendingArrival& a = arrivals_[arrival_cursor_];
+    if (bounded && a.time >= bound) return false;
+    ev = Event{a.time, a.seq, a.query, EventType::kArrival};
+    ++arrival_cursor_;
+  } else {
+    if (bounded && events_.front().time >= bound) return false;
+    ev = events_.front();
+    std::pop_heap(events_.begin(), events_.end(), std::greater<Event>{});
+    events_.pop_back();
+  }
+  return true;
 }
 
 SimTime InferenceServer::ActualTicks(int model_id, int gpcs, int batch) {
-  double sec = repertoire_->ActualSec(model_id, gpcs, batch);
+  double sec = config_.reference_engine
+                   ? repertoire_->ActualSec(model_id, gpcs, batch)
+                   : compiled_.ActualSec(model_id, gpcs, batch);
   if (config_.latency_noise_sigma > 0.0) {
     const double sigma = config_.latency_noise_sigma;
     // Mean-one log-normal multiplier so noise does not shift mean latency.
@@ -98,8 +186,11 @@ SimTime InferenceServer::ActualTicks(int model_id, int gpcs, int batch) {
 
 SimTime InferenceServer::EstimateTicks(int model_id, int gpcs,
                                        int batch) const {
-  return std::max<SimTime>(
-      1, SecToTicks(repertoire_->EstimateSec(model_id, gpcs, batch)));
+  if (config_.reference_engine) {
+    return std::max<SimTime>(
+        1, SecToTicks(repertoire_->EstimateSec(model_id, gpcs, batch)));
+  }
+  return compiled_.EstimateTicks(model_id, gpcs, batch);
 }
 
 const std::vector<sched::WorkerState>& InferenceServer::Snapshots(
@@ -107,6 +198,17 @@ const std::vector<sched::WorkerState>& InferenceServer::Snapshots(
   snapshots_.clear();
   for (const auto& w : workers_) snapshots_.push_back(w.Snapshot(now));
   return snapshots_;
+}
+
+int InferenceServer::ConsultScheduler(const workload::Query& query,
+                                      SimTime now, bool orphan) {
+  if (config_.reference_engine) {
+    return orphan ? scheduler_.RequeueOrphan(query, Snapshots(now))
+                  : scheduler_.OnQueryArrival(query, Snapshots(now));
+  }
+  assert(now == now_);  // the live view reads wait times at now_
+  return orphan ? scheduler_.RequeueOrphan(query, view_)
+                : scheduler_.OnQueryArrival(query, view_);
 }
 
 void InferenceServer::StartHead(PartitionWorker& worker, SimTime now) {
@@ -126,7 +228,7 @@ void InferenceServer::StartHead(PartitionWorker& worker, SimTime now) {
   rec.worker_gpcs = worker.gpcs();
   rec.model_swap = swap;
   Push(now + actual, EventType::kWorkerDone,
-       static_cast<std::size_t>(worker.index()));
+       static_cast<std::uint32_t>(worker.index()));
 }
 
 void InferenceServer::Dispatch(const workload::Query& query, SimTime now) {
@@ -137,7 +239,7 @@ void InferenceServer::Dispatch(const workload::Query& query, SimTime now) {
     central_queue_.push_back(query);
     return;
   }
-  const int idx = scheduler_.OnQueryArrival(query, Snapshots(now));
+  const int idx = ConsultScheduler(query, now, /*orphan=*/false);
   if (idx == sched::kNoAssignment) {
     if (!scheduler_.UsesCentralQueue()) {
       throw std::logic_error(
@@ -161,9 +263,11 @@ void InferenceServer::ReofferCentralQueue(SimTime now) {
   while (!central_queue_.empty()) {
     // The scheduler decides the placement (preserving e.g. FIFS's
     // largest-idle-partition tie-break); kNoAssignment means it prefers
-    // to keep the head queued, which ends the re-offer.
+    // to keep the head queued, which ends the re-offer.  The live view
+    // tracks the enqueues this loop itself causes, so draining a queue of
+    // Q entries costs O(Q), not O(Q*W).
     const workload::Query head = central_queue_.front();
-    const int idx = scheduler_.OnQueryArrival(head, Snapshots(now));
+    const int idx = ConsultScheduler(head, now, /*orphan=*/false);
     if (idx == sched::kNoAssignment) break;
     if (idx < 0 || idx >= static_cast<int>(workers_.size())) {
       throw std::out_of_range("scheduler returned invalid worker index");
@@ -190,6 +294,12 @@ void InferenceServer::InjectQuery(const workload::Query& query) {
         "InferenceServer: query model_id " + std::to_string(query.model_id) +
         " is not in the repertoire");
   }
+  if (queries_.size() >
+      static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+    throw std::invalid_argument(
+        "InferenceServer: too many queries for one run");
+  }
+  const auto index = static_cast<std::uint32_t>(queries_.size());
   queries_.push_back(query);
   QueryRecord rec;
   rec.id = query.id;
@@ -197,10 +307,29 @@ void InferenceServer::InjectQuery(const workload::Query& query) {
   rec.model = query.model_id;
   rec.arrival = query.arrival;
   records_.push_back(rec);
-  Push(query.arrival, EventType::kArrival, queries_.size() - 1);
+  const std::uint64_t seq = next_seq_++;
+  if (!config_.reference_engine &&
+      (arrivals_.empty() || query.arrival >= arrivals_.back().time)) {
+    // The common case: arrivals keep the trace's time order, so the flat
+    // cursor replaces a heap push (and, for a whole trace, a heap that
+    // would hold every arrival at once).
+    arrivals_.push_back(PendingArrival{query.arrival, seq, index});
+  } else {
+    // Out-of-order (or reference-engine) arrival: the heap restores the
+    // global (time, seq) order.
+    PushWithSeq(query.arrival, seq, EventType::kArrival, index);
+  }
 }
 
 void InferenceServer::InjectTrace(const workload::QueryTrace& trace) {
+  const std::size_t n = trace.size();
+  queries_.reserve(queries_.size() + n);
+  records_.reserve(records_.size() + n);
+  if (config_.reference_engine) {
+    events_.reserve(events_.size() + n);
+  } else {
+    arrivals_.reserve(arrivals_.size() + n);
+  }
   for (const workload::Query& q : trace.queries()) InjectQuery(q);
 }
 
@@ -266,12 +395,13 @@ void InferenceServer::CompleteReconfigure(SimTime now) {
   scheduler_.OnReconfigure(old_states, Snapshots(now));
 
   // Orphans are re-placed first (they were dispatched before anything the
-  // window held), then the held arrivals in their original order.
+  // window held), then the held arrivals in their original order.  The
+  // fast path's live view makes this loop O(orphans), not O(orphans * W).
   std::deque<workload::Query> held = std::move(central_queue_);
   central_queue_.clear();
   for (const workload::Query& q : orphans) {
     ++records_[q.id].reconfig_stalls;
-    const int idx = scheduler_.RequeueOrphan(q, Snapshots(now));
+    const int idx = ConsultScheduler(q, now, /*orphan=*/true);
     if (idx == sched::kNoAssignment) {
       if (!scheduler_.UsesCentralQueue()) {
         throw std::logic_error(
@@ -344,9 +474,8 @@ void InferenceServer::ProcessEvent(const Event& ev) {
 }
 
 void InferenceServer::AdvanceTo(SimTime when) {
-  while (!events_.empty() && events_.top().time < when) {
-    const Event ev = events_.top();
-    events_.pop();
+  Event ev;
+  while (PopNextEvent(when, /*bounded=*/true, ev)) {
     now_ = ev.time;
     ProcessEvent(ev);
   }
@@ -354,9 +483,8 @@ void InferenceServer::AdvanceTo(SimTime when) {
 }
 
 SimResult InferenceServer::Finish() {
-  while (!events_.empty()) {
-    const Event ev = events_.top();
-    events_.pop();
+  Event ev;
+  while (PopNextEvent(0, /*bounded=*/false, ev)) {
     now_ = ev.time;
     ProcessEvent(ev);
   }

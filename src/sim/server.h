@@ -17,6 +17,26 @@
 //    simulates up to (but not including) instant T, BeginReconfigure swaps
 //    the partition layout live, and Finish() drains everything left.
 //
+// Hot-path design (the fast engine, on by default):
+//  * profile lookups go through a CompiledProfile -- EstimateTicks /
+//    ActualTicks are two array indexes instead of a map find +
+//    lower_bound + std::function call;
+//  * the scheduler consults a server-owned live WorkerView whose per-
+//    worker snapshots refresh only when the worker mutated (or, while
+//    busy, when time moved), instead of an O(W) snapshot-vector rebuild
+//    per consultation -- draining a long central queue after a
+//    reconfiguration is no longer O(Q*W);
+//  * injected arrivals are (typically) already time-sorted, so they live
+//    in a flat cursor merged on the fly with a small binary heap that
+//    holds only worker/frontend/reconfiguration events; a million-query
+//    trace no longer sits in the priority queue.  Arrivals injected out
+//    of order mid-run still work -- they fall back to the heap.
+// ServerConfig::reference_engine re-enables the pre-optimization
+// implementation; both paths produce bit-identical SimResults (the event
+// order is the same total (time, seq) order), asserted record-by-record
+// by the golden determinism suite and measured by
+// bench_engine_throughput.
+//
 // A live reconfiguration models a MIG layout change as a first-class
 // simulation event: in-flight queries drain on the old layout, queued work
 // (central FIFO and the retired partitions' local queues) is carried over
@@ -30,12 +50,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/sim_time.h"
+#include "profile/compiled_profile.h"
 #include "profile/model_repertoire.h"
 #include "profile/profile_table.h"
 #include "sched/scheduler.h"
@@ -72,6 +93,12 @@ struct ServerConfig {
   // switch).  0 (the default) models free swaps; single-model runs never
   // swap, so the knob cannot perturb them either way.
   SimTime model_swap_cost = 0;
+  // true re-enables the pre-optimization engine (uncompiled profile
+  // lookups, per-consultation snapshot vectors, every arrival heaped).
+  // Kept as the golden-determinism baseline and as the denominator of
+  // bench_engine_throughput's speedup; results are bit-identical either
+  // way.
+  bool reference_engine = false;
 };
 
 struct SimResult {
@@ -107,7 +134,8 @@ class InferenceServer {
   // injected so far) and arrivals must not predate the current time.
   void InjectQuery(const workload::Query& query);
 
-  // Feeds every query of `trace` (ids continuing the dense sequence).
+  // Feeds every query of `trace` (ids continuing the dense sequence),
+  // reserving arrival/record capacity for the whole trace up front.
   void InjectTrace(const workload::QueryTrace& trace);
 
   // Processes every pending event strictly before `when`, then sets the
@@ -134,13 +162,21 @@ class InferenceServer {
   const std::vector<PartitionWorker>& workers() const { return workers_; }
 
  private:
-  enum class EventType { kArrival, kFrontendDone, kWorkerDone, kReconfigDone };
+  enum class EventType : std::uint8_t {
+    kArrival,
+    kFrontendDone,
+    kWorkerDone,
+    kReconfigDone
+  };
 
+  // 24 bytes: time + the shared seq tie-breaker + a packed payload.  The
+  // heap holds only worker/frontend/reconfig events on the fast path, so
+  // the struct stays small and cache-friendly.
   struct Event {
     SimTime time = 0;
     std::uint64_t seq = 0;  // tie-breaker: deterministic FIFO order
+    std::uint32_t payload = 0;  // query index, worker index, or reconfig gen
     EventType type = EventType::kArrival;
-    std::size_t payload = 0;  // query index, worker index, or reconfig gen
 
     bool operator>(const Event& other) const {
       if (time != other.time) return time > other.time;
@@ -148,18 +184,71 @@ class InferenceServer {
     }
   };
 
+  // An injected arrival on the sorted cursor; `seq` is drawn from the
+  // same counter as heap events so the merged pop order reproduces the
+  // single-queue order exactly.
+  struct PendingArrival {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t query = 0;
+  };
+
+  // Server-owned incremental scheduler view.  WorkerState snapshots are
+  // cached per worker and re-materialized only when the worker's version
+  // ticked or, for busy workers, when simulated time moved (the in-flight
+  // remainder of Twait is the one time-dependent term); Get is O(1) and
+  // the per-consultation O(W) vector rebuild of the reference path
+  // disappears.  layout_version() is process-unique per BuildWorkers so
+  // schedulers can cache per-layout derived state against it.
+  class LiveWorkerView final : public sched::WorkerView {
+   public:
+    explicit LiveWorkerView(const InferenceServer& server)
+        : server_(server) {}
+
+    std::size_t size() const override;
+    const sched::WorkerState& Get(std::size_t i) const override;
+    SimTime WaitTicks(std::size_t i) const override;
+    bool stable() const override { return true; }
+    std::uint64_t layout_version() const override { return version_; }
+
+    void OnLayoutChange(std::size_t num_workers);
+
+   private:
+    struct Slot {
+      sched::WorkerState state;
+      std::uint64_t seen_version = std::numeric_limits<std::uint64_t>::max();
+      SimTime seen_at = -1;
+    };
+
+    const InferenceServer& server_;
+    std::uint64_t version_ = 0;
+    mutable std::vector<Slot> slots_;
+  };
+
   void Reset();
-  void Push(SimTime time, EventType type, std::size_t payload);
+  void Push(SimTime time, EventType type, std::uint32_t payload);
+  void PushWithSeq(SimTime time, std::uint64_t seq, EventType type,
+                   std::uint32_t payload);
+  // Pops the earliest pending event (merging the heap with the arrival
+  // cursor by (time, seq)) into `ev`.  With `bounded`, events at or after
+  // `bound` stay pending.  Returns false when nothing qualifies.
+  bool PopNextEvent(SimTime bound, bool bounded, Event& ev);
   void ProcessEvent(const Event& ev);
+  // Scheduler consultation for an arrival or a reconfiguration orphan:
+  // the fast path hands the scheduler the live view; the reference path
+  // materializes a snapshot vector per call, as the pre-optimization
+  // engine did.
+  int ConsultScheduler(const workload::Query& query, SimTime now,
+                       bool orphan);
   void Dispatch(const workload::Query& query, SimTime now);
   void CompleteReconfigure(SimTime now);
   // Re-offers central-queue heads to the scheduler (central-queue
   // schedulers only), stopping at the first it declines; used after a
   // reconfiguration brings the new (all-idle) workers up.
   void ReofferCentralQueue(SimTime now);
-  // Refills and returns the member scratch vector: the hot path runs once
-  // per scheduler consultation, so the per-event allocation of a fresh
-  // vector is avoided.  The reference is invalidated by the next call.
+  // Refills and returns the member scratch vector (reference engine path
+  // and the OnReconfigure lifecycle hook).  The reference is invalidated
+  // by the next call.
   const std::vector<sched::WorkerState>& Snapshots(SimTime now) const;
   void BuildWorkers(const std::vector<int>& partition_gpcs);
   // Starts the worker's head query if the worker is free, recording start
@@ -176,12 +265,22 @@ class InferenceServer {
   const profile::ModelRepertoire* repertoire_;
   sched::Scheduler& scheduler_;
   Rng rng_;
+  // Dense lookup surface compiled from `repertoire_` once per server.
+  profile::CompiledProfile compiled_;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  // Worker/frontend/reconfig events (plus out-of-order or reference-path
+  // arrivals): a binary min-heap over (time, seq) kept in a plain vector
+  // so Reset() retains its capacity across incarnations.
+  std::vector<Event> events_;
+  // In-order arrivals: a flat cursor over the (already time-sorted)
+  // injected trace, merged with the heap at pop time.
+  std::vector<PendingArrival> arrivals_;
+  std::size_t arrival_cursor_ = 0;
   std::uint64_t next_seq_ = 0;
   SimTime now_ = 0;
 
   std::vector<PartitionWorker> workers_;
+  LiveWorkerView view_{*this};
   // Unassigned queries.  For central-queue schedulers this is the ordinary
   // central FIFO; during a reconfiguration window it additionally holds
   // every arrival (any scheduler) until the new layout is up.
@@ -198,7 +297,7 @@ class InferenceServer {
   bool reconfiguring_ = false;
   SimTime reconfig_ready_ = 0;
   std::vector<int> pending_layout_;
-  std::size_t reconfig_gen_ = 0;
+  std::uint32_t reconfig_gen_ = 0;
 };
 
 }  // namespace pe::sim

@@ -16,6 +16,7 @@ void PartitionWorker::Enqueue(const workload::Query& query,
   assert(estimated >= 0);
   queue_.push_back(Pending{query, estimated});
   queued_estimated_ += estimated;
+  ++version_;
 }
 
 const workload::Query& PartitionWorker::Head() const {
@@ -34,6 +35,7 @@ workload::Query PartitionWorker::Start(SimTime now, SimTime actual) {
   current_started_ = now;
   busy_until_ = now + actual;
   resident_model_ = head.query.model_id;
+  ++version_;
   return head.query;
 }
 
@@ -42,6 +44,7 @@ workload::Query PartitionWorker::Finish() {
   workload::Query done = *current_;
   current_.reset();
   current_estimated_ = 0;
+  ++version_;
   return done;
 }
 
@@ -51,6 +54,7 @@ std::vector<workload::Query> PartitionWorker::TakeQueue() {
   for (const Pending& p : queue_) orphans.push_back(p.query);
   queue_.clear();
   queued_estimated_ = 0;
+  ++version_;
   return orphans;
 }
 

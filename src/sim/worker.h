@@ -11,6 +11,7 @@
 //    start timestamp, exactly as the paper implements it.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <vector>
@@ -32,6 +33,13 @@ class PartitionWorker {
   // most recently started query, -1 until the first start.  Persists
   // across idle periods (the model stays resident until displaced).
   int resident_model() const { return resident_model_; }
+
+  // Mutation counter: ticks on every state change that can alter a
+  // Snapshot (enqueue/start/finish/queue takeover).  The server's live
+  // scheduler view re-materializes a worker's WorkerState only when this
+  // moved -- or, for a busy worker, when simulated time moved, since the
+  // in-flight remainder of Twait is the one time-dependent term.
+  std::uint64_t version() const { return version_; }
 
   bool busy() const { return current_.has_value(); }
   bool idle() const { return !busy() && queue_.empty(); }
@@ -79,6 +87,7 @@ class PartitionWorker {
   int index_;
   int gpcs_;
   int resident_model_ = -1;
+  std::uint64_t version_ = 0;
   std::deque<Pending> queue_;
   SimTime queued_estimated_ = 0;  // running sum over queue_
 

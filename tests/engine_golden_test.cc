@@ -1,0 +1,281 @@
+// Golden determinism suite for the event-engine fast path: the optimized
+// engine (compiled profile lookups, incremental scheduler view, sorted
+// arrival cursor) must produce QueryRecord streams bit-identical to the
+// reference (pre-optimization) engine for every covered scenario -- FIFS
+// and ELSA, single-model and mixed traffic, static runs and live
+// reconfigurations, across several seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "online/elastic_server.h"
+#include "online/repartition_controller.h"
+#include "sched/elsa.h"
+#include "sched/fifs.h"
+#include "sim/server.h"
+#include "workload/arrival.h"
+#include "workload/batch_dist.h"
+#include "workload/trace.h"
+
+namespace pe::sim {
+namespace {
+
+// Distinct per-model cost surfaces; the actual latency deliberately
+// diverges from the profile so estimate/actual paths stay distinguishable.
+profile::ProfileTable MakeTable(const std::string& name, double scale) {
+  profile::ProfileTable t(name, {1, 2, 3, 7}, {1, 2, 4, 8, 16, 32});
+  for (int g : t.partition_sizes()) {
+    for (int b : t.batch_sizes()) {
+      profile::ProfileEntry e;
+      e.latency_sec = scale * 1e-3 * (0.5 + 0.4 * b) / static_cast<double>(g);
+      e.utilization = std::min(1.0, 0.08 * b);
+      t.Set(g, b, e);
+    }
+  }
+  return t;
+}
+
+profile::ModelRepertoire MakeRepertoire(int num_models) {
+  profile::ModelRepertoire rep;
+  for (int m = 0; m < num_models; ++m) {
+    const double scale = 1.0 + 0.6 * m;
+    // Built via += (not `"m" + std::to_string(...)`): GCC-12's -Wrestrict
+    // false-positives on operator+(const char*, string&&) in Release.
+    std::string name = "m";
+    name += std::to_string(m);
+    rep.Register(std::move(name), MakeTable("m", scale),
+                 [scale](int gpcs, int batch) {
+                   return scale * 1.07e-3 * (0.5 + 0.4 * batch) /
+                          static_cast<double>(gpcs);
+                 });
+  }
+  return rep;
+}
+
+workload::QueryTrace MakeTraceFor(const profile::ModelRepertoire& rep,
+                                  std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  workload::PoissonArrivals arrivals(/*rate_qps=*/900.0);
+  workload::LogNormalBatchDist d0(6.0, 0.9, 32);
+  workload::LogNormalBatchDist d1(4.0, 0.7, 32);
+  workload::LogNormalBatchDist d2(9.0, 0.8, 32);
+  if (rep.size() == 1) {
+    return workload::GenerateTrace(arrivals, d0, n, rng);
+  }
+  workload::MixSpec mix;
+  mix.components.push_back({0, 0.5, &d0});
+  mix.components.push_back({1, 0.3, &d1});
+  mix.components.push_back({2, 0.2, &d2});
+  return workload::GenerateMixedTrace(arrivals, mix, n, rng);
+}
+
+enum class Sched { kFifs, kElsa };
+
+struct Scenario {
+  Sched sched = Sched::kFifs;
+  int models = 1;
+  bool reconfigure = false;
+  std::uint64_t seed = 1;
+};
+
+std::unique_ptr<sched::Scheduler> MakeSched(
+    const Scenario& s, const profile::ModelRepertoire& rep, SimTime sla,
+    bool reference) {
+  if (s.sched == Sched::kFifs) {
+    return std::make_unique<sched::FifsScheduler>();
+  }
+  sched::ElsaParams params;
+  params.locality_tie_sec = s.models > 1 ? 0.002 : 0.0;
+  // The reference leg also takes the uncompiled estimate path, so the
+  // comparison covers both the engine and the scheduler lookups.
+  params.compiled_lookups = !reference;
+  return std::make_unique<sched::ElsaScheduler>(rep, sla, params);
+}
+
+SimResult RunScenario(const Scenario& s, bool reference) {
+  const auto rep = MakeRepertoire(s.models);
+  const SimTime sla = MsToTicks(40.0);
+  ServerConfig config;
+  config.partition_gpcs = {1, 1, 2, 3, 7, 7};
+  config.sla_target = sla;
+  config.latency_noise_sigma = 0.25;  // exercise the RNG stream
+  config.seed = s.seed ^ 0xBEEF;
+  config.model_swap_cost = UsToTicks(250.0);
+  config.reference_engine = reference;
+  auto scheduler = MakeSched(s, rep, sla, reference);
+  InferenceServer server(config, rep, *scheduler);
+  const auto trace = MakeTraceFor(rep, 600, s.seed);
+  if (!s.reconfigure) return server.Run(trace);
+  // Live-reconfiguration driving: chunked advances around two layout
+  // swaps (the second supersedes nothing; both complete).
+  server.InjectTrace(trace);
+  server.AdvanceTo(MsToTicks(120.0));
+  server.BeginReconfigure({2, 2, 3, 7}, MsToTicks(15.0));
+  server.AdvanceTo(MsToTicks(300.0));
+  server.BeginReconfigure({1, 2, 3, 3, 7, 7}, MsToTicks(10.0));
+  return server.Finish();
+}
+
+void ExpectIdenticalRecords(const std::vector<QueryRecord>& fast,
+                            const std::vector<QueryRecord>& ref,
+                            const std::string& label) {
+  ASSERT_EQ(fast.size(), ref.size()) << label;
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    const QueryRecord& a = fast[i];
+    const QueryRecord& b = ref[i];
+    EXPECT_EQ(a.id, b.id) << label << " record " << i;
+    EXPECT_EQ(a.batch, b.batch) << label << " record " << i;
+    EXPECT_EQ(a.model, b.model) << label << " record " << i;
+    EXPECT_EQ(a.arrival, b.arrival) << label << " record " << i;
+    EXPECT_EQ(a.dispatched, b.dispatched) << label << " record " << i;
+    EXPECT_EQ(a.started, b.started) << label << " record " << i;
+    EXPECT_EQ(a.finished, b.finished) << label << " record " << i;
+    EXPECT_EQ(a.worker, b.worker) << label << " record " << i;
+    EXPECT_EQ(a.worker_gpcs, b.worker_gpcs) << label << " record " << i;
+    EXPECT_EQ(a.model_swap, b.model_swap) << label << " record " << i;
+    EXPECT_EQ(a.reconfig_stalls, b.reconfig_stalls)
+        << label << " record " << i;
+    // One diverging record is enough detail.
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(EngineGolden, FastPathMatchesReferenceEverywhere) {
+  for (const Sched sched : {Sched::kFifs, Sched::kElsa}) {
+    for (const int models : {1, 3}) {
+      for (const bool reconfigure : {false, true}) {
+        for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+          const Scenario s{sched, models, reconfigure, seed};
+          std::string label = sched == Sched::kFifs ? "FIFS" : "ELSA";
+          label += "/m";
+          label += std::to_string(models);
+          label += reconfigure ? "/reconfig" : "/static";
+          label += "/seed";
+          label += std::to_string(seed);
+          const auto fast = RunScenario(s, /*reference=*/false);
+          const auto ref = RunScenario(s, /*reference=*/true);
+          ExpectIdenticalRecords(fast.records, ref.records, label);
+          if (::testing::Test::HasFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+// Out-of-order injection falls off the sorted cursor onto the heap; the
+// merged order must still equal the reference engine's single-queue order.
+TEST(EngineGolden, OutOfOrderInjectionMatchesReference) {
+  const auto rep = MakeRepertoire(1);
+  ServerConfig config;
+  config.partition_gpcs = {1, 7};
+  config.sla_target = MsToTicks(30.0);
+  config.seed = 5;
+  std::vector<workload::Query> qs;
+  const SimTime arrivals[] = {MsToTicks(0.0), MsToTicks(9.0), MsToTicks(3.0),
+                              MsToTicks(3.0), MsToTicks(12.0), MsToTicks(1.0)};
+  for (std::size_t i = 0; i < 6; ++i) {
+    workload::Query q;
+    q.id = i;
+    q.arrival = arrivals[i];
+    q.batch = 8;
+    qs.push_back(q);
+  }
+  std::vector<std::vector<QueryRecord>> results;
+  for (const bool reference : {false, true}) {
+    auto c = config;
+    c.reference_engine = reference;
+    sched::FifsScheduler fifs;
+    InferenceServer server(c, rep, fifs);
+    for (const auto& q : qs) server.InjectQuery(q);
+    results.push_back(server.Finish().records);
+  }
+  ExpectIdenticalRecords(results[0], results[1], "out-of-order");
+}
+
+// The elastic driver (epoch advances + controller-ordered live
+// reconfigurations) over both engines: per-epoch and total stats match
+// exactly.
+class ForcedSwitchPolicy final : public online::RepartitionPolicy {
+ public:
+  ForcedSwitchPolicy(std::vector<int> initial, std::vector<int> next,
+                     int switch_at_call)
+      : switch_at_call_(switch_at_call) {
+    current_.instance_gpcs = std::move(initial);
+    next_.instance_gpcs = std::move(next);
+    config_.reconfig_downtime = MsToTicks(12.0);
+  }
+
+  const partition::PartitionPlan& current_plan() const override {
+    return current_;
+  }
+  const online::ElasticConfig& config() const override { return config_; }
+
+  std::optional<partition::PartitionPlan> MaybeRepartition(
+      const online::TrafficEstimator& estimator) override {
+    (void)estimator;
+    if (++calls_ == switch_at_call_) {
+      current_ = next_;
+      return current_;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  partition::PartitionPlan current_;
+  partition::PartitionPlan next_;
+  online::ElasticConfig config_;
+  int switch_at_call_ = 0;
+  int calls_ = 0;
+};
+
+TEST(EngineGolden, ElasticDriverMatchesReference) {
+  const auto rep = MakeRepertoire(3);
+  const SimTime sla = MsToTicks(40.0);
+  const auto trace = MakeTraceFor(rep, 900, /*seed=*/11);
+  std::vector<online::ElasticResult> results;
+  for (const bool reference : {false, true}) {
+    ForcedSwitchPolicy policy({1, 2, 7}, {2, 3, 3, 7}, /*switch_at_call=*/2);
+    sched::ElsaParams params;
+    params.locality_tie_sec = 0.002;
+    params.compiled_lookups = !reference;
+    online::ElasticServerSim elastic(
+        policy, rep,
+        [&rep, sla, params] {
+          return std::make_unique<sched::ElsaScheduler>(rep, sla, params);
+        },
+        sla, /*queries_per_epoch=*/250, /*seed=*/77,
+        /*model_swap_cost=*/UsToTicks(250.0));
+    elastic.set_reference_engine(reference);
+    results.push_back(elastic.Run(trace));
+  }
+  const auto& fast = results[0];
+  const auto& ref = results[1];
+  EXPECT_EQ(fast.reconfigurations, 1);
+  ASSERT_EQ(fast.reconfigurations, ref.reconfigurations);
+  ASSERT_EQ(fast.epochs.size(), ref.epochs.size());
+  for (std::size_t e = 0; e < fast.epochs.size(); ++e) {
+    EXPECT_EQ(fast.epochs[e].queries, ref.epochs[e].queries) << "epoch " << e;
+    EXPECT_EQ(fast.epochs[e].p95_ms, ref.epochs[e].p95_ms) << "epoch " << e;
+    EXPECT_EQ(fast.epochs[e].violation_rate, ref.epochs[e].violation_rate)
+        << "epoch " << e;
+    EXPECT_EQ(fast.epochs[e].stalled, ref.epochs[e].stalled) << "epoch " << e;
+    EXPECT_EQ(fast.epochs[e].reconfigured, ref.epochs[e].reconfigured)
+        << "epoch " << e;
+    EXPECT_EQ(fast.epochs[e].layout, ref.epochs[e].layout) << "epoch " << e;
+  }
+  EXPECT_EQ(fast.total.completed, ref.total.completed);
+  EXPECT_EQ(fast.total.p95_latency_ms, ref.total.p95_latency_ms);
+  EXPECT_EQ(fast.total.p99_latency_ms, ref.total.p99_latency_ms);
+  EXPECT_EQ(fast.total.mean_latency_ms, ref.total.mean_latency_ms);
+  EXPECT_EQ(fast.total.sla_violation_rate, ref.total.sla_violation_rate);
+  EXPECT_EQ(fast.total.reconfig_stalled, ref.total.reconfig_stalled);
+  EXPECT_EQ(fast.total.model_swaps, ref.total.model_swaps);
+}
+
+}  // namespace
+}  // namespace pe::sim

@@ -1,0 +1,116 @@
+// CompiledProfile must be a bit-identical, drop-in compilation of the
+// ProfileTable / ModelRepertoire lookup surface: same doubles, same snap
+// semantics, same error behavior outside the compiled range.
+#include "profile/compiled_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "profile/model_repertoire.h"
+#include "profile/profile_table.h"
+
+namespace pe::profile {
+namespace {
+
+ProfileTable MakeTable(const std::string& name, double scale) {
+  ProfileTable t(name, {1, 2, 3, 7}, {1, 2, 4, 8, 16, 32});
+  for (int g : t.partition_sizes()) {
+    for (int b : t.batch_sizes()) {
+      ProfileEntry e;
+      e.latency_sec = scale * 1e-3 * (1.0 + 0.9 * b) / static_cast<double>(g);
+      e.utilization = std::min(1.0, 0.1 * b);
+      t.Set(g, b, e);
+    }
+  }
+  return t;
+}
+
+ModelRepertoire MakeRepertoire() {
+  ModelRepertoire rep;
+  int id = 0;
+  for (double scale : {1.0, 2.5}) {
+    const int captured = id++;
+    // Built via += (not `"m" + std::to_string(...)`): GCC-12's -Wrestrict
+    // false-positives on operator+(const char*, string&&) in Release.
+    std::string name = "m";
+    name += std::to_string(captured);
+    rep.Register(std::move(name), MakeTable("m", scale),
+                 [scale](int gpcs, int batch) {
+                   return scale * 1.1e-3 * (1.0 + batch) /
+                          static_cast<double>(gpcs);
+                 });
+  }
+  return rep;
+}
+
+TEST(CompiledProfile, EstimatesMatchRepertoireBitForBit) {
+  const auto rep = MakeRepertoire();
+  const CompiledProfile compiled(rep);
+  for (int m = 0; m < rep.size(); ++m) {
+    for (int g : rep.profile(m).partition_sizes()) {
+      // Sweep past the profiled max to exercise snap + clamp.
+      for (int b = 1; b <= 40; ++b) {
+        EXPECT_EQ(compiled.EstimateSec(m, g, b), rep.EstimateSec(m, g, b))
+            << "m=" << m << " g=" << g << " b=" << b;
+        EXPECT_EQ(compiled.EstimateTicks(m, g, b),
+                  std::max<SimTime>(1, SecToTicks(rep.EstimateSec(m, g, b))))
+            << "m=" << m << " g=" << g << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(CompiledProfile, ActualMatchesAndMemoizes) {
+  const auto rep = MakeRepertoire();
+  const CompiledProfile compiled(rep);
+  for (int m = 0; m < rep.size(); ++m) {
+    for (int g = 1; g <= 7; ++g) {
+      for (int b : {1, 3, 8, 32}) {
+        // Twice: the first call fills the memo, the second serves from it.
+        EXPECT_EQ(compiled.ActualSec(m, g, b), rep.ActualSec(m, g, b));
+        EXPECT_EQ(compiled.ActualSec(m, g, b), rep.ActualSec(m, g, b));
+      }
+    }
+  }
+  // Outside the memo grid the LatencyFn is called directly.
+  EXPECT_EQ(compiled.ActualSec(0, 1, 1000), rep.ActualSec(0, 1, 1000));
+}
+
+TEST(CompiledProfile, FallbackPreservesErrorBehavior) {
+  const auto rep = MakeRepertoire();
+  const CompiledProfile compiled(rep);
+  // Unprofiled partition size and unknown model throw exactly like the
+  // uncompiled path.
+  EXPECT_THROW(compiled.EstimateSec(0, 5, 8), std::out_of_range);
+  EXPECT_THROW(compiled.EstimateSec(7, 1, 8), std::out_of_range);
+  EXPECT_THROW(compiled.EstimateTicks(0, 6, 8), std::out_of_range);
+}
+
+TEST(CompiledProfile, SparseTableHolesFallBack) {
+  ProfileTable t("sparse", {1, 7}, {8, 32});
+  t.Set(1, 8, {2e-3, 0.5});
+  t.Set(1, 32, {8e-3, 0.9});
+  t.Set(7, 32, {1e-3, 0.4});  // (7, 8) is a hole
+  const CompiledProfile compiled(t);
+  EXPECT_EQ(compiled.EstimateSec(0, 1, 5), t.LatencySec(1, 5));
+  EXPECT_EQ(compiled.EstimateSec(0, 7, 32), t.LatencySec(7, 32));
+  // The hole throws, exactly like ProfileTable::LatencySec.
+  EXPECT_THROW(compiled.EstimateSec(0, 7, 4), std::out_of_range);
+  EXPECT_THROW(t.LatencySec(7, 4), std::out_of_range);
+}
+
+TEST(CompiledProfile, SingleTableFormIsModelOblivious) {
+  const auto t = MakeTable("solo", 1.0);
+  const CompiledProfile compiled(t);
+  // Any model id answers from the one table (legacy scheduler behavior).
+  EXPECT_EQ(compiled.EstimateSec(0, 2, 8), t.LatencySec(2, 8));
+  EXPECT_EQ(compiled.EstimateSec(42, 2, 8), t.LatencySec(2, 8));
+  // No ground truth in this form.
+  EXPECT_THROW(compiled.ActualSec(0, 2, 8), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pe::profile
