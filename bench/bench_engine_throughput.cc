@@ -15,16 +15,25 @@
 // Headline: `speedup_256_mix4_elsa`, the 256-partition mixed-trace ELSA
 // configuration.  Run in Release without PE_BENCH_SMOKE for meaningful
 // numbers.
+//
+// A fleet leg follows the single-server grid: the same 4-model mix served
+// by a router-fronted fleet (core::FleetTestbed), measured end-to-end
+// (routing + parallel per-server replay) with `--jobs` = hardware
+// concurrency, and cross-checked record-by-record against a --jobs 1 run.
+// `fleet_qps` is the CI-tracked fleet trajectory number.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "core/fleet_runner.h"
 #include "profile/model_repertoire.h"
 #include "sched/elsa.h"
 #include "sched/fifs.h"
@@ -216,10 +225,64 @@ int main() {
             << Table::Num(headline_speedup, 2)
             << "x over the reference engine\n";
 
+  // Fleet leg: the same 4-model mix behind the router tier.  End-to-end
+  // wall clock covers routing (serial) plus the parallel per-server
+  // replay; the --jobs 1 rerun pins the bit-identity claim the fleet
+  // driver makes (same per-server record streams at any jobs count).
+  const int fleet_servers = SmokeMode() ? 4 : 16;
+  core::FleetTestbedConfig fleet_config;
+  for (const auto& name : MixModels()) {
+    core::MixModelConfig m;
+    m.model = name;
+    m.share = 1.0 / static_cast<double>(MixModels().size());
+    fleet_config.mix.models.push_back(m);
+  }
+  fleet_config.num_servers = fleet_servers;
+  fleet_config.policy = fleet::RouterPolicy::kPowerOfTwo;
+  const core::FleetTestbed fleet(fleet_config);
+  const auto fleet_trace = fleet.GenerateFleetTrace(
+      300.0 * fleet_servers, num_queries, /*seed=*/0x5EEDF);
+  const int fleet_jobs = std::max(
+      1, static_cast<int>(std::thread::hardware_concurrency()));
+  const auto hash_fleet = [](const fleet::FleetResult& r) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const auto& server : r.per_server) {
+      h = (h ^ HashRecords(server.records)) * 1099511628211ull;
+    }
+    return h;
+  };
+  double fleet_qps = 0.0;
+  std::uint64_t fleet_hash = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = fleet.Run(fleet_trace, fleet_jobs);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    const double qps =
+        sec > 0.0 ? static_cast<double>(fleet_trace.size()) / sec : 0.0;
+    fleet_qps = std::max(fleet_qps, qps);
+    fleet_hash = hash_fleet(result);
+  }
+  const bool fleet_identical =
+      hash_fleet(fleet.Run(fleet_trace, 1)) == fleet_hash;
+  std::cout << "fleet (" << fleet_servers << " servers, po2c router, jobs="
+            << fleet_jobs << "): " << Table::Num(fleet_qps, 0)
+            << " simulated queries/sec, jobs-1 identical: "
+            << (fleet_identical ? "yes" : "NO") << "\n";
+  if (!fleet_identical) {
+    std::cerr << "error: fleet records diverged between --jobs 1 and --jobs "
+              << fleet_jobs << "\n";
+    return 1;
+  }
+
   core::Json data = core::Json::Object();
   data.Set("configs", std::move(configs));
   data.Set("engine_qps_256_mix4_elsa", headline_qps);
   data.Set("speedup_256_mix4_elsa", headline_speedup);
+  data.Set("fleet_servers", fleet_servers);
+  data.Set("fleet_jobs", fleet_jobs);
+  data.Set("fleet_qps", fleet_qps);
+  data.Set("fleet_identical_jobs1", fleet_identical);
   pe::bench::WriteReport("engine_throughput", std::move(data));
   return 0;
 }

@@ -1,0 +1,123 @@
+#include "core/fleet_runner.h"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "partition/mix.h"
+#include "sched/baselines.h"
+#include "sched/fifs.h"
+
+namespace pe::core {
+
+namespace {
+
+fleet::PlacementMap BuildPlacement(const FleetTestbedConfig& config,
+                                   int num_models) {
+  switch (config.placement) {
+    case fleet::PlacementKind::kUniform:
+      return fleet::UniformPlacement(config.num_servers, num_models,
+                                     config.mix.gpc_budget);
+    case fleet::PlacementKind::kSharded:
+      return fleet::ShardedPlacement(config.num_servers, num_models,
+                                     config.replicas,
+                                     config.mix.gpc_budget);
+  }
+  throw std::invalid_argument("FleetTestbed: unknown placement kind");
+}
+
+}  // namespace
+
+FleetTestbed::FleetTestbed(FleetTestbedConfig config)
+    : config_(std::move(config)), mix_(config_.mix) {
+  if (config_.num_servers < 1) {
+    throw std::invalid_argument("FleetTestbed: num_servers must be >= 1");
+  }
+
+  fleet::PlacementMap placement =
+      BuildPlacement(config_, mix_.num_models());
+
+  // Planner pass: each server gets a mixed-PARIS layout for exactly the
+  // models it hosts, their global traffic shares renormalized within the
+  // server (ShareBudgets normalizes internally).
+  for (int s = 0; s < placement.num_servers(); ++s) {
+    fleet::ServerPlacement& sp = placement.mutable_server(s);
+    std::vector<partition::MixModelInput> inputs;
+    inputs.reserve(sp.model_ids.size());
+    for (int m : sp.model_ids) {
+      partition::MixModelInput in;
+      in.model_id = m;
+      in.share = config_.mix.models[static_cast<size_t>(m)].share;
+      in.profile = &mix_.repertoire().profile(m);
+      in.dist = mix_.mix().components[static_cast<size_t>(m)].dist;
+      inputs.push_back(in);
+    }
+    sp.partition_gpcs =
+        partition::PlanMixedParis(inputs, mix_.cluster(), sp.gpc_budget,
+                                  config_.mix.paris)
+            .plan.instance_gpcs;
+  }
+
+  fleet::FleetConfig fc;
+  fc.policy = config_.policy;
+  fc.sla_target = mix_.sla_target();
+  fc.latency_noise_sigma = config_.mix.latency_noise_sigma;
+  fc.model_swap_cost = UsToTicks(config_.mix.swap_cost_us);
+  fc.seed = config_.seed;
+  fc.reference_engine = config_.reference_engine;
+
+  // Value-captured so the factory is self-contained (it runs on pool
+  // threads during Simulate); the per-server repertoire argument is owned
+  // by the cluster and outlives the scheduler.
+  const SchedulerKind kind = config_.scheduler;
+  sched::ElsaParams elsa = config_.elsa;
+  if (elsa.swap_cost_sec == 0.0) {
+    // Keep the slack predictor honest by default: fold the simulator's
+    // swap penalty into ELSA's Twait unless the caller tuned it already.
+    elsa.swap_cost_sec = config_.mix.swap_cost_us * 1e-6;
+  }
+  if (config_.reference_engine) {
+    // Reference fleets run the full pre-optimization stack, scheduler
+    // lookups included (same pairing engine_golden_test pins).
+    elsa.compiled_lookups = false;
+  }
+  const SimTime sla = mix_.sla_target();
+  fleet::SchedulerFactory factory =
+      [kind, elsa, sla](int /*server_id*/,
+                        const profile::ModelRepertoire& repertoire)
+      -> std::unique_ptr<sched::Scheduler> {
+    switch (kind) {
+      case SchedulerKind::kFifs:
+        return std::make_unique<sched::FifsScheduler>();
+      case SchedulerKind::kElsa:
+        return std::make_unique<sched::ElsaScheduler>(repertoire, sla, elsa);
+      case SchedulerKind::kJsq:
+        return std::make_unique<sched::JsqScheduler>();
+      case SchedulerKind::kGreedyFastest:
+        return std::make_unique<sched::GreedyFastestScheduler>(
+            repertoire.profile(0));
+    }
+    throw std::invalid_argument("FleetTestbed: unknown scheduler kind");
+  };
+
+  cluster_ = std::make_unique<fleet::Cluster>(fc, std::move(placement),
+                                              mix_.repertoire(),
+                                              std::move(factory));
+}
+
+workload::QueryTrace FleetTestbed::GenerateFleetTrace(
+    double rate_qps, std::size_t num_queries, std::uint64_t seed) const {
+  return mix_.GenerateMix(rate_qps, num_queries, seed);
+}
+
+fleet::FleetResult FleetTestbed::Run(const workload::QueryTrace& trace,
+                                     int jobs) const {
+  return cluster_->Simulate(trace, jobs);
+}
+
+fleet::FleetStats FleetTestbed::RunStats(const workload::QueryTrace& trace,
+                                         int jobs) const {
+  return Run(trace, jobs).Stats(sla_target());
+}
+
+}  // namespace pe::core

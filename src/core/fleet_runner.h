@@ -1,0 +1,84 @@
+// FleetTestbed: the fleet-scale counterpart of MixTestbed.
+//
+// Owns everything a multi-server serving experiment needs:
+//   * the model zoo, traffic mix, and shared SLA (delegated to an
+//     embedded MixTestbed -- one server's world, reused N times),
+//   * the fleet PlacementMap (uniform replication or round-robin
+//     sharding), with every server's MIG layout derived by running
+//     mixed-PARIS over exactly the models that server hosts (a sharded
+//     server partitions for its shard, not for the whole zoo),
+//   * the fleet::Cluster wiring per-server repertoires, RNG streams, and
+//     a scheduler factory for the configured SchedulerKind.
+//
+// Typical use (mirrors Testbed/MixTestbed):
+//   core::FleetTestbed ft(core::FleetTestbedConfig{...});
+//   auto trace = ft.GenerateFleetTrace(2000.0, 1'000'000, /*seed=*/1);
+//   auto stats = ft.Run(trace, /*jobs=*/8).Stats(ft.sla_target());
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/mix_runner.h"
+#include "core/server_builder.h"
+#include "fleet/cluster.h"
+#include "fleet/placement.h"
+#include "fleet/router.h"
+#include "sched/elsa.h"
+#include "workload/trace.h"
+
+namespace pe::core {
+
+struct FleetTestbedConfig {
+  // Model zoo, traffic shares, per-server GPC budget / GPU count, swap
+  // cost, and noise all come from the mix config; gpc_budget applies to
+  // every server.
+  MixConfig mix;
+  int num_servers = 4;
+  fleet::PlacementKind placement = fleet::PlacementKind::kUniform;
+  // Replica count per model under sharded placement (clamped to
+  // [1, num_servers]); ignored for uniform.
+  int replicas = 2;
+  fleet::RouterPolicy policy = fleet::RouterPolicy::kHash;
+  SchedulerKind scheduler = SchedulerKind::kElsa;
+  sched::ElsaParams elsa;
+  // Fleet seed: every server stream and the router stream derive from it
+  // (fleet::Cluster::ServerSeed / RouterSeed).
+  std::uint64_t seed = 0x5EED;
+  bool reference_engine = false;
+};
+
+class FleetTestbed {
+ public:
+  explicit FleetTestbed(FleetTestbedConfig config);
+
+  const FleetTestbedConfig& config() const { return config_; }
+  const MixTestbed& mix() const { return mix_; }
+  const fleet::Cluster& cluster() const { return *cluster_; }
+  const fleet::PlacementMap& placement() const {
+    return cluster_->placement();
+  }
+  SimTime sla_target() const { return mix_.sla_target(); }
+  int num_servers() const { return config_.num_servers; }
+
+  // Fleet-level interleaved trace at `rate_qps` *total* offered load
+  // (the router divides it across servers).
+  workload::QueryTrace GenerateFleetTrace(double rate_qps,
+                                          std::size_t num_queries,
+                                          std::uint64_t seed) const;
+
+  // Routes + replays `trace` over up to `jobs` threads; bit-identical
+  // per-server records for any jobs >= 1.
+  fleet::FleetResult Run(const workload::QueryTrace& trace, int jobs) const;
+
+  // Convenience: Run + Stats at this fleet's SLA target.
+  fleet::FleetStats RunStats(const workload::QueryTrace& trace,
+                             int jobs) const;
+
+ private:
+  FleetTestbedConfig config_;
+  MixTestbed mix_;
+  std::unique_ptr<fleet::Cluster> cluster_;
+};
+
+}  // namespace pe::core

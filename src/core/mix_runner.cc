@@ -75,6 +75,12 @@ workload::QueryTrace MixTestbed::GenerateMix(double rate_qps,
 
 std::unique_ptr<sched::Scheduler> MixTestbed::MakeScheduler(
     SchedulerKind kind, sched::ElsaParams elsa) const {
+  // Keep ELSA's slack predictor honest about this testbed's swap penalty
+  // unless the caller tuned the knob explicitly; a swap-free mix
+  // (swap_cost_us == 0) leaves the predictor untouched either way.
+  if (elsa.swap_cost_sec == 0.0) {
+    elsa.swap_cost_sec = config_.swap_cost_us * 1e-6;
+  }
   switch (kind) {
     case SchedulerKind::kFifs:
       return std::make_unique<sched::FifsScheduler>();

@@ -241,6 +241,22 @@ Json ToJson(const online::ElasticResult& r) {
   return j;
 }
 
+Json ToJson(const fleet::FleetStats& f) {
+  Json j = Json::Object();
+  j.Set("num_servers", f.num_servers);
+  j.Set("routed_queries", f.routed_queries);
+  j.Set("aggregate", ToJson(f.aggregate));
+  Json servers = Json::Array();
+  for (std::size_t s = 0; s < f.per_server.size(); ++s) {
+    Json entry = ToJson(f.per_server[s]);
+    entry.Set("server", static_cast<std::uint64_t>(s));
+    entry.Set("routed", f.routed_per_server[s]);
+    servers.Add(std::move(entry));
+  }
+  j.Set("servers", std::move(servers));
+  return j;
+}
+
 Json MakeBenchReport(const std::string& bench_name, bool smoke, int jobs) {
   Json j = Json::Object();
   j.Set("schema", kResultSchema);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "fleet/cluster.h"
 #include "online/elastic_server.h"
 #include "sim/metrics.h"
 
@@ -102,6 +103,11 @@ Json ToJson(const sim::ServerStats& s);
 Json ToJson(const sim::ModelStats& m);
 Json ToJson(const online::EpochStats& e);
 Json ToJson(const online::ElasticResult& r);
+
+// Fleet serializer: the aggregate ServerStats document plus a "servers"
+// array of {server, routed, <per-server ServerStats>} entries, so fleet
+// documents compose out of the established single-server shape.
+Json ToJson(const fleet::FleetStats& f);
 
 // Report skeleton: {"schema", "bench", "smoke", "jobs"}.  Producers build
 // their payload separately and attach it with report.Set("data", ...).

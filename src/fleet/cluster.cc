@@ -1,0 +1,149 @@
+#include "fleet/cluster.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace pe::fleet {
+
+namespace {
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t Cluster::ServerSeed(std::uint64_t fleet_seed, int server_id) {
+  // Domain-separated double mix: the inner term is unique per (seed, id),
+  // the outer mix decorrelates neighbouring ids.
+  return Mix64(fleet_seed ^
+               Mix64(0x5EEDF1EE7ULL + static_cast<std::uint64_t>(server_id)));
+}
+
+std::uint64_t Cluster::RouterSeed(std::uint64_t fleet_seed) {
+  // Negative "server id" domain: no server can collide with it.
+  return Mix64(fleet_seed ^ Mix64(0x12007E12ULL));
+}
+
+Cluster::Cluster(FleetConfig config, PlacementMap placement,
+                 const profile::ModelRepertoire& zoo, SchedulerFactory factory)
+    : config_(std::move(config)),
+      placement_(std::move(placement)),
+      zoo_(&zoo),
+      factory_(std::move(factory)) {
+  if (!factory_) {
+    throw std::invalid_argument("Cluster: null scheduler factory");
+  }
+  if (placement_.num_models() > zoo.size()) {
+    throw std::invalid_argument(
+        "Cluster: placement places model ids the zoo does not register");
+  }
+  repertoires_.reserve(static_cast<size_t>(placement_.num_servers()));
+  for (const ServerPlacement& sp : placement_.servers()) {
+    if (sp.partition_gpcs.empty()) {
+      throw std::invalid_argument(
+          "Cluster: server " + std::to_string(sp.server_id) +
+          " has no partition layout (run a planner pass first)");
+    }
+    // Hosted subset of the zoo, re-registered densely: local id k is the
+    // k-th (ascending) hosted global id, matching SplitTrace's re-mapping.
+    profile::ModelRepertoire local;
+    for (int m : sp.model_ids) {
+      local.Register(zoo.name(m), zoo.profile(m), zoo.actual(m));
+    }
+    repertoires_.push_back(std::move(local));
+  }
+}
+
+const profile::ModelRepertoire& Cluster::server_repertoire(
+    int server_id) const {
+  if (server_id < 0 || server_id >= num_servers()) {
+    throw std::out_of_range("Cluster::server_repertoire: bad id " +
+                            std::to_string(server_id));
+  }
+  return repertoires_[static_cast<size_t>(server_id)];
+}
+
+std::unique_ptr<Router> Cluster::MakeFleetRouter() const {
+  return MakeRouter(config_.policy, placement_, zoo_,
+                    RouterSeed(config_.seed));
+}
+
+FleetResult Cluster::Simulate(const workload::QueryTrace& trace,
+                              int jobs) const {
+  const auto router = MakeFleetRouter();
+  TraceSplit split = SplitTrace(trace, *router, placement_);
+
+  const auto n = static_cast<std::size_t>(num_servers());
+  // Pure function of the server index: config, placement, repertoire, and
+  // sub-trace are all read-only, the scheduler is freshly built per task,
+  // and the engine seed comes from the pure ServerSeed derivation.
+  auto sims = ParallelMap(n, jobs, [&](std::size_t s) {
+    const ServerPlacement& sp = placement_.server(static_cast<int>(s));
+    sim::ServerConfig sc;
+    sc.partition_gpcs = sp.partition_gpcs;
+    sc.sla_target = config_.sla_target;
+    sc.latency_noise_sigma = config_.latency_noise_sigma;
+    sc.seed = ServerSeed(config_.seed, static_cast<int>(s));
+    sc.model_swap_cost = config_.model_swap_cost;
+    sc.reference_engine = config_.reference_engine;
+    const auto scheduler = factory_(static_cast<int>(s), repertoires_[s]);
+    sim::InferenceServer server(sc, repertoires_[s], *scheduler);
+    return server.Run(split.per_server[s]);
+  });
+
+  FleetResult result;
+  result.per_server = std::move(sims);
+  result.global_ids = std::move(split.global_ids);
+  result.global_models.reserve(n);
+  result.worker_base.reserve(n);
+  int worker_base = 0;
+  for (const ServerPlacement& sp : placement_.servers()) {
+    result.global_models.push_back(sp.model_ids);
+    result.worker_base.push_back(worker_base);
+    worker_base += static_cast<int>(sp.partition_gpcs.size());
+  }
+  return result;
+}
+
+FleetStats FleetResult::Stats(SimTime sla_target,
+                              double warmup_fraction) const {
+  FleetStats stats;
+  stats.num_servers = static_cast<int>(per_server.size());
+  std::size_t total = 0;
+  for (const sim::SimResult& r : per_server) total += r.records.size();
+
+  // The fleet-level population: every record, re-keyed to global query
+  // ids, global model ids, and fleet-unique worker indices, so one
+  // ComputeStats pass yields coherent percentiles and utilizations.
+  std::vector<sim::QueryRecord> merged;
+  merged.reserve(total);
+  for (std::size_t s = 0; s < per_server.size(); ++s) {
+    const auto& records = per_server[s].records;
+    sim::ServerStats server_stats =
+        sim::ComputeStats(records, sla_target, warmup_fraction);
+    for (auto& ms : server_stats.models) {
+      ms.model = global_models[s][static_cast<size_t>(ms.model)];
+    }
+    stats.per_server.push_back(std::move(server_stats));
+    stats.routed_per_server.push_back(records.size());
+    stats.routed_queries += records.size();
+    for (const sim::QueryRecord& r : records) {
+      sim::QueryRecord g = r;
+      g.id = global_ids[s][static_cast<size_t>(r.id)];
+      g.model = global_models[s][static_cast<size_t>(r.model)];
+      g.worker = worker_base[s] + r.worker;
+      merged.push_back(g);
+    }
+  }
+  stats.aggregate = sim::ComputeStats(merged, sla_target, warmup_fraction);
+  return stats;
+}
+
+}  // namespace pe::fleet

@@ -1,0 +1,131 @@
+// fleet::Cluster -- N inference servers behind one router tier.
+//
+// PR 1-5 built and tuned a single `sim::InferenceServer`; this module
+// makes that server a composable unit.  A Cluster owns, per server:
+//   * a slot in the fleet PlacementMap (hosted models, GPC budget, and the
+//     concrete MIG layout),
+//   * a server-local ModelRepertoire (the hosted subset of the fleet zoo,
+//     re-numbered densely so Query::model_id keeps indexing it),
+//   * an independent RNG stream derived as a *pure function* of
+//     (fleet seed, server id) -- never by sequentially forking one
+//     generator -- so no server shares draws with another and the streams
+//     do not depend on the order servers are constructed or simulated.
+//
+// Simulate() routes the fleet trace through the configured policy once
+// (serially: routing is the sequential front tier), then replays each
+// per-server sub-trace on its own engine via common::ThreadPool's
+// ParallelMap.  Each map task is a pure function of the server index, so
+// the per-server records are bit-identical at any --jobs count -- the same
+// discipline core/experiment established for probe fan-out.
+//
+// FleetStats merges the per-server ServerStats with a fleet-level
+// aggregate computed over the union of all records, re-mapped back to
+// fleet-global query ids, model ids, and (server-offset) worker indices so
+// percentiles, violation rates, and utilizations are measured over one
+// coherent population.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "fleet/placement.h"
+#include "fleet/router.h"
+#include "profile/model_repertoire.h"
+#include "sched/scheduler.h"
+#include "sim/metrics.h"
+#include "sim/server.h"
+#include "workload/trace.h"
+
+namespace pe::fleet {
+
+// Builds the scheduler for one server.  Called once per server per
+// Simulate(), potentially from several pool threads at once: the factory
+// must be thread-safe and a pure function of its arguments (`repertoire`
+// is the server's local repertoire and outlives the returned scheduler).
+using SchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>(
+    int server_id, const profile::ModelRepertoire& repertoire)>;
+
+struct FleetConfig {
+  RouterPolicy policy = RouterPolicy::kHash;
+  SimTime sla_target = 0;
+  double latency_noise_sigma = 0.0;
+  SimTime model_swap_cost = 0;
+  std::uint64_t seed = 0x5EED;
+  // Forwarded to every ServerConfig (golden-determinism baseline).
+  bool reference_engine = false;
+};
+
+struct FleetStats {
+  int num_servers = 0;
+  std::uint64_t routed_queries = 0;
+  // Queries the router sent to each server (sub-trace sizes).
+  std::vector<std::uint64_t> routed_per_server;
+  // Fleet-level aggregate over every server's records (global model ids,
+  // server-offset worker indices).
+  sim::ServerStats aggregate;
+  // Per-server stats; ModelStats entries carry fleet-global model ids.
+  std::vector<sim::ServerStats> per_server;
+};
+
+struct FleetResult {
+  // Per-server engine output: local query ids (dense per server) and
+  // server-local model ids -- exactly what that server's engine saw.
+  std::vector<sim::SimResult> per_server;
+  // Per server: local query id -> fleet-level Query::id.
+  std::vector<std::vector<std::uint64_t>> global_ids;
+  // Per server: local model id -> fleet-global model id (the server's
+  // sorted hosted list).
+  std::vector<std::vector<int>> global_models;
+  // Per server: offset added to local worker indices to make them unique
+  // fleet-wide (cumulative layout sizes).
+  std::vector<int> worker_base;
+
+  FleetStats Stats(SimTime sla_target, double warmup_fraction = 0.1) const;
+};
+
+class Cluster {
+ public:
+  // `zoo` is the fleet-wide model repertoire the placement's model ids
+  // index into; borrowed, must outlive the cluster.  Every server's
+  // partition_gpcs must be non-empty (run a planner pass first).  Throws
+  // std::invalid_argument on an unfilled layout or a placed model id
+  // outside the zoo.
+  Cluster(FleetConfig config, PlacementMap placement,
+          const profile::ModelRepertoire& zoo, SchedulerFactory factory);
+
+  // Pure per-server seed derivation: a SplitMix64-style mix of the fleet
+  // seed and the server id.  Distinct ids map to distinct streams (the
+  // mixer is bijective per fleet seed), and the result depends on nothing
+  // but the two inputs -- simulating servers in any order, or any subset,
+  // yields the same per-server streams.
+  static std::uint64_t ServerSeed(std::uint64_t fleet_seed, int server_id);
+
+  // The router's own stream, disjoint from every server stream (distinct
+  // mixer domain).
+  static std::uint64_t RouterSeed(std::uint64_t fleet_seed);
+
+  const FleetConfig& config() const { return config_; }
+  const PlacementMap& placement() const { return placement_; }
+  int num_servers() const { return placement_.num_servers(); }
+  const profile::ModelRepertoire& server_repertoire(int server_id) const;
+
+  // Builds a fresh router for this cluster's policy/placement/seed.
+  std::unique_ptr<Router> MakeFleetRouter() const;
+
+  // Routes `trace` and replays every sub-trace, fanning servers over up to
+  // `jobs` threads.  Bit-identical per-server records for any jobs >= 1.
+  FleetResult Simulate(const workload::QueryTrace& trace, int jobs) const;
+
+ private:
+  FleetConfig config_;
+  PlacementMap placement_;
+  const profile::ModelRepertoire* zoo_;
+  SchedulerFactory factory_;
+  // Per-server hosted subsets of the zoo, dense local ids.
+  std::vector<profile::ModelRepertoire> repertoires_;
+};
+
+}  // namespace pe::fleet

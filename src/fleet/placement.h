@@ -1,0 +1,85 @@
+// Fleet-wide model placement: which models live on which servers at
+// which GPC budgets.
+//
+// The single-server world pins one repertoire to one `InferenceServer`;
+// a fleet shards the repertoire across N servers, each serving a subset
+// of the models on its own MIG layout.  A PlacementMap is the source of
+// truth for that assignment: per server the hosted model ids, the GPC
+// budget its layout was derived under, and the concrete partition
+// multiset; per model the replica set (the servers the router may send
+// its traffic to).  bench_mix_consolidation's dedicated-vs-consolidated
+// study samples exactly one point of this space (two single-model
+// "servers" vs one two-model server); the builders below generate whole
+// families of placements.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pe::fleet {
+
+// One server's slot in the fleet placement map.
+struct ServerPlacement {
+  int server_id = 0;
+  // Hosted models (global repertoire ids), ascending and unique.  The
+  // router only offers a query to servers hosting its model.
+  std::vector<int> model_ids;
+  // GPC budget the layout was (or is to be) derived under.
+  int gpc_budget = 48;
+  // Concrete MIG layout (multiset of partition sizes).  Builders leave it
+  // empty; the fleet planner (core::FleetTestbed) fills it per server and
+  // fleet::Cluster requires it non-empty.
+  std::vector<int> partition_gpcs;
+};
+
+class PlacementMap {
+ public:
+  PlacementMap() = default;
+  // Takes ownership of `servers`; ids must be dense 0..N-1 in order.
+  // Throws std::invalid_argument on non-dense ids, an empty server list,
+  // a server hosting no model (or duplicate/negative model ids), or a
+  // model id left unhosted by every server.
+  explicit PlacementMap(std::vector<ServerPlacement> servers);
+
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  const ServerPlacement& server(int server_id) const;
+  // Mutable access for the layout-filling planner pass.
+  ServerPlacement& mutable_server(int server_id);
+  const std::vector<ServerPlacement>& servers() const { return servers_; }
+
+  // Number of distinct placed models (max hosted id + 1; ids are dense by
+  // construction).
+  int num_models() const { return static_cast<int>(replicas_.size()); }
+
+  // Servers hosting `model_id`, ascending server id.  Throws
+  // std::out_of_range on an unplaced model id.
+  const std::vector<int>& Replicas(int model_id) const;
+
+ private:
+  std::vector<ServerPlacement> servers_;
+  std::vector<std::vector<int>> replicas_;  // model id -> server ids
+};
+
+// Full replication: every one of `num_servers` servers hosts every one of
+// `num_models` models at `gpc_budget` GPCs.  Maximum routing freedom,
+// maximum cross-model interference per server.
+PlacementMap UniformPlacement(int num_servers, int num_models,
+                              int gpc_budget = 48);
+
+// Round-robin sharding: model m lives on servers (m + k) % num_servers
+// for k in [0, replicas).  `replicas` is clamped to [1, num_servers].
+// Fewer models per server means smaller per-server repertoires (fewer
+// model swaps) at the cost of a narrower replica set per model.
+PlacementMap ShardedPlacement(int num_servers, int num_models, int replicas,
+                              int gpc_budget = 48);
+
+// Named builder selection (the CLI's --placement spellings).
+enum class PlacementKind { kUniform, kSharded };
+
+const char* ToString(PlacementKind kind);
+
+// Parses "uniform" / "sharded"; nullopt otherwise.
+std::optional<PlacementKind> ParsePlacementKind(const std::string& name);
+
+}  // namespace pe::fleet

@@ -1,0 +1,254 @@
+#include "fleet/router.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace pe::fleet {
+
+namespace {
+
+// SplitMix64 finalizer (Steele et al.): a bijective 64-bit mixer; the same
+// construction common/rng.h uses for seeding, reproduced here so the hash
+// policy is a pure function with no generator state.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Deterministic virtual backlog shared by the load-aware policies: one
+// free-at clock per server, advanced by the profiled service estimate
+// scaled down by the server's parallelism.
+class BacklogModel {
+ public:
+  BacklogModel(const PlacementMap& placement,
+               const profile::ModelRepertoire* repertoire)
+      : placement_(placement), repertoire_(repertoire) {
+    gpcs_.reserve(placement.num_servers());
+    lanes_.reserve(placement.num_servers());
+    for (const ServerPlacement& sp : placement.servers()) {
+      // Layout may be unfilled when the router runs standalone (tests);
+      // treat the whole budget as one lane then.
+      int max_gpcs = sp.gpc_budget;
+      int lanes = 1;
+      if (!sp.partition_gpcs.empty()) {
+        max_gpcs = *std::max_element(sp.partition_gpcs.begin(),
+                                     sp.partition_gpcs.end());
+        lanes = static_cast<int>(sp.partition_gpcs.size());
+      }
+      gpcs_.push_back(max_gpcs);
+      lanes_.push_back(lanes);
+    }
+    Reset();
+  }
+
+  void Reset() { free_at_.assign(gpcs_.size(), 0.0); }
+
+  double BacklogSec(int server, double now_sec) const {
+    return std::max(0.0, free_at_[static_cast<size_t>(server)] - now_sec);
+  }
+
+  void Charge(int server, const workload::Query& query, double now_sec) {
+    double& free_at = free_at_[static_cast<size_t>(server)];
+    free_at = std::max(free_at, now_sec) + CostSec(server, query);
+  }
+
+ private:
+  double CostSec(int server, const workload::Query& query) const {
+    const auto s = static_cast<size_t>(server);
+    if (repertoire_ != nullptr && repertoire_->Has(query.model_id)) {
+      const int batch = std::min(query.batch, repertoire_->max_batch());
+      return repertoire_->EstimateSec(query.model_id, gpcs_[s], batch) /
+             static_cast<double>(lanes_[s]);
+    }
+    // No profile surface: a nominal 1 ms per batch item keeps the policy
+    // deterministic and batch-aware, just not model-weighted.
+    return 1e-3 * static_cast<double>(query.batch) /
+           static_cast<double>(lanes_[s]);
+  }
+
+  const PlacementMap& placement_;
+  const profile::ModelRepertoire* repertoire_;
+  std::vector<int> gpcs_;   // largest partition per server
+  std::vector<int> lanes_;  // worker count per server
+  std::vector<double> free_at_;
+};
+
+class HashRouter final : public Router {
+ public:
+  explicit HashRouter(const PlacementMap& placement)
+      : placement_(placement) {}
+
+  int Route(const workload::Query& query) override {
+    const std::vector<int>& reps = placement_.Replicas(query.model_id);
+    if (reps.size() == 1) return reps[0];
+    // Salting with the model id decorrelates the replica choice across
+    // models sharing a replica-set size.
+    const std::uint64_t h =
+        Mix64(query.id ^ Mix64(static_cast<std::uint64_t>(query.model_id)));
+    return reps[h % reps.size()];
+  }
+
+  void Reset() override {}
+  std::string name() const override { return "hash"; }
+
+ private:
+  const PlacementMap& placement_;
+};
+
+class LeastLoadedRouter final : public Router {
+ public:
+  LeastLoadedRouter(const PlacementMap& placement,
+                    const profile::ModelRepertoire* repertoire)
+      : placement_(placement), backlog_(placement, repertoire) {}
+
+  int Route(const workload::Query& query) override {
+    const std::vector<int>& reps = placement_.Replicas(query.model_id);
+    const double now = TicksToSec(query.arrival);
+    int best = reps[0];
+    double best_backlog = backlog_.BacklogSec(best, now);
+    for (std::size_t i = 1; i < reps.size(); ++i) {
+      const double b = backlog_.BacklogSec(reps[i], now);
+      // Strict < : ties break toward the lowest server id (reps ascend).
+      if (b < best_backlog) {
+        best = reps[i];
+        best_backlog = b;
+      }
+    }
+    backlog_.Charge(best, query, now);
+    return best;
+  }
+
+  void Reset() override { backlog_.Reset(); }
+  std::string name() const override { return "least"; }
+
+ private:
+  const PlacementMap& placement_;
+  BacklogModel backlog_;
+};
+
+class PowerOfTwoRouter final : public Router {
+ public:
+  PowerOfTwoRouter(const PlacementMap& placement,
+                   const profile::ModelRepertoire* repertoire,
+                   std::uint64_t seed)
+      : placement_(placement),
+        backlog_(placement, repertoire),
+        seed_(seed),
+        rng_(seed) {}
+
+  int Route(const workload::Query& query) override {
+    const std::vector<int>& reps = placement_.Replicas(query.model_id);
+    const double now = TicksToSec(query.arrival);
+    int choice;
+    if (reps.size() == 1) {
+      choice = reps[0];
+    } else {
+      const auto n = static_cast<std::int64_t>(reps.size());
+      // Two distinct candidates from the router's own stream.
+      const auto a = static_cast<std::size_t>(rng_.UniformInt(0, n - 1));
+      auto b = static_cast<std::size_t>(rng_.UniformInt(0, n - 2));
+      if (b >= a) ++b;
+      const double backlog_a = backlog_.BacklogSec(reps[a], now);
+      const double backlog_b = backlog_.BacklogSec(reps[b], now);
+      if (backlog_a < backlog_b) {
+        choice = reps[a];
+      } else if (backlog_b < backlog_a) {
+        choice = reps[b];
+      } else {
+        choice = std::min(reps[a], reps[b]);  // tie: lowest server id
+      }
+    }
+    backlog_.Charge(choice, query, now);
+    return choice;
+  }
+
+  void Reset() override {
+    backlog_.Reset();
+    rng_ = Rng(seed_);
+  }
+
+  std::string name() const override { return "po2c"; }
+
+ private:
+  const PlacementMap& placement_;
+  BacklogModel backlog_;
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+}  // namespace
+
+const char* ToString(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kHash:
+      return "hash";
+    case RouterPolicy::kLeastLoaded:
+      return "least";
+    case RouterPolicy::kPowerOfTwo:
+      return "po2c";
+  }
+  return "?";
+}
+
+std::optional<RouterPolicy> ParseRouterPolicy(const std::string& name) {
+  if (name == "hash") return RouterPolicy::kHash;
+  if (name == "least") return RouterPolicy::kLeastLoaded;
+  if (name == "po2c") return RouterPolicy::kPowerOfTwo;
+  return std::nullopt;
+}
+
+std::unique_ptr<Router> MakeRouter(RouterPolicy policy,
+                                   const PlacementMap& placement,
+                                   const profile::ModelRepertoire* repertoire,
+                                   std::uint64_t seed) {
+  switch (policy) {
+    case RouterPolicy::kHash:
+      return std::make_unique<HashRouter>(placement);
+    case RouterPolicy::kLeastLoaded:
+      return std::make_unique<LeastLoadedRouter>(placement, repertoire);
+    case RouterPolicy::kPowerOfTwo:
+      return std::make_unique<PowerOfTwoRouter>(placement, repertoire, seed);
+  }
+  throw std::invalid_argument("MakeRouter: unknown policy");
+}
+
+TraceSplit SplitTrace(const workload::QueryTrace& trace, Router& router,
+                      const PlacementMap& placement) {
+  TraceSplit split;
+  const int n = placement.num_servers();
+  std::vector<std::vector<workload::Query>> queries(
+      static_cast<size_t>(n));
+  split.global_ids.assign(static_cast<size_t>(n), {});
+  for (const workload::Query& q : trace.queries()) {
+    const int server = router.Route(q);
+    if (server < 0 || server >= n) {
+      throw std::logic_error("SplitTrace: router returned bad server id");
+    }
+    const ServerPlacement& sp = placement.server(server);
+    const auto it = std::lower_bound(sp.model_ids.begin(),
+                                     sp.model_ids.end(), q.model_id);
+    if (it == sp.model_ids.end() || *it != q.model_id) {
+      throw std::logic_error(
+          "SplitTrace: router sent a query to a server not hosting its "
+          "model");
+    }
+    auto& bucket = queries[static_cast<size_t>(server)];
+    workload::Query local = q;
+    local.id = bucket.size();  // dense per-server ids, as the engine needs
+    local.model_id = static_cast<int>(it - sp.model_ids.begin());
+    bucket.push_back(local);
+    split.global_ids[static_cast<size_t>(server)].push_back(q.id);
+  }
+  split.per_server.reserve(static_cast<size_t>(n));
+  for (auto& bucket : queries) {
+    split.per_server.emplace_back(std::move(bucket));
+  }
+  return split;
+}
+
+}  // namespace pe::fleet

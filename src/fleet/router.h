@@ -1,0 +1,94 @@
+// The fleet's front tier: splitting one query stream across N servers.
+//
+// A Router sees each arrival once, in trace order, and picks a server
+// among the replicas hosting the query's model (PlacementMap::Replicas).
+// Routing happens *before* any server simulation starts and consumes no
+// server RNG stream, so the per-server sub-traces -- and therefore every
+// downstream simulation -- are a pure function of (trace, placement,
+// policy, router seed).  That is what makes the fleet driver bit-identical
+// at any --jobs count: parallelism only changes which thread replays a
+// sub-trace, never the sub-trace itself.
+//
+// Three policies (paper-adjacent serving-tier staples):
+//  * hash            -- model-affinity hashing: a stateless hash of the
+//                       query id spreads a model's traffic over exactly its
+//                       replica set (weights stay warm; no load feedback);
+//  * least           -- least-loaded: deterministic virtual backlog per
+//                       server (estimated service seconds still queued),
+//                       pick the replica with the smallest backlog;
+//  * po2c            -- power-of-two-choices: sample two distinct replicas
+//                       from the router's own RNG stream, keep the less
+//                       loaded one -- the classic O(1) approximation of
+//                       least-loaded.
+//
+// The backlog model is the router's own bookkeeping, not a peek into the
+// simulators: per server it tracks a single virtual free-at clock advanced
+// by the profiled service estimate divided by the server's worker count.
+// Coarse on purpose -- a real front tier routes on stale, aggregate
+// signals, not on the scheduler's internal state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/placement.h"
+#include "profile/model_repertoire.h"
+#include "workload/trace.h"
+
+namespace pe::fleet {
+
+enum class RouterPolicy { kHash, kLeastLoaded, kPowerOfTwo };
+
+const char* ToString(RouterPolicy policy);
+
+// Parses "hash" / "least" / "po2c" (the CLI spellings); nullopt otherwise.
+std::optional<RouterPolicy> ParseRouterPolicy(const std::string& name);
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  // Server id for `query`, guaranteed to host query.model_id.  Must be
+  // called in arrival order (stateful policies advance their backlog
+  // clocks and RNG stream per call).
+  virtual int Route(const workload::Query& query) = 0;
+
+  // Restores the construction-time state (backlog clocks, RNG stream), so
+  // the same query sequence re-routes identically.
+  virtual void Reset() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Builds a policy instance over `placement` (borrowed; must outlive the
+// router).  `repertoire` (borrowed, may be null) supplies the profiled
+// service estimates for the backlog model; without it the backlog charge
+// falls back to a nominal per-batch-item cost, which preserves determinism
+// but not model-specific weighting.  `seed` feeds po2c's candidate draws;
+// hash and least-loaded are RNG-free.
+std::unique_ptr<Router> MakeRouter(RouterPolicy policy,
+                                   const PlacementMap& placement,
+                                   const profile::ModelRepertoire* repertoire,
+                                   std::uint64_t seed);
+
+// A trace split into per-server sub-streams, ready for InferenceServer:
+// per server, query ids are re-numbered densely from 0 (the engine
+// requires dense ids) and model ids are re-mapped to the server's local
+// repertoire (the index of the global id within its sorted hosted list).
+struct TraceSplit {
+  std::vector<workload::QueryTrace> per_server;
+  // Per server, local query id -> the fleet-level Query::id it came from.
+  std::vector<std::vector<std::uint64_t>> global_ids;
+};
+
+// Routes every query of `trace` (in order) through `router` and builds the
+// per-server sub-traces.  Throws std::out_of_range if a query references a
+// model the placement does not place, and std::logic_error if the router
+// returns a server that does not host the query's model.
+TraceSplit SplitTrace(const workload::QueryTrace& trace, Router& router,
+                      const PlacementMap& placement);
+
+}  // namespace pe::fleet

@@ -46,8 +46,15 @@ double ElsaScheduler::SlackSec(const WorkerState& worker, int model_id,
                                int batch) const {
   const double t_wait = TicksToSec(worker.wait_ticks);
   const double t_new = EstimateSec(model_id, worker.gpcs, batch);
+  // Pending-swap charge: 0.0 when disabled or swap-free, so the legacy
+  // predictor is reproduced exactly (x + 0.0 == x).
+  const double t_swap =
+      (params_.swap_cost_sec > 0.0 && worker.resident_model != model_id &&
+       worker.resident_model != -1)
+          ? params_.swap_cost_sec
+          : 0.0;
   return TicksToSec(sla_target_) -
-         params_.alpha * (t_wait + params_.beta * t_new);
+         params_.alpha * (t_wait + t_swap + params_.beta * t_new);
 }
 
 void ElsaScheduler::RefreshCandidates(const WorkerView& workers) {
@@ -133,37 +140,46 @@ int ElsaScheduler::OnQueryArrival(const workload::Query& query,
     }
     return twait_memo_[i];
   };
+  // A swap-free partition: its resident model already matches the query,
+  // or it has never loaded a model (-1).
+  const auto swap_free = [&](const WorkerState& w) {
+    return w.resident_model == query.model_id || w.resident_model == -1;
+  };
+  // Pending-swap charge of candidate i (Tswap): the configured cost when
+  // starting this query there would displace a different resident model,
+  // else exactly 0.0 -- which makes the disabled-knob predictor the same
+  // doubles as the legacy swap-oblivious one (x + 0.0 == x).
+  const auto swap_sec = [&](std::uint32_t i) {
+    return (params_.swap_cost_sec > 0.0 && !swap_free(workers.Get(i)))
+               ? params_.swap_cost_sec
+               : 0.0;
+  };
   const auto slack_sec = [&](std::uint32_t i, int gpcs) {
     if (slack_stamp_[i] != arrival_stamp_) {
-      slack_memo_[i] = sla_sec - params_.alpha * (twait_sec(i) +
-                                                  params_.beta *
-                                                      tnew_sec(gpcs));
+      slack_memo_[i] =
+          sla_sec - params_.alpha * (twait_sec(i) + swap_sec(i) +
+                                     params_.beta * tnew_sec(gpcs));
       slack_stamp_[i] = arrival_stamp_;
     }
     return slack_memo_[i];
   };
   const auto completion_sec = [&](std::uint32_t i, int gpcs) {
     if (completion_stamp_[i] != arrival_stamp_) {
-      completion_memo_[i] = twait_sec(i) + tnew_sec(gpcs);
+      completion_memo_[i] = twait_sec(i) + swap_sec(i) + tnew_sec(gpcs);
       completion_stamp_[i] = arrival_stamp_;
     }
     return completion_memo_[i];
   };
-  // A swap-free partition: its resident model already matches the query,
-  // or it has never loaded a model (-1).
-  const auto swap_free = [&](const WorkerState& w) {
-    return w.resident_model == query.model_id || w.resident_model == -1;
-  };
 
   // Size-class skips, valid only when every wait is known non-negative
   // (the server's live view guarantees it; ad-hoc vector views scan in
-  // full).  Slack is monotone non-increasing in Twait under IEEE rounding
-  // when alpha >= 0, so a class whose *zero-wait* slack is already
-  // non-positive cannot contain a Step A (or locality) candidate; and
-  // completion >= Testimated,new, so a class whose floor cannot beat the
-  // running Step B minimum cannot improve it.  Skipping therefore changes
-  // no comparison outcome -- decisions are bit-identical to the full
-  // scan.
+  // full).  Slack is monotone non-increasing in Twait + Tswap under IEEE
+  // rounding when alpha >= 0 (Tswap >= 0 by construction), so a class
+  // whose *zero-wait, swap-free* slack is already non-positive cannot
+  // contain a Step A (or locality) candidate; and completion >=
+  // Testimated,new, so a class whose floor cannot beat the running Step B
+  // minimum cannot improve it.  Skipping therefore changes no comparison
+  // outcome -- decisions are bit-identical to the full scan.
   const bool skip_a = workers.stable() && params_.alpha >= 0.0;
   const bool skip_b = workers.stable();
   const auto zero_wait_slack = [&](int gpcs) {

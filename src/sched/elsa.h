@@ -65,6 +65,18 @@ struct ElsaParams {
   // many seconds of the default's.  0 (default) disables the tie-break,
   // reproducing the paper's model-oblivious Algorithm 2 exactly.
   double locality_tie_sec = 0.0;
+  // Pending model-swap charge folded into the slack predictor: a
+  // candidate whose resident model differs from the arriving query's
+  // pays this many extra seconds inside Twait, i.e.
+  //   slack      = SLA - alpha * (Twait + Tswap + beta * Tnew)
+  //   completion = Twait + Tswap + Tnew
+  // Set it to the simulator's ServerConfig::model_swap_cost (in seconds)
+  // so the predictor stays honest when swaps are expensive: without the
+  // term, Step A systematically over-estimates the slack of swap-needing
+  // partitions and binds doomed queries to them.  0 (default) restores
+  // the swap-oblivious predictor bit-for-bit (the added term is exactly
+  // +0.0), which is what engine_golden_test pins.
+  double swap_cost_sec = 0.0;
   // Route Testimated lookups through the dense CompiledProfile (default).
   // false restores the uncompiled map/lower_bound path -- the decisions
   // are identical either way; the flag exists so the engine-throughput

@@ -5,6 +5,15 @@ namespace pe::sched {
 int FifsScheduler::OnQueryArrival(const workload::Query& query,
                                   const WorkerView& workers) {
   (void)query;
+  // Fast path: the server's live view maintains the (max gpcs, lowest
+  // index) idle worker incrementally, so the per-arrival cost is O(log W)
+  // instead of an O(W) scan.  Equivalence with the scan below (the
+  // reference path, exercised by engine_golden_test) is exact: both
+  // select the idle worker with maximum gpcs, lowest index among ties,
+  // and kNoAssignment when none is idle.
+  const int fast = workers.MaxGpcsIdleWorker();
+  if (fast != WorkerView::kIdleScanUnsupported) return fast;
+
   // Ties among several idle GPUs are broken toward the largest partition --
   // the most charitable reading of FIFS on a heterogeneous server.  The
   // Figure 5(b) pathology still occurs whenever the only idle GPUs are

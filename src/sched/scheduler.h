@@ -57,10 +57,23 @@ inline constexpr int kNoAssignment = -1;
 // worker.
 class WorkerView {
  public:
+  // Sentinel for MaxGpcsIdleWorker(): this view keeps no incremental idle
+  // index; the caller must scan the workers itself.
+  static constexpr int kIdleScanUnsupported = -2;
+
   virtual ~WorkerView() = default;
 
   virtual std::size_t size() const = 0;
   virtual const WorkerState& Get(std::size_t i) const = 0;
+
+  // The worker FIFS's arrival rule picks: idle, maximum gpcs, lowest
+  // index among ties -- exactly the winner of the ascending-index strict
+  // `>` scan.  kNoAssignment when no worker is idle; the default
+  // kIdleScanUnsupported means the view maintains no idle index (ad-hoc
+  // wrappers), telling the scheduler to fall back to the O(W) scan.  The
+  // server's live view answers from an incrementally maintained ordered
+  // set in O(log W).
+  virtual int MaxGpcsIdleWorker() const { return kIdleScanUnsupported; }
 
   // Twait of worker i alone (== Get(i).wait_ticks).  The one
   // time-dependent field; a live view can answer it without

@@ -62,6 +62,14 @@ SimTime InferenceServer::LiveWorkerView::WaitTicks(std::size_t i) const {
   return server_.workers_[i].EstimatedWait(server_.now_);
 }
 
+int InferenceServer::LiveWorkerView::MaxGpcsIdleWorker() const {
+  const auto& idle = server_.idle_workers_;
+  if (idle.empty()) return sched::kNoAssignment;
+  // Keys are {-gpcs, index}: begin() is the largest idle partition,
+  // lowest index among equals -- the FIFS scan winner.
+  return idle.begin()->second;
+}
+
 void InferenceServer::LiveWorkerView::OnLayoutChange(std::size_t num_workers) {
   slots_.assign(num_workers, Slot{});  // keeps capacity across layouts
   version_ = NextLayoutVersion();
@@ -133,8 +141,25 @@ void InferenceServer::BuildWorkers(const std::vector<int>& partition_gpcs) {
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     workers_.emplace_back(static_cast<int>(i), sizes[i]);
   }
+  idle_workers_.clear();
+  if (!config_.reference_engine) {
+    // A fresh layout starts all-idle.
+    for (const auto& w : workers_) {
+      idle_workers_.emplace(-w.gpcs(), w.index());
+    }
+  }
   snapshots_.reserve(workers_.size());
   view_.OnLayoutChange(workers_.size());
+}
+
+void InferenceServer::SyncIdle(const PartitionWorker& worker) {
+  if (config_.reference_engine) return;
+  const std::pair<int, int> key{-worker.gpcs(), worker.index()};
+  if (worker.idle()) {
+    idle_workers_.insert(key);
+  } else {
+    idle_workers_.erase(key);
+  }
 }
 
 void InferenceServer::PushWithSeq(SimTime time, std::uint64_t seq,
@@ -255,6 +280,7 @@ void InferenceServer::Dispatch(const workload::Query& query, SimTime now) {
   records_[query.id].dispatched = now;
   worker.Enqueue(query,
                  EstimateTicks(query.model_id, worker.gpcs(), query.batch));
+  SyncIdle(worker);
   StartHead(worker, now);
 }
 
@@ -277,6 +303,7 @@ void InferenceServer::ReofferCentralQueue(SimTime now) {
     records_[head.id].dispatched = now;
     worker.Enqueue(head,
                    EstimateTicks(head.model_id, worker.gpcs(), head.batch));
+    SyncIdle(worker);
     StartHead(worker, now);
   }
 }
@@ -416,6 +443,7 @@ void InferenceServer::CompleteReconfigure(SimTime now) {
     PartitionWorker& worker = workers_[static_cast<std::size_t>(idx)];
     records_[q.id].dispatched = now;
     worker.Enqueue(q, EstimateTicks(q.model_id, worker.gpcs(), q.batch));
+    SyncIdle(worker);
     StartHead(worker, now);
   }
   ReofferCentralQueue(now);
@@ -449,6 +477,7 @@ void InferenceServer::ProcessEvent(const Event& ev) {
       PartitionWorker& worker = workers_[ev.payload];
       const workload::Query done = worker.Finish();
       records_[done.id].finished = now;
+      SyncIdle(worker);  // may have gone idle (empty local queue)
       if (reconfiguring_) break;  // draining: nothing new starts
       // Start next local query, or pull from the central queue.
       if (worker.CanStart()) {
@@ -459,6 +488,7 @@ void InferenceServer::ProcessEvent(const Event& ev) {
         records_[next.id].dispatched = now;
         worker.Enqueue(next,
                        EstimateTicks(next.model_id, worker.gpcs(), next.batch));
+        SyncIdle(worker);
         StartHead(worker, now);
       }
       break;

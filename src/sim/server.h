@@ -52,6 +52,8 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -208,6 +210,9 @@ class InferenceServer {
     std::size_t size() const override;
     const sched::WorkerState& Get(std::size_t i) const override;
     SimTime WaitTicks(std::size_t i) const override;
+    // Answered from the server's incrementally maintained idle set
+    // (O(log W) per worker mutation, O(1) here); see idle_workers_.
+    int MaxGpcsIdleWorker() const override;
     bool stable() const override { return true; }
     std::uint64_t layout_version() const override { return version_; }
 
@@ -251,6 +256,10 @@ class InferenceServer {
   // by the next call.
   const std::vector<sched::WorkerState>& Snapshots(SimTime now) const;
   void BuildWorkers(const std::vector<int>& partition_gpcs);
+  // Re-files `worker` in idle_workers_ after a mutation that may have
+  // changed its idleness (Enqueue or Finish).  No-op on the reference
+  // engine path, which keeps no idle index.
+  void SyncIdle(const PartitionWorker& worker);
   // Starts the worker's head query if the worker is free, recording start
   // metadata (including any model-swap charge) and scheduling the
   // completion event.
@@ -281,6 +290,13 @@ class InferenceServer {
 
   std::vector<PartitionWorker> workers_;
   LiveWorkerView view_{*this};
+  // Fast-path idle index backing LiveWorkerView::MaxGpcsIdleWorker():
+  // {-gpcs, index} per idle worker, so begin() is the largest partition
+  // with the lowest index -- exactly FIFS's scan winner.  Maintained by
+  // SyncIdle at every Enqueue/Finish site and rebuilt by BuildWorkers;
+  // empty on the reference engine path (its ad-hoc views report
+  // kIdleScanUnsupported, forcing the original O(W) scan).
+  std::set<std::pair<int, int>> idle_workers_;
   // Unassigned queries.  For central-queue schedulers this is the ordinary
   // central FIFO; during a reconfiguration window it additionally holds
   // every arrival (any scheduler) until the new layout is up.

@@ -1,0 +1,125 @@
+// FleetTestbed end-to-end tests, including the fleet driver's acceptance
+// contract: record-by-record identical per-server results at --jobs 1, 2,
+// and hardware concurrency, for every router policy.
+#include "core/fleet_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace pe::core {
+namespace {
+
+FleetTestbedConfig SmallFleet(int servers, fleet::RouterPolicy policy) {
+  FleetTestbedConfig fc;
+  fc.mix.models.push_back({"resnet", 0.6, 6.0, 0.9});
+  fc.mix.models.push_back({"mobilenet", 0.4, 4.0, 0.8});
+  fc.mix.swap_cost_us = 200.0;
+  fc.num_servers = servers;
+  fc.policy = policy;
+  return fc;
+}
+
+bool SameRecords(const sim::SimResult& a, const sim::SimResult& b) {
+  if (a.records.size() != b.records.size()) return false;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& x = a.records[i];
+    const auto& y = b.records[i];
+    if (x.id != y.id || x.batch != y.batch || x.model != y.model ||
+        x.arrival != y.arrival || x.started != y.started ||
+        x.finished != y.finished || x.worker != y.worker ||
+        x.model_swap != y.model_swap) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(FleetTestbed, BitIdenticalAcrossJobsForEveryPolicy) {
+  const int hw = std::max(
+      2, static_cast<int>(std::thread::hardware_concurrency()));
+  for (const auto policy :
+       {fleet::RouterPolicy::kHash, fleet::RouterPolicy::kLeastLoaded,
+        fleet::RouterPolicy::kPowerOfTwo}) {
+    const FleetTestbed tb(SmallFleet(4, policy));
+    const auto trace = tb.GenerateFleetTrace(600.0, 4000, /*seed=*/7);
+    const auto base = tb.Run(trace, 1);
+    for (const int jobs : {2, hw}) {
+      const auto run = tb.Run(trace, jobs);
+      ASSERT_EQ(run.per_server.size(), base.per_server.size());
+      for (std::size_t s = 0; s < base.per_server.size(); ++s) {
+        EXPECT_TRUE(SameRecords(base.per_server[s], run.per_server[s]))
+            << fleet::ToString(policy) << " server " << s
+            << " diverged at jobs=" << jobs;
+      }
+    }
+  }
+}
+
+TEST(FleetTestbed, PlansEveryServerAndServesTheWholeTrace) {
+  const FleetTestbed tb(SmallFleet(3, fleet::RouterPolicy::kLeastLoaded));
+  // Every server got a planner-filled MIG layout within its budget.
+  for (int s = 0; s < tb.num_servers(); ++s) {
+    const auto& sp = tb.placement().server(s);
+    ASSERT_FALSE(sp.partition_gpcs.empty());
+    int total = 0;
+    for (const int g : sp.partition_gpcs) total += g;
+    EXPECT_LE(total, sp.gpc_budget);
+  }
+  const auto trace = tb.GenerateFleetTrace(450.0, 3000, /*seed=*/3);
+  const auto stats = tb.RunStats(trace, 2);
+  EXPECT_EQ(stats.routed_queries, trace.size());
+  EXPECT_GT(stats.aggregate.completed, 0u);
+  // Per-server ModelStats carry fleet-global model ids (0..1 here).
+  for (const auto& server : stats.per_server) {
+    for (const auto& m : server.models) {
+      EXPECT_GE(m.model, 0);
+      EXPECT_LT(m.model, 2);
+    }
+  }
+}
+
+TEST(FleetTestbed, ShardedPlacementPartitionsPerShard) {
+  // Under sharding, a server plans a layout for the models it hosts, not
+  // the whole zoo -- so a 1-model shard still yields a valid layout and
+  // the fleet still serves every query of both models.
+  FleetTestbedConfig fc = SmallFleet(4, fleet::RouterPolicy::kHash);
+  fc.placement = fleet::PlacementKind::kSharded;
+  fc.replicas = 2;
+  const FleetTestbed tb(fc);
+  const auto trace = tb.GenerateFleetTrace(500.0, 2500, /*seed=*/9);
+  const auto stats = tb.RunStats(trace, 2);
+  EXPECT_EQ(stats.routed_queries, trace.size());
+  std::uint64_t routed = 0;
+  for (const auto n : stats.routed_per_server) routed += n;
+  EXPECT_EQ(routed, trace.size());
+}
+
+TEST(FleetTestbed, RejectsDegenerateConfigs) {
+  FleetTestbedConfig bad = SmallFleet(0, fleet::RouterPolicy::kHash);
+  EXPECT_THROW(FleetTestbed{bad}, std::invalid_argument);
+}
+
+TEST(FleetTestbed, ReferenceEngineMatchesFastEngine) {
+  // The fleet inherits the single-server golden rule: the pre-optimization
+  // reference engine and the fast engine produce identical records for
+  // the same fleet run.
+  FleetTestbedConfig fast_cfg = SmallFleet(3, fleet::RouterPolicy::kHash);
+  FleetTestbedConfig ref_cfg = fast_cfg;
+  ref_cfg.reference_engine = true;
+  const FleetTestbed fast_tb(fast_cfg);
+  const FleetTestbed ref_tb(ref_cfg);
+  const auto trace = fast_tb.GenerateFleetTrace(450.0, 2000, /*seed=*/5);
+  const auto fast_run = fast_tb.Run(trace, 2);
+  const auto ref_run = ref_tb.Run(trace, 2);
+  ASSERT_EQ(fast_run.per_server.size(), ref_run.per_server.size());
+  for (std::size_t s = 0; s < fast_run.per_server.size(); ++s) {
+    EXPECT_TRUE(SameRecords(fast_run.per_server[s], ref_run.per_server[s]))
+        << "engines diverged on server " << s;
+  }
+}
+
+}  // namespace
+}  // namespace pe::core

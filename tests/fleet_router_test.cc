@@ -1,0 +1,169 @@
+// Router-tier unit tests: every policy must route a trace
+// deterministically, respect the placement's replica sets, and reproduce
+// its decision sequence after Reset() -- the properties the fleet driver's
+// bit-identity claim rests on.
+#include "fleet/router.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "fleet/placement.h"
+#include "workload/arrival.h"
+#include "workload/batch_dist.h"
+#include "workload/trace.h"
+
+namespace pe::fleet {
+namespace {
+
+workload::QueryTrace MakeTrace(std::size_t n, int num_models,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  workload::PoissonArrivals arrivals(500.0);
+  workload::LogNormalBatchDist dist(6.0, 0.9, 32);
+  workload::MixSpec mix;
+  for (int m = 0; m < num_models; ++m) {
+    mix.components.push_back({m, 1.0 / num_models, &dist});
+  }
+  return workload::GenerateMixedTrace(arrivals, mix, n, rng);
+}
+
+std::vector<int> RouteAll(Router& router, const workload::QueryTrace& trace) {
+  std::vector<int> out;
+  out.reserve(trace.size());
+  for (const auto& q : trace.queries()) out.push_back(router.Route(q));
+  return out;
+}
+
+TEST(RouterPolicy, ParseAndToStringRoundTrip) {
+  for (const auto policy : {RouterPolicy::kHash, RouterPolicy::kLeastLoaded,
+                            RouterPolicy::kPowerOfTwo}) {
+    const auto parsed = ParseRouterPolicy(ToString(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(ParseRouterPolicy("roundrobin").has_value());
+  EXPECT_FALSE(ParsePlacementKind("striped").has_value());
+}
+
+TEST(Router, EveryPolicyRespectsReplicaSets) {
+  // 6 servers, 4 models, 2 replicas each: routing a model anywhere but
+  // its replica set would hand a server a query it cannot serve.
+  const auto placement = ShardedPlacement(6, 4, 2);
+  const auto trace = MakeTrace(2000, 4, /*seed=*/11);
+  for (const auto policy : {RouterPolicy::kHash, RouterPolicy::kLeastLoaded,
+                            RouterPolicy::kPowerOfTwo}) {
+    auto router = MakeRouter(policy, placement, nullptr, /*seed=*/99);
+    for (const auto& q : trace.queries()) {
+      const int server = router->Route(q);
+      const auto& reps = placement.Replicas(q.model_id);
+      EXPECT_NE(std::find(reps.begin(), reps.end(), server), reps.end())
+          << ToString(policy) << " routed model " << q.model_id
+          << " to non-replica server " << server;
+    }
+  }
+}
+
+TEST(Router, DeterministicAcrossFreshInstances) {
+  const auto placement = UniformPlacement(8, 3);
+  const auto trace = MakeTrace(3000, 3, /*seed=*/5);
+  for (const auto policy : {RouterPolicy::kHash, RouterPolicy::kLeastLoaded,
+                            RouterPolicy::kPowerOfTwo}) {
+    auto a = MakeRouter(policy, placement, nullptr, /*seed=*/42);
+    auto b = MakeRouter(policy, placement, nullptr, /*seed=*/42);
+    EXPECT_EQ(RouteAll(*a, trace), RouteAll(*b, trace)) << ToString(policy);
+  }
+}
+
+TEST(Router, ResetReproducesTheDecisionSequence) {
+  // po2c is the only stateful-RNG policy; least-loaded carries a virtual
+  // backlog clock.  Both must replay identically after Reset().
+  const auto placement = UniformPlacement(5, 2);
+  const auto trace = MakeTrace(1500, 2, /*seed=*/3);
+  for (const auto policy : {RouterPolicy::kHash, RouterPolicy::kLeastLoaded,
+                            RouterPolicy::kPowerOfTwo}) {
+    auto router = MakeRouter(policy, placement, nullptr, /*seed=*/7);
+    const auto first = RouteAll(*router, trace);
+    router->Reset();
+    EXPECT_EQ(RouteAll(*router, trace), first) << ToString(policy);
+  }
+}
+
+TEST(Router, PoliciesActuallyDiffer) {
+  // Sanity that the three policies are not the same function in disguise:
+  // on a uniform placement with many servers they should not produce the
+  // identical assignment vector.
+  const auto placement = UniformPlacement(8, 2);
+  const auto trace = MakeTrace(2000, 2, /*seed=*/13);
+  auto hash = MakeRouter(RouterPolicy::kHash, placement, nullptr, 1);
+  auto least = MakeRouter(RouterPolicy::kLeastLoaded, placement, nullptr, 1);
+  auto po2c = MakeRouter(RouterPolicy::kPowerOfTwo, placement, nullptr, 1);
+  const auto h = RouteAll(*hash, trace);
+  const auto l = RouteAll(*least, trace);
+  const auto p = RouteAll(*po2c, trace);
+  EXPECT_NE(h, l);
+  EXPECT_NE(h, p);
+  EXPECT_NE(l, p);
+}
+
+TEST(SplitTrace, DenseLocalIdsAndModelRemap) {
+  const auto placement = ShardedPlacement(4, 3, 2);
+  const auto trace = MakeTrace(2500, 3, /*seed=*/17);
+  auto router = MakeRouter(RouterPolicy::kHash, placement, nullptr, 1);
+  const auto split = SplitTrace(trace, *router, placement);
+
+  ASSERT_EQ(split.per_server.size(), 4u);
+  ASSERT_EQ(split.global_ids.size(), 4u);
+  std::size_t total = 0;
+  std::vector<bool> seen(trace.size(), false);
+  for (int s = 0; s < 4; ++s) {
+    const auto& sp = placement.server(s);
+    const auto& queries = split.per_server[s].queries();
+    ASSERT_EQ(split.global_ids[s].size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      // Engine contract: local ids are dense injection indices.
+      EXPECT_EQ(queries[i].id, i);
+      // Local model ids index the server's sorted hosted list.
+      ASSERT_GE(queries[i].model_id, 0);
+      ASSERT_LT(queries[i].model_id,
+                static_cast<int>(sp.model_ids.size()));
+      const auto gid = split.global_ids[s][i];
+      ASSERT_LT(gid, trace.size());
+      EXPECT_FALSE(seen[gid]) << "query " << gid << " routed twice";
+      seen[gid] = true;
+      // The remap preserves the query's identity: same arrival/batch, and
+      // the local model id maps back to the fleet-global one.
+      const auto& original = trace.queries()[gid];
+      EXPECT_EQ(queries[i].arrival, original.arrival);
+      EXPECT_EQ(queries[i].batch, original.batch);
+      EXPECT_EQ(sp.model_ids[static_cast<std::size_t>(queries[i].model_id)],
+                original.model_id);
+    }
+    total += queries.size();
+  }
+  EXPECT_EQ(total, trace.size());
+}
+
+TEST(Placement, ValidatesAndShards) {
+  EXPECT_THROW(UniformPlacement(0, 2), std::invalid_argument);
+  EXPECT_THROW(UniformPlacement(2, 0), std::invalid_argument);
+  const auto sharded = ShardedPlacement(5, 3, 2);
+  // Every model has at least its 2 round-robin replicas (the backfill
+  // rule may add more on otherwise-empty servers), all distinct.
+  for (int m = 0; m < 3; ++m) {
+    const auto& reps = sharded.Replicas(m);
+    ASSERT_GE(reps.size(), 2u);
+    std::set<int> distinct(reps.begin(), reps.end());
+    EXPECT_EQ(distinct.size(), reps.size());
+  }
+  // Every server hosts at least one model (backfill rule).
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_FALSE(sharded.server(s).model_ids.empty());
+  }
+}
+
+}  // namespace
+}  // namespace pe::fleet

@@ -128,6 +128,57 @@ TEST(Elsa, SlackSecMatchesEquation2) {
   EXPECT_NEAR(s.SlackSec(w, 8), -14.5e-3, 1e-9);
 }
 
+TEST(Elsa, SwapCostChargesOnlySwapNeedingWorkers) {
+  const auto profile = MakeProfile();
+  ElsaParams params;
+  params.swap_cost_sec = 4e-3;  // 4 ms weight re-load
+  ElsaScheduler s(profile, MsToTicks(20.0), params);
+  // Resident model matches (or was never loaded): no charge.
+  WorkerState fresh = W(0, 1, MsToTicks(3.0));
+  EXPECT_NEAR(s.SlackSec(fresh, /*model_id=*/0, 8), (20.0 - 13.0) * 1e-3,
+              1e-9);
+  WorkerState resident = fresh;
+  resident.resident_model = 0;
+  EXPECT_NEAR(s.SlackSec(resident, 0, 8), (20.0 - 13.0) * 1e-3, 1e-9);
+  // A different resident model pays Tswap inside the alpha term:
+  // slack = 20 - (3 + 4 + 10) = 3 ms.
+  WorkerState swapping = fresh;
+  swapping.resident_model = 1;
+  EXPECT_NEAR(s.SlackSec(swapping, 0, 8), 3e-3, 1e-9);
+}
+
+TEST(Elsa, SwapCostZeroIsBitIdenticalToLegacyPredictor) {
+  const auto profile = MakeProfile();
+  ElsaScheduler legacy(profile, MsToTicks(20.0));
+  ElsaParams params;
+  params.swap_cost_sec = 0.0;
+  ElsaScheduler zero(profile, MsToTicks(20.0), params);
+  WorkerState w = W(0, 1, MsToTicks(3.0));
+  w.resident_model = 1;
+  // Exact equality on purpose: 0 must restore the swap-oblivious
+  // predictor bit for bit (the guarantee engine_golden_test leans on).
+  EXPECT_EQ(zero.SlackSec(w, 0, 8), legacy.SlackSec(w, 0, 8));
+}
+
+TEST(Elsa, SwapCostRedirectsStepA) {
+  const auto profile = MakeProfile();
+  // SLA 14 ms.  Small idle partition with the query's model resident:
+  // slack = 14 - 10 > 0.  Same-size partition holding the other model
+  // pays 5 ms swap: slack = 14 - 15 < 0.  With the charge, ELSA must
+  // skip the swap-needing worker it would otherwise bind (lower index).
+  ElsaParams params;
+  params.swap_cost_sec = 5e-3;
+  ElsaScheduler s(profile, MsToTicks(14.0), params);
+  WorkerState needs_swap = W(0, 1, 0);
+  needs_swap.resident_model = 1;
+  WorkerState warm = W(1, 1, 0);
+  warm.resident_model = 0;
+  const std::vector<WorkerState> workers = {needs_swap, warm};
+  workload::Query q = Q(8);
+  q.model_id = 0;
+  EXPECT_EQ(s.OnQueryArrival(q, workers), 1);
+}
+
 TEST(GreedyFastest, IsElsaStepBOnly) {
   const auto profile = MakeProfile();
   GreedyFastestScheduler s(profile);

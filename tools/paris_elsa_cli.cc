@@ -11,6 +11,9 @@
 //   mix       -- multi-model serving: a consolidated mixed-PARIS layout
 //                replays an interleaved multi-model trace with a
 //                configurable model-swap penalty
+//   fleet     -- N servers behind a pluggable router tier: the fleet trace
+//                is split deterministically across per-server engines that
+//                replay in parallel (bit-identical at any --jobs)
 //
 // Common options:
 //   --model NAME        shufflenet|mobilenet|resnet|bert|conformer (resnet)
@@ -46,6 +49,13 @@
 //                       a query of a non-resident model (0)
 //   --budget G          total GPC budget of the consolidated server (48)
 //   --gpus N            physical GPUs in the cluster (8)
+// fleet options (mix options apply per server):
+//   --servers N         number of inference servers (4)
+//   --policy P          router policy: hash|least|po2c (hash)
+//   --placement K       uniform|sharded model placement (uniform)
+//   --replicas R        replicas per model under sharded placement (2)
+//   --rate QPS          total offered load across the fleet
+//                       (300 x --servers when omitted)
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -53,9 +63,12 @@
 #include "common/args.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/fleet_runner.h"
 #include "core/mix_runner.h"
 #include "core/result_io.h"
 #include "core/server_builder.h"
+#include "fleet/placement.h"
+#include "fleet/router.h"
 #include "online/elastic_server.h"
 #include "online/repartition_controller.h"
 #include "workload/trace.h"
@@ -421,8 +434,9 @@ std::vector<double> GetDoubleList(const ArgParser& args,
   return values;
 }
 
-int CmdMix(const ArgParser& args) {
-  CheckJsonSink(args);
+// Shared by `mix` (one server) and `fleet` (per-server world): the model
+// list, shares, distributions, budget, and swap cost.
+core::MixConfig MixConfigFrom(const ArgParser& args) {
   const auto model_names =
       SplitList(args.GetString("models", "resnet,mobilenet"));
   const auto shares = GetDoubleList(args, "shares", model_names.size());
@@ -453,6 +467,12 @@ int CmdMix(const ArgParser& args) {
     throw std::invalid_argument("--swap-cost-us: expected >= 0, got " +
                                 std::to_string(mc.swap_cost_us));
   }
+  return mc;
+}
+
+int CmdMix(const ArgParser& args) {
+  CheckJsonSink(args);
+  const core::MixConfig mc = MixConfigFrom(args);
   const core::MixTestbed tb(mc);
   const auto kind = SchedulerFrom(args.GetString("scheduler", "elsa"));
   const double rate_qps = args.GetDouble("rate", 300.0);
@@ -523,6 +543,88 @@ int CmdMix(const ArgParser& args) {
   return 0;
 }
 
+int CmdFleet(const ArgParser& args) {
+  const int jobs = GetJobs(args);
+  CheckJsonSink(args);
+
+  core::FleetTestbedConfig fc;
+  fc.mix = MixConfigFrom(args);
+  fc.num_servers = static_cast<int>(GetCount(args, "servers", 4));
+  if (fc.num_servers < 1) {
+    throw std::invalid_argument("--servers: expected >= 1");
+  }
+  const std::string placement_name = args.GetString("placement", "uniform");
+  const auto placement = fleet::ParsePlacementKind(placement_name);
+  if (!placement) {
+    throw std::invalid_argument("unknown --placement: " + placement_name +
+                                " (expected uniform|sharded)");
+  }
+  fc.placement = *placement;
+  fc.replicas = static_cast<int>(GetCount(args, "replicas", 2));
+  const std::string policy_name = args.GetString("policy", "hash");
+  const auto policy = fleet::ParseRouterPolicy(policy_name);
+  if (!policy) {
+    throw std::invalid_argument("unknown --policy: " + policy_name +
+                                " (expected hash|least|po2c)");
+  }
+  fc.policy = *policy;
+  fc.scheduler = SchedulerFrom(args.GetString("scheduler", "elsa"));
+  const auto seed = static_cast<std::uint64_t>(GetCount(args, "seed", 1));
+  fc.seed = seed;
+
+  const core::FleetTestbed tb(fc);
+  const double rate_qps =
+      args.GetDouble("rate", 300.0 * static_cast<double>(fc.num_servers));
+  const std::size_t num_queries = GetCount(args, "queries", 100000);
+  const auto trace = tb.GenerateFleetTrace(rate_qps, num_queries, seed);
+  const auto result = tb.Run(trace, jobs);
+  const auto stats = result.Stats(tb.sla_target());
+
+  Table t({"metric", "value"});
+  t.AddRow({"servers", Table::Int(fc.num_servers)});
+  t.AddRow({"policy", policy_name});
+  t.AddRow({"placement", placement_name});
+  t.AddRow({"scheduler", ToString(fc.scheduler)});
+  t.AddRow({"offered qps", Table::Num(rate_qps, 1)});
+  t.AddRow({"fleet qps", Table::Num(stats.aggregate.achieved_qps, 1)});
+  t.AddRow({"p95 ms", Table::Num(stats.aggregate.p95_latency_ms, 3)});
+  t.AddRow({"p99 ms", Table::Num(stats.aggregate.p99_latency_ms, 3)});
+  t.AddRow({"SLA violation %",
+            Table::Num(100 * stats.aggregate.sla_violation_rate, 2)});
+  t.AddRow({"model swaps",
+            Table::Int(static_cast<long long>(stats.aggregate.model_swaps))});
+
+  Table per_server({"server", "routed", "qps", "p95 ms", "viol. %"});
+  for (std::size_t s = 0; s < stats.per_server.size(); ++s) {
+    const auto& ss = stats.per_server[s];
+    per_server.AddRow(
+        {Table::Int(static_cast<long long>(s)),
+         Table::Int(static_cast<long long>(stats.routed_per_server[s])),
+         Table::Num(ss.achieved_qps, 1), Table::Num(ss.p95_latency_ms, 3),
+         Table::Num(100 * ss.sla_violation_rate, 2)});
+  }
+  if (args.HasFlag("csv")) {
+    t.PrintCsv(std::cout);
+    per_server.PrintCsv(std::cout);
+  } else {
+    t.Print(std::cout);
+    std::cout << "\n";
+    per_server.Print(std::cout);
+  }
+
+  core::Json data = core::ToJson(stats);
+  data.Set("policy", policy_name);
+  data.Set("placement", placement_name);
+  data.Set("scheduler", core::ToString(fc.scheduler));
+  data.Set("offered_qps", rate_qps);
+  data.Set("swap_cost_us", fc.mix.swap_cost_us);
+  data.Set("seed", seed);
+  auto report = core::MakeBenchReport("cli_fleet", false, jobs);
+  report.Set("data", std::move(data));
+  MaybeWriteJson(args, std::move(report));
+  return 0;
+}
+
 int CmdTrace(const ArgParser& args) {
   const auto config = ConfigFrom(args);
   Rng rng(static_cast<std::uint64_t>(GetCount(args, "seed", 1)));
@@ -537,13 +639,14 @@ int CmdTrace(const ArgParser& args) {
 
 void PrintUsage(std::ostream& os) {
   os << "usage: paris_elsa_cli "
-        "<profile|plan|simulate|sweep|trace|elastic|mix> "
+        "<profile|plan|simulate|sweep|trace|elastic|mix|fleet> "
         "[--model M] [--design D] [--scheduler S] [--rate QPS] "
         "[--queries N] [--median M] [--sigma S] [--max-batch B] "
         "[--sla-n N] [--seed S] [--jobs N] [--json PATH] [--csv] "
         "[--epochs N] [--drift T] [--drift-median M] [--downtime-ms D] "
         "[--models A,B] [--shares X,Y] [--medians X,Y] [--swap-cost-us C] "
-        "[--budget G] [--gpus N] [--help]\n";
+        "[--budget G] [--gpus N] [--servers N] [--policy P] "
+        "[--placement K] [--replicas R] [--help]\n";
 }
 
 }  // namespace
@@ -554,7 +657,8 @@ int main(int argc, char** argv) {
       "model", "design", "scheduler", "rate", "queries", "median", "sigma",
       "max-batch", "sla-n", "seed", "jobs", "json", "csv", "epochs", "drift",
       "drift-median", "downtime-ms", "models", "shares", "medians",
-      "swap-cost-us", "budget", "gpus", "help", "h"};
+      "swap-cost-us", "budget", "gpus", "servers", "policy", "placement",
+      "replicas", "help", "h"};
   try {
     const auto sub = args.Subcommand();
     if (args.HasFlag("help") || args.HasFlag("h") ||
@@ -576,6 +680,7 @@ int main(int argc, char** argv) {
     if (*sub == "trace") return CmdTrace(args);
     if (*sub == "elastic") return CmdElastic(args);
     if (*sub == "mix") return CmdMix(args);
+    if (*sub == "fleet") return CmdFleet(args);
     std::cerr << "unknown subcommand: " << *sub << "\n";
     PrintUsage(std::cerr);
     return 2;
