@@ -23,6 +23,7 @@
 #include "perf/model_zoo.h"
 #include "profile/profiler.h"
 #include "sched/elsa.h"
+#include "workload/scenario.h"
 
 int main() {
   using namespace pe;
@@ -49,8 +50,10 @@ int main() {
   Rng rng(trace_seed);
   const std::size_t phase = bench::SmokeMode() ? 1500 : 6000;
   const std::size_t queries_per_epoch = phase / 4;
-  const auto trace = workload::GenerateDriftingTrace(
-      arrivals, {{&small, phase}, {&large, phase}, {&small, phase}}, rng);
+  // Same stream GenerateDriftingTrace produced before the scenario API.
+  workload::PhasedTraceSource day_cycle(
+      arrivals, {{&small, phase}, {&large, phase}, {&small, phase}});
+  const auto trace = workload::Take(day_cycle, 3 * phase, rng);
 
   // Mixture PDF for the oracle.
   std::vector<double> mixture(32, 0.0);

@@ -38,8 +38,7 @@
 #include "sched/elsa.h"
 #include "sched/fifs.h"
 #include "sim/server.h"
-#include "workload/arrival.h"
-#include "workload/batch_dist.h"
+#include "workload/scenario.h"
 #include "workload/trace.h"
 
 namespace {
@@ -76,21 +75,26 @@ double RateFor(const profile::ModelRepertoire& rep,
   return 0.75 * capacity;
 }
 
+// Constant-rate scenario specs drain bit-identically to the legacy
+// GenerateTrace / GenerateMixedTrace streams this bench tracked before
+// the scenario API landed, so the trajectory numbers stay comparable.
 workload::QueryTrace MakeTrace(bool mixed, double rate_qps, std::size_t n,
                                std::uint64_t seed) {
-  Rng rng(seed);
-  workload::PoissonArrivals arrivals(rate_qps);
-  workload::LogNormalBatchDist d0(6.0, 0.9, 32);
-  if (!mixed) return workload::GenerateTrace(arrivals, d0, n, rng);
-  workload::LogNormalBatchDist d1(4.0, 0.8, 32);
-  workload::LogNormalBatchDist d2(9.0, 0.7, 32);
-  workload::LogNormalBatchDist d3(12.0, 0.9, 32);
-  workload::MixSpec mix;
-  mix.components.push_back({0, 0.25, &d0});
-  mix.components.push_back({1, 0.25, &d1});
-  mix.components.push_back({2, 0.25, &d2});
-  mix.components.push_back({3, 0.25, &d3});
-  return workload::GenerateMixedTrace(arrivals, mix, n, rng);
+  workload::ScenarioSpec spec;
+  spec.rate.base_qps = rate_qps;
+  spec.max_batch = 32;
+  const double medians[] = {6.0, 4.0, 9.0, 12.0};
+  const double sigmas[] = {0.9, 0.8, 0.7, 0.9};
+  const int components = mixed ? 4 : 1;
+  for (int m = 0; m < components; ++m) {
+    workload::ComponentSpec c;
+    c.model_id = m;
+    c.weight = 1.0;
+    c.median = medians[m];
+    c.sigma = sigmas[m];
+    spec.components.push_back(c);
+  }
+  return workload::GenerateScenarioTrace(spec, n, seed);
 }
 
 // FNV-1a over the fields that define a record stream; equal hashes across

@@ -42,18 +42,9 @@ FleetTestbed::FleetTestbed(FleetTestbedConfig config)
   // server (ShareBudgets normalizes internally).
   for (int s = 0; s < placement.num_servers(); ++s) {
     fleet::ServerPlacement& sp = placement.mutable_server(s);
-    std::vector<partition::MixModelInput> inputs;
-    inputs.reserve(sp.model_ids.size());
-    for (int m : sp.model_ids) {
-      partition::MixModelInput in;
-      in.model_id = m;
-      in.share = config_.mix.models[static_cast<size_t>(m)].share;
-      in.profile = &mix_.repertoire().profile(m);
-      in.dist = mix_.mix().components[static_cast<size_t>(m)].dist;
-      inputs.push_back(in);
-    }
     sp.partition_gpcs =
-        partition::PlanMixedParis(inputs, mix_.cluster(), sp.gpc_budget,
+        partition::PlanMixedParis(mix_.PlannerInputs(sp.model_ids),
+                                  mix_.cluster(), sp.gpc_budget,
                                   config_.mix.paris)
             .plan.instance_gpcs;
   }

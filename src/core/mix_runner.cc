@@ -51,9 +51,19 @@ MixTestbed::MixTestbed(MixConfig config)
   mix_.NormalizedShares();  // validates the share vector
 }
 
-partition::MixedPlan MixTestbed::PlanMixed() const {
+std::vector<std::string> MixTestbed::ModelNames() const {
+  std::vector<std::string> names;
+  names.reserve(config_.models.size());
+  for (const auto& m : config_.models) names.push_back(m.model);
+  return names;
+}
+
+std::vector<partition::MixModelInput> MixTestbed::PlannerInputs(
+    const std::vector<int>& model_ids) const {
   std::vector<partition::MixModelInput> inputs;
-  for (const auto& c : mix_.components) {
+  inputs.reserve(model_ids.size());
+  for (int m : model_ids) {
+    const auto& c = mix_.components.at(static_cast<std::size_t>(m));
     partition::MixModelInput in;
     in.model_id = c.model_id;
     in.share = c.share;
@@ -61,16 +71,38 @@ partition::MixedPlan MixTestbed::PlanMixed() const {
     in.dist = c.dist;
     inputs.push_back(in);
   }
-  return partition::PlanMixedParis(inputs, cluster_, config_.gpc_budget,
-                                   config_.paris);
+  return inputs;
+}
+
+partition::MixedPlan MixTestbed::PlanMixed() const {
+  std::vector<int> all(config_.models.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  return partition::PlanMixedParis(PlannerInputs(all), cluster_,
+                                   config_.gpc_budget, config_.paris);
+}
+
+workload::ScenarioSpec MixTestbed::ScenarioFor(double rate_qps) const {
+  workload::ScenarioSpec spec;
+  spec.rate.base_qps = rate_qps;
+  spec.max_batch = config_.max_batch;
+  for (std::size_t i = 0; i < config_.models.size(); ++i) {
+    const auto& m = config_.models[i];
+    workload::ComponentSpec c;
+    c.model_id = static_cast<int>(i);
+    c.model_name = m.model;
+    c.weight = m.share;
+    c.median = m.dist_median;
+    c.sigma = m.dist_sigma;
+    spec.components.push_back(std::move(c));
+  }
+  return spec;
 }
 
 workload::QueryTrace MixTestbed::GenerateMix(double rate_qps,
                                              std::size_t num_queries,
                                              std::uint64_t seed) const {
-  Rng rng(seed);
-  workload::PoissonArrivals arrivals(rate_qps);
-  return workload::GenerateMixedTrace(arrivals, mix_, num_queries, rng);
+  return workload::GenerateScenarioTrace(ScenarioFor(rate_qps), num_queries,
+                                         seed);
 }
 
 std::unique_ptr<sched::Scheduler> MixTestbed::MakeScheduler(

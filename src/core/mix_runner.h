@@ -26,6 +26,7 @@
 #include "sched/scheduler.h"
 #include "sim/server.h"
 #include "workload/batch_dist.h"
+#include "workload/scenario.h"
 #include "workload/trace.h"
 
 namespace pe::core {
@@ -66,11 +67,30 @@ class MixTestbed {
   // The traffic mix (components borrow this testbed's distributions).
   const workload::MixSpec& mix() const { return mix_; }
 
+  // Symbolic model names indexed by model id (the models[] vector of a
+  // captured paris-elsa-trace-v1 document).
+  std::vector<std::string> ModelNames() const;
+
+  // Mixed-PARIS planner inputs for a subset of this testbed's models, with
+  // their *global* traffic shares (PlanMixedParis renormalizes within the
+  // subset).  The one builder behind PlanMixed and the fleet's per-server
+  // planner pass, so both always agree on shares and distributions.
+  std::vector<partition::MixModelInput> PlannerInputs(
+      const std::vector<int>& model_ids) const;
+
   // Consolidated layout: per-model PARIS within share-derived budgets,
   // union packed on the cluster.
   partition::MixedPlan PlanMixed() const;
 
-  // Interleaved multi-model trace at `rate_qps` total offered load.
+  // The declarative scenario equivalent of this testbed's mix at
+  // `rate_qps` total offered load: constant rate, static weights, this
+  // config's batch distributions.  Presets and key=val overrides
+  // (workload::ApplyScenario) reshape it; drained unmodified it is
+  // bit-identical to the legacy GenerateMixedTrace stream.
+  workload::ScenarioSpec ScenarioFor(double rate_qps) const;
+
+  // Interleaved multi-model trace at `rate_qps` total offered load
+  // (drains ScenarioFor(rate_qps) on a fresh Rng(seed)).
   workload::QueryTrace GenerateMix(double rate_qps, std::size_t num_queries,
                                    std::uint64_t seed) const;
 

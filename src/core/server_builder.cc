@@ -105,26 +105,43 @@ sim::LatencyFn Testbed::ActualLatency() const {
   return repertoire_.actual(0);
 }
 
-sim::SimResult Testbed::Run(const partition::PartitionPlan& plan,
-                            sched::Scheduler& scheduler,
-                            const RunOptions& options) const {
-  if (plan.instance_gpcs.empty()) {
-    throw std::invalid_argument("Testbed::Run: empty partition plan");
-  }
-  Rng rng(options.seed);
-  workload::PoissonArrivals arrivals(options.rate_qps);
-  const workload::QueryTrace trace =
-      workload::GenerateTrace(arrivals, *dist_, options.num_queries, rng);
+workload::ScenarioSpec Testbed::ScenarioFor(double rate_qps) const {
+  workload::ScenarioSpec spec;
+  spec.rate.base_qps = rate_qps;
+  spec.max_batch = config_.max_batch;
+  workload::ComponentSpec c;
+  c.model_id = 0;
+  c.model_name = config_.model_name;
+  c.median = config_.dist_median;
+  c.sigma = config_.dist_sigma;
+  spec.components.push_back(std::move(c));
+  return spec;
+}
 
+sim::SimResult Testbed::RunTrace(const partition::PartitionPlan& plan,
+                                 sched::Scheduler& scheduler,
+                                 const workload::QueryTrace& trace,
+                                 std::uint64_t seed) const {
+  if (plan.instance_gpcs.empty()) {
+    throw std::invalid_argument("Testbed::RunTrace: empty partition plan");
+  }
   sim::ServerConfig sc;
   sc.partition_gpcs = plan.instance_gpcs;
   sc.sla_target = sla_target_;
   sc.latency_noise_sigma = config_.latency_noise_sigma;
-  sc.seed = options.seed ^ 0xA5A5A5A5ULL;
+  sc.seed = seed ^ 0xA5A5A5A5ULL;
   sc.frontend = config_.frontend;
 
   sim::InferenceServer server(sc, repertoire_, scheduler);
   return server.Run(trace);
+}
+
+sim::SimResult Testbed::Run(const partition::PartitionPlan& plan,
+                            sched::Scheduler& scheduler,
+                            const RunOptions& options) const {
+  const workload::QueryTrace trace = workload::GenerateScenarioTrace(
+      ScenarioFor(options.rate_qps), options.num_queries, options.seed);
+  return RunTrace(plan, scheduler, trace, options.seed);
 }
 
 sim::ServerStats Testbed::RunStats(const partition::PartitionPlan& plan,

@@ -33,6 +33,8 @@
 #include "sched/scheduler.h"
 #include "sim/server.h"
 #include "workload/batch_dist.h"
+#include "workload/scenario.h"
+#include "workload/trace.h"
 
 namespace pe::core {
 
@@ -95,8 +97,23 @@ class Testbed {
       SchedulerKind kind, sched::ElsaParams elsa = sched::ElsaParams{}) const;
 
   // --- Simulation ----------------------------------------------------
-  // Generates a Poisson/log-normal trace and replays it on a server built
-  // from `plan` + `scheduler`.
+  // The declarative scenario equivalent of this testbed's workload at
+  // `rate_qps`: one component (this model), constant rate, this config's
+  // batch distribution.  Presets and overrides (workload::ApplyScenario)
+  // reshape it; drained unmodified it is bit-identical to the legacy
+  // GenerateTrace stream.
+  workload::ScenarioSpec ScenarioFor(double rate_qps) const;
+
+  // Replays an explicit trace (generated, captured, or loaded) on a server
+  // built from `plan` + `scheduler`.  `seed` drives only the server's
+  // internal streams (noise), derived exactly as Run derives them.
+  sim::SimResult RunTrace(const partition::PartitionPlan& plan,
+                          sched::Scheduler& scheduler,
+                          const workload::QueryTrace& trace,
+                          std::uint64_t seed) const;
+
+  // Generates a Poisson/log-normal trace (ScenarioFor(rate_qps) drained on
+  // Rng(seed)) and replays it via RunTrace.
   sim::SimResult Run(const partition::PartitionPlan& plan,
                      sched::Scheduler& scheduler,
                      const RunOptions& options) const;

@@ -1,0 +1,481 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace pe::workload {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Strict numeric parse for override values: the whole token must be
+// consumed, so "0.6x" is an error, not 0.6.
+double ParseValue(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != value.size()) {
+    throw std::invalid_argument("scenario: bad value for " + key + ": '" +
+                                value + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+// ---- Take -----------------------------------------------------------------
+
+QueryTrace Take(TraceSource& source, std::size_t max_queries, Rng& rng) {
+  std::vector<Query> queries;
+  queries.reserve(max_queries);
+  for (std::size_t i = 0; i < max_queries; ++i) {
+    auto q = source.Next(rng);
+    if (!q) break;
+    queries.push_back(*q);
+  }
+  return QueryTrace(std::move(queries));
+}
+
+// ---- Legacy-shape adapters --------------------------------------------------
+
+ArrivalTraceSource::ArrivalTraceSource(ArrivalProcess& arrivals,
+                                       const BatchDistribution& dist)
+    : arrivals_(arrivals), dist_(dist) {}
+
+std::optional<Query> ArrivalTraceSource::Next(Rng& rng) {
+  now_ += arrivals_.NextGap(rng);
+  Query q;
+  q.id = id_++;
+  q.arrival = now_;
+  q.batch = dist_.Sample(rng);
+  return q;
+}
+
+std::string ArrivalTraceSource::Describe() const {
+  return arrivals_.Describe() + " x " + dist_.Describe();
+}
+
+PhasedTraceSource::PhasedTraceSource(ArrivalProcess& arrivals,
+                                     std::vector<WorkloadPhase> phases)
+    : arrivals_(arrivals), phases_(std::move(phases)) {
+  if (phases_.empty()) {
+    throw std::invalid_argument("PhasedTraceSource: no phases");
+  }
+  for (const auto& phase : phases_) {
+    if (phase.dist == nullptr) {
+      throw std::invalid_argument(
+          "PhasedTraceSource: null phase distribution");
+    }
+  }
+}
+
+std::optional<Query> PhasedTraceSource::Next(Rng& rng) {
+  while (phase_ + 1 < phases_.size() &&
+         in_phase_ >= phases_[phase_].num_queries) {
+    ++phase_;
+    in_phase_ = 0;
+  }
+  ++in_phase_;
+  now_ += arrivals_.NextGap(rng);
+  Query q;
+  q.id = id_++;
+  q.arrival = now_;
+  q.batch = phases_[phase_].dist->Sample(rng);
+  return q;
+}
+
+std::string PhasedTraceSource::Describe() const {
+  return arrivals_.Describe() + " x " + std::to_string(phases_.size()) +
+         " phases";
+}
+
+MixTraceSource::MixTraceSource(ArrivalProcess& arrivals, const MixSpec& mix)
+    : arrivals_(arrivals), mix_(mix), shares_(mix.NormalizedShares()) {
+  for (const auto& c : mix_.components) {
+    if (c.dist == nullptr) {
+      throw std::invalid_argument("MixTraceSource: null distribution");
+    }
+  }
+}
+
+std::optional<Query> MixTraceSource::Next(Rng& rng) {
+  now_ += arrivals_.NextGap(rng);
+  // Single-component mixes skip the model-selection draw so the degenerate
+  // one-model case stays bit-identical to the ArrivalTraceSource stream.
+  std::size_t k = 0;
+  if (mix_.components.size() > 1) {
+    const double u = rng.NextDouble();
+    double acc = 0.0;
+    for (std::size_t j = 0; j < shares_.size(); ++j) {
+      acc += shares_[j];
+      if (u < acc || j + 1 == shares_.size()) {
+        k = j;
+        break;
+      }
+    }
+  }
+  const MixComponent& c = mix_.components[k];
+  Query q;
+  q.id = id_++;
+  q.arrival = now_;
+  q.batch = c.dist->Sample(rng);
+  q.model_id = c.model_id;
+  return q;
+}
+
+std::string MixTraceSource::Describe() const {
+  return arrivals_.Describe() + " x mix(" +
+         std::to_string(mix_.components.size()) + " models)";
+}
+
+std::optional<Query> ReplayTraceSource::Next(Rng& rng) {
+  (void)rng;  // replay is RNG-free by design
+  if (next_ >= trace_.size()) return std::nullopt;
+  return trace_.queries()[next_++];
+}
+
+std::string ReplayTraceSource::Describe() const {
+  return "replay(" + std::to_string(trace_.size()) + " queries)";
+}
+
+// ---- Rate curves ------------------------------------------------------------
+
+const char* ToString(RateShape shape) {
+  switch (shape) {
+    case RateShape::kConstant: return "constant";
+    case RateShape::kDiurnal: return "diurnal";
+    case RateShape::kFlash: return "flash";
+  }
+  return "?";
+}
+
+double RateCurve::QpsAt(double t_sec) const {
+  switch (shape) {
+    case RateShape::kConstant:
+      return base_qps;
+    case RateShape::kDiurnal:
+      return base_qps *
+             (1.0 + amplitude * std::sin(2.0 * kPi * t_sec / period_sec));
+    case RateShape::kFlash: {
+      if (t_sec < flash_at_sec) return base_qps;
+      const double decay = std::exp(-(t_sec - flash_at_sec) / flash_decay_sec);
+      return base_qps * (1.0 + (flash_mult - 1.0) * decay);
+    }
+  }
+  return base_qps;
+}
+
+std::string RateCurve::Describe() const {
+  std::ostringstream oss;
+  oss << ToString(shape) << "(base=" << base_qps;
+  if (shape == RateShape::kDiurnal) {
+    oss << ", amp=" << amplitude << ", period=" << period_sec << "s";
+  } else if (shape == RateShape::kFlash) {
+    oss << ", x" << flash_mult << "@" << flash_at_sec
+        << "s, decay=" << flash_decay_sec << "s";
+  }
+  oss << ")";
+  return oss.str();
+}
+
+// ---- ScenarioSpec ------------------------------------------------------------
+
+void ScenarioSpec::Validate() const {
+  const auto fail = [this](const std::string& what) {
+    throw std::invalid_argument("ScenarioSpec '" + name + "': " + what);
+  };
+  if (components.empty()) fail("no components");
+  if (!(rate.base_qps > 0.0)) fail("rate must be positive");
+  if (rate.shape == RateShape::kDiurnal) {
+    if (rate.amplitude < 0.0 || rate.amplitude >= 1.0) {
+      fail("diurnal amplitude must be in [0, 1)");
+    }
+    if (!(rate.period_sec > 0.0)) fail("diurnal period must be positive");
+  }
+  if (rate.shape == RateShape::kFlash) {
+    if (rate.flash_at_sec < 0.0) fail("flash time must be >= 0");
+    if (rate.flash_mult < 1.0) fail("flash multiplier must be >= 1");
+    if (!(rate.flash_decay_sec > 0.0)) fail("flash decay must be positive");
+  }
+  if (max_batch < 1) fail("max_batch must be >= 1");
+  if (!(drift_window_sec > 0.0)) fail("drift window must be positive");
+  if (sigma_steps < 2) fail("sigma_steps must be >= 2");
+  double start_total = 0.0;
+  double end_total = 0.0;
+  for (const auto& c : components) {
+    if (c.weight < 0.0) fail("negative component weight");
+    if (!(c.median > 0.0)) fail("component median must be positive");
+    if (!(c.sigma > 0.0)) fail("component sigma must be positive");
+    if (c.end_sigma >= 0.0 && !(c.end_sigma > 0.0)) {
+      fail("drifted sigma must be positive");
+    }
+    start_total += c.weight;
+    end_total += c.end_weight < 0.0 ? c.weight : c.end_weight;
+  }
+  if (!(start_total > 0.0)) fail("component weights sum to zero");
+  if (!(end_total > 0.0)) fail("drifted weights sum to zero");
+  if (burst.rate_per_sec < 0.0) fail("burst rate must be >= 0");
+  if (burst.rate_per_sec > 0.0) {
+    if (!(burst.duration_sec > 0.0)) fail("burst duration must be positive");
+    if (!(burst.share > 0.0 && burst.share <= 1.0)) {
+      fail("burst share must be in (0, 1]");
+    }
+  }
+}
+
+std::string ScenarioSpec::Describe() const {
+  std::ostringstream oss;
+  oss << name << "{" << rate.Describe() << ", models="
+      << components.size();
+  bool drifting = false;
+  for (const auto& c : components) {
+    if (c.end_weight >= 0.0 || c.end_sigma >= 0.0) drifting = true;
+  }
+  if (drifting) oss << ", drift=" << drift_window_sec << "s";
+  if (burst.rate_per_sec > 0.0 && components.size() > 1) {
+    oss << ", bursts=" << burst.rate_per_sec << "/s";
+  }
+  oss << "}";
+  return oss.str();
+}
+
+// ---- ScenarioTraceSource -------------------------------------------------------
+
+ScenarioTraceSource::ScenarioTraceSource(ScenarioSpec spec)
+    : spec_(std::move(spec)) {
+  spec_.Validate();
+  dists_.reserve(spec_.components.size());
+  for (const auto& c : spec_.components) {
+    std::vector<std::unique_ptr<BatchDistribution>> steps;
+    if (c.end_sigma < 0.0) {
+      steps.push_back(std::make_unique<LogNormalBatchDist>(c.median, c.sigma,
+                                                           spec_.max_batch));
+    } else {
+      // Discretized sigma drift: step s covers frac in [s/N, (s+1)/N).
+      for (int s = 0; s < spec_.sigma_steps; ++s) {
+        const double frac =
+            static_cast<double>(s) / static_cast<double>(spec_.sigma_steps - 1);
+        const double sigma = c.sigma + frac * (c.end_sigma - c.sigma);
+        steps.push_back(std::make_unique<LogNormalBatchDist>(c.median, sigma,
+                                                             spec_.max_batch));
+      }
+    }
+    dists_.push_back(std::move(steps));
+    if (c.end_weight >= 0.0 && c.end_weight != c.weight) static_mix_ = false;
+  }
+  if (spec_.burst.rate_per_sec > 0.0 && spec_.components.size() > 1) {
+    static_mix_ = false;
+  }
+  // Static mixes pay the normalization once, in exactly the
+  // MixSpec::NormalizedShares arithmetic (bit-identity with the legacy
+  // generator depends on it).
+  weights_.resize(spec_.components.size(), 0.0);
+  if (static_mix_) EffectiveWeights(0.0, /*in_burst=*/false, 0);
+}
+
+int ScenarioTraceSource::SigmaStep(double frac) const {
+  const int step = static_cast<int>(frac * spec_.sigma_steps);
+  return std::min(step, spec_.sigma_steps - 1);
+}
+
+void ScenarioTraceSource::EffectiveWeights(double t_sec, bool in_burst,
+                                           int burst_model) {
+  const double frac =
+      std::min(1.0, std::max(0.0, t_sec / spec_.drift_window_sec));
+  double total = 0.0;
+  for (std::size_t j = 0; j < spec_.components.size(); ++j) {
+    const auto& c = spec_.components[j];
+    weights_[j] = c.end_weight < 0.0
+                      ? c.weight
+                      : c.weight + frac * (c.end_weight - c.weight);
+    total += weights_[j];
+  }
+  for (double& w : weights_) w /= total;
+  if (in_burst) {
+    for (std::size_t j = 0; j < weights_.size(); ++j) {
+      weights_[j] *= 1.0 - spec_.burst.share;
+      if (static_cast<int>(j) == burst_model) weights_[j] += spec_.burst.share;
+    }
+  }
+}
+
+std::optional<Query> ScenarioTraceSource::Next(Rng& rng) {
+  // Gap at the rate in effect at the previous arrival; a constant curve
+  // reduces to PoissonArrivals::NextGap draw for draw.
+  const double qps = spec_.rate.QpsAt(TicksToSec(now_));
+  now_ += std::max<SimTime>(1, SecToTicks(rng.Exponential(qps)));
+  const double t_sec = TicksToSec(now_);
+
+  // Burst state machine (only consulted when bursts can matter).
+  bool in_burst = false;
+  if (spec_.burst.rate_per_sec > 0.0 && spec_.components.size() > 1) {
+    if (!burst_clock_started_) {
+      burst_clock_started_ = true;
+      next_burst_at_ = std::max<SimTime>(
+          1, SecToTicks(rng.Exponential(spec_.burst.rate_per_sec)));
+    }
+    while (now_ >= next_burst_at_) {
+      burst_model_ = static_cast<int>(rng.UniformInt(
+          0, static_cast<std::int64_t>(spec_.components.size()) - 1));
+      burst_until_ = next_burst_at_ + SecToTicks(spec_.burst.duration_sec);
+      next_burst_at_ =
+          burst_until_ +
+          std::max<SimTime>(
+              1, SecToTicks(rng.Exponential(spec_.burst.rate_per_sec)));
+    }
+    in_burst = now_ < burst_until_;
+  }
+
+  // Model pick: one uniform draw walked over the effective weights, in the
+  // legacy GenerateMixedTrace order; single-component scenarios skip the
+  // draw entirely.
+  std::size_t k = 0;
+  if (spec_.components.size() > 1) {
+    if (!static_mix_) EffectiveWeights(t_sec, in_burst, burst_model_);
+    const double u = rng.NextDouble();
+    double acc = 0.0;
+    for (std::size_t j = 0; j < weights_.size(); ++j) {
+      acc += weights_[j];
+      if (u < acc || j + 1 == weights_.size()) {
+        k = j;
+        break;
+      }
+    }
+  }
+
+  const auto& steps = dists_[k];
+  const BatchDistribution* dist = steps.front().get();
+  if (steps.size() > 1) {
+    const double frac =
+        std::min(1.0, std::max(0.0, t_sec / spec_.drift_window_sec));
+    dist = steps[static_cast<std::size_t>(SigmaStep(frac))].get();
+  }
+
+  Query q;
+  q.id = id_++;
+  q.arrival = now_;
+  q.batch = dist->Sample(rng);
+  q.model_id = spec_.components[k].model_id;
+  return q;
+}
+
+std::string ScenarioTraceSource::Describe() const { return spec_.Describe(); }
+
+QueryTrace GenerateScenarioTrace(const ScenarioSpec& spec,
+                                 std::size_t num_queries,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  ScenarioTraceSource source(spec);
+  return Take(source, num_queries, rng);
+}
+
+// ---- Preset registry -----------------------------------------------------------
+
+ScenarioOptions ParseScenarioRef(const std::string& ref) {
+  ScenarioOptions opts;
+  const auto colon = ref.find(':');
+  opts.name = ref.substr(0, colon);
+  if (opts.name.empty()) {
+    throw std::invalid_argument("scenario: empty name in '" + ref + "'");
+  }
+  if (colon == std::string::npos) return opts;
+  std::string rest = ref.substr(colon + 1);
+  std::string::size_type begin = 0;
+  for (;;) {
+    const auto comma = rest.find(',', begin);
+    const std::string pair = rest.substr(begin, comma - begin);
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+      throw std::invalid_argument("scenario: expected key=val, got '" + pair +
+                                  "'");
+    }
+    opts.overrides.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return opts;
+}
+
+const std::vector<std::string>& ScenarioNames() {
+  static const std::vector<std::string> names = {
+      "steady", "diurnal", "flashcrowd", "mixdrift", "heavytail"};
+  return names;
+}
+
+void ApplyScenario(ScenarioSpec& spec, const ScenarioOptions& opts) {
+  spec.name = opts.name;
+  if (opts.name == "steady") {
+    spec.rate.shape = RateShape::kConstant;
+  } else if (opts.name == "diurnal") {
+    spec.rate.shape = RateShape::kDiurnal;
+    spec.rate.amplitude = 0.6;
+    spec.rate.period_sec = 60.0;
+  } else if (opts.name == "flashcrowd") {
+    spec.rate.shape = RateShape::kFlash;
+    spec.rate.flash_at_sec = 10.0;
+    spec.rate.flash_mult = 8.0;
+    spec.rate.flash_decay_sec = 5.0;
+  } else if (opts.name == "mixdrift") {
+    // The mix inverts over the drift window: component j drifts to the
+    // start weight of component K-1-j.  The adversarial shape the
+    // MixedRepartitionController exists to chase; a no-op on one model.
+    spec.rate.shape = RateShape::kConstant;
+    const std::size_t k = spec.components.size();
+    for (std::size_t j = 0; j < k; ++j) {
+      spec.components[j].end_weight = spec.components[k - 1 - j].weight;
+    }
+  } else if (opts.name == "heavytail") {
+    spec.rate.shape = RateShape::kConstant;
+    for (auto& c : spec.components) c.sigma = 1.8;
+  } else {
+    std::string known;
+    for (const auto& n : ScenarioNames()) {
+      if (!known.empty()) known += "|";
+      known += n;
+    }
+    throw std::invalid_argument("scenario: unknown preset '" + opts.name +
+                                "' (expected " + known + ")");
+  }
+
+  for (const auto& [key, value] : opts.overrides) {
+    const double v = ParseValue(key, value);
+    if (key == "rate") {
+      spec.rate.base_qps = v;
+    } else if (key == "amplitude") {
+      spec.rate.amplitude = v;
+    } else if (key == "period") {
+      spec.rate.period_sec = v;
+    } else if (key == "at") {
+      spec.rate.flash_at_sec = v;
+    } else if (key == "mult") {
+      spec.rate.flash_mult = v;
+    } else if (key == "decay") {
+      spec.rate.flash_decay_sec = v;
+    } else if (key == "window") {
+      spec.drift_window_sec = v;
+    } else if (key == "sigma") {
+      for (auto& c : spec.components) c.sigma = v;
+    } else if (key == "burst-rate") {
+      spec.burst.rate_per_sec = v;
+    } else if (key == "burst-dur") {
+      spec.burst.duration_sec = v;
+    } else if (key == "burst-share") {
+      spec.burst.share = v;
+    } else {
+      throw std::invalid_argument(
+          "scenario: unknown key '" + key +
+          "' (expected rate|amplitude|period|at|mult|decay|window|sigma|"
+          "burst-rate|burst-dur|burst-share)");
+    }
+  }
+  spec.Validate();
+}
+
+}  // namespace pe::workload

@@ -1,0 +1,279 @@
+// Scenario-first workload API.
+//
+// One composable abstraction replaces the parallel Generate*Trace free
+// functions: a workload::TraceSource is a pull-based stream of
+// (time, model, batch) events.  Finite sources (trace replay) signal
+// exhaustion by returning nullopt; generative sources are unbounded and
+// Take() cuts them to length.
+//
+// On top of the interface sits the declarative ScenarioSpec: a rate curve
+// (constant / diurnal sinusoid / flash-crowd step+decay), per-model batch
+// distributions (optionally drifting sigma), and a model-mix schedule
+// (static weights, linear drift, correlated bursts).  A named preset
+// registry (`steady`, `diurnal`, `flashcrowd`, `mixdrift`, `heavytail`)
+// applies adversarial shapes to any spec, so every CLI subcommand and
+// bench exercises new policies against the same suite
+// (`--scenario NAME[:key=val,...]`).
+//
+// Determinism contract: a source's output is a pure function of its spec
+// and the Rng stream it is pulled with.  A single-component constant-rate
+// scenario consumes draws in exactly the legacy GenerateTrace order
+// (gap, batch), and a static multi-component one in the GenerateMixedTrace
+// order (gap, model, batch), so both legacy paths are reproduced
+// bit-identically on the same seed (asserted by workload_scenario_test).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "workload/arrival.h"
+#include "workload/batch_dist.h"
+#include "workload/trace.h"
+
+namespace pe::workload {
+
+// ---- The abstraction ----------------------------------------------------
+
+// A pull-based stream of query events.  Stateful: each Next() advances the
+// source's internal clock and id counter.  Implementations must be a pure
+// function of (construction arguments, pulls, rng draws) -- no hidden
+// global state -- so any drained prefix reproduces bit-identically.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  // The next event, or nullopt when a finite source is exhausted.
+  // Generative sources never return nullopt.
+  virtual std::optional<Query> Next(Rng& rng) = 0;
+
+  virtual std::string Describe() const = 0;
+};
+
+// Drains up to `max_queries` events into a trace (stops early only when
+// the source is exhausted).
+QueryTrace Take(TraceSource& source, std::size_t max_queries, Rng& rng);
+
+// ---- Adapters over the legacy generator inputs ---------------------------
+
+// The GenerateTrace shape: one arrival process, one batch distribution,
+// model id fixed at 0.  Both references are borrowed.
+class ArrivalTraceSource final : public TraceSource {
+ public:
+  ArrivalTraceSource(ArrivalProcess& arrivals, const BatchDistribution& dist);
+
+  std::optional<Query> Next(Rng& rng) override;
+  std::string Describe() const override;
+
+ private:
+  ArrivalProcess& arrivals_;
+  const BatchDistribution& dist_;
+  SimTime now_ = 0;
+  std::uint64_t id_ = 0;
+};
+
+// The GenerateDriftingTrace shape: the batch distribution switches across
+// count-bounded phases while the arrival process runs continuously.  Pulls
+// past the last phase's budget keep its distribution (the tail of the day
+// looks like its final phase).  Throws std::invalid_argument on an empty
+// phase list or a null phase distribution.
+class PhasedTraceSource final : public TraceSource {
+ public:
+  PhasedTraceSource(ArrivalProcess& arrivals,
+                    std::vector<WorkloadPhase> phases);
+
+  std::optional<Query> Next(Rng& rng) override;
+  std::string Describe() const override;
+
+ private:
+  ArrivalProcess& arrivals_;
+  std::vector<WorkloadPhase> phases_;
+  std::size_t phase_ = 0;
+  std::size_t in_phase_ = 0;
+  SimTime now_ = 0;
+  std::uint64_t id_ = 0;
+};
+
+// The GenerateMixedTrace shape: model identity drawn from a MixSpec's
+// shares, batch from the chosen component's distribution.  `mix` is
+// borrowed (components borrow their distributions as usual).
+class MixTraceSource final : public TraceSource {
+ public:
+  MixTraceSource(ArrivalProcess& arrivals, const MixSpec& mix);
+
+  std::optional<Query> Next(Rng& rng) override;
+  std::string Describe() const override;
+
+ private:
+  ArrivalProcess& arrivals_;
+  const MixSpec& mix_;
+  std::vector<double> shares_;  // normalized
+  SimTime now_ = 0;
+  std::uint64_t id_ = 0;
+};
+
+// Replays a captured trace verbatim (consumes no RNG); nullopt at the end.
+// `trace` is borrowed and must outlive the source.
+class ReplayTraceSource final : public TraceSource {
+ public:
+  explicit ReplayTraceSource(const QueryTrace& trace) : trace_(trace) {}
+
+  std::optional<Query> Next(Rng& rng) override;
+  std::string Describe() const override;
+
+ private:
+  const QueryTrace& trace_;
+  std::size_t next_ = 0;
+};
+
+// ---- Declarative scenarios ------------------------------------------------
+
+enum class RateShape { kConstant, kDiurnal, kFlash };
+
+const char* ToString(RateShape shape);
+
+// Offered-load curve lambda(t).  The generator samples each inter-arrival
+// gap at the rate in effect at the previous arrival (piecewise-constant
+// approximation of the non-homogeneous Poisson process); a constant curve
+// therefore consumes exactly one Exponential(base_qps) draw per arrival,
+// matching PoissonArrivals bit for bit.
+struct RateCurve {
+  RateShape shape = RateShape::kConstant;
+  double base_qps = 100.0;
+
+  // Diurnal sinusoid: qps(t) = base * (1 + amplitude * sin(2*pi*t/period)).
+  // amplitude must stay in [0, 1) so the rate never hits zero.
+  double amplitude = 0.6;
+  double period_sec = 60.0;
+
+  // Flash crowd: baseline until `flash_at_sec`, then an instantaneous jump
+  // to base * flash_mult decaying exponentially back to baseline with time
+  // constant `flash_decay_sec`.
+  double flash_at_sec = 10.0;
+  double flash_mult = 8.0;
+  double flash_decay_sec = 5.0;
+
+  double QpsAt(double t_sec) const;
+  std::string Describe() const;
+};
+
+// One model's slice of a scenario: its mix weight and batch distribution
+// parameters, each optionally drifting over the spec's drift window.
+struct ComponentSpec {
+  int model_id = 0;
+  std::string model_name;  // symbolic; carried into trace capture
+
+  double weight = 1.0;      // relative mix weight at t = 0
+  double end_weight = -1.0; // weight at t >= drift_window_sec; < 0 = static
+
+  double median = 6.0;   // log-normal batch median
+  double sigma = 0.9;    // log-normal batch sigma at t = 0
+  double end_sigma = -1.0;  // sigma at t >= drift_window_sec; < 0 = static
+};
+
+// Correlated model bursts: at exponentially distributed intervals one
+// uniformly drawn model captures `share` of the traffic for
+// `duration_sec`.  Disabled when rate_per_sec == 0 or the scenario has a
+// single component (no draws are consumed either way).
+struct BurstSpec {
+  double rate_per_sec = 0.0;
+  double duration_sec = 2.0;
+  double share = 0.9;
+};
+
+struct ScenarioSpec {
+  std::string name = "steady";
+  RateCurve rate;
+  std::vector<ComponentSpec> components;
+  BurstSpec burst;
+  // Window over which weight/sigma drift interpolates linearly from the
+  // start to the end value (clamped afterwards).
+  double drift_window_sec = 60.0;
+  // Discretization of a drifting sigma: the window is cut into this many
+  // equal steps, each with its own precomputed distribution.
+  int sigma_steps = 8;
+  int max_batch = 32;
+
+  // Throws std::invalid_argument naming the offending field.
+  void Validate() const;
+  std::string Describe() const;
+};
+
+// The composable generator behind every scenario.  Owns its batch
+// distributions (built from the spec), so it has no borrowed-lifetime
+// hazards; copy the spec in and pull.
+class ScenarioTraceSource final : public TraceSource {
+ public:
+  // Validates the spec (throws std::invalid_argument on a bad one).
+  explicit ScenarioTraceSource(ScenarioSpec spec);
+
+  std::optional<Query> Next(Rng& rng) override;
+  std::string Describe() const override;
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+ private:
+  int SigmaStep(double frac) const;
+  void EffectiveWeights(double t_sec, bool in_burst, int burst_model);
+
+  ScenarioSpec spec_;
+  // Per component: one distribution when sigma is static, `sigma_steps`
+  // interpolated ones when it drifts.
+  std::vector<std::vector<std::unique_ptr<BatchDistribution>>> dists_;
+  std::vector<double> weights_;  // normalized scratch, rebuilt per pull
+  bool static_mix_ = true;       // no weight drift and no bursts
+  // Burst state machine (lazily seeded on the first pull).
+  bool burst_clock_started_ = false;
+  SimTime next_burst_at_ = 0;
+  SimTime burst_until_ = 0;
+  int burst_model_ = 0;
+  SimTime now_ = 0;
+  std::uint64_t id_ = 0;
+};
+
+// Convenience: seed an Rng, build the source, and drain `num_queries`.
+QueryTrace GenerateScenarioTrace(const ScenarioSpec& spec,
+                                 std::size_t num_queries, std::uint64_t seed);
+
+// ---- Named preset registry ------------------------------------------------
+
+// A parsed `--scenario NAME[:key=val,...]` reference.
+struct ScenarioOptions {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+// Splits "flashcrowd:rate=500,mult=10" into name + key/value overrides.
+// Throws std::invalid_argument on an empty name or a malformed pair.
+ScenarioOptions ParseScenarioRef(const std::string& ref);
+
+// The registered preset names: steady, diurnal, flashcrowd, mixdrift,
+// heavytail.
+const std::vector<std::string>& ScenarioNames();
+
+// Applies the named preset, then the key=val overrides, onto `spec` (whose
+// components -- model names, weights, medians -- the caller has already
+// filled in from its serving config).  Presets reshape the load:
+//   steady      constant rate (the legacy Poisson baseline)
+//   diurnal     sinusoidal day curve        [rate, amplitude, period]
+//   flashcrowd  step + exponential decay    [rate, at, mult, decay]
+//   mixdrift    mix weights drift to the reversed vector over the window
+//               (the MixedRepartitionController's chase target)  [rate,
+//               window]
+//   heavytail   batch sigma forced to 1.8 on every component     [rate,
+//               sigma]
+// Shared override keys valid for every preset: rate, window, sigma,
+// burst-rate, burst-dur, burst-share.  Throws std::invalid_argument on an
+// unknown preset or key, or a bad value; the final spec is Validate()d.
+void ApplyScenario(ScenarioSpec& spec, const ScenarioOptions& opts);
+
+inline void ApplyScenario(ScenarioSpec& spec, const std::string& ref) {
+  ApplyScenario(spec, ParseScenarioRef(ref));
+}
+
+}  // namespace pe::workload

@@ -1,10 +1,14 @@
 #include "workload/trace.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "workload/scenario.h"
 
 namespace pe::workload {
 
@@ -67,26 +71,97 @@ void QueryTrace::SaveCsv(std::ostream& os) const {
   }
 }
 
+namespace {
+
+[[noreturn]] void CsvFail(int line_no, const std::string& what) {
+  throw std::runtime_error("QueryTrace::LoadCsv: line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+// Parses one strictly numeric CSV field: the whole field must be digits
+// (with an optional leading '-'), so "12x" or an empty field fails loudly
+// instead of silently truncating like std::stoll would.
+std::int64_t CsvInt(const std::string& field, int line_no,
+                    const char* column) {
+  if (field.empty()) {
+    CsvFail(line_no, std::string("empty ") + column + " field");
+  }
+  std::size_t i = field[0] == '-' ? 1 : 0;
+  if (i == field.size()) {
+    CsvFail(line_no, std::string("bad ") + column + " value '" + field + "'");
+  }
+  std::int64_t value = 0;
+  for (; i < field.size(); ++i) {
+    const char c = field[i];
+    if (c < '0' || c > '9') {
+      CsvFail(line_no,
+              std::string("bad ") + column + " value '" + field + "'");
+    }
+    constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+    const int d = c - '0';
+    if (value > (kMax - d) / 10) {
+      CsvFail(line_no, std::string(column) + " value out of range");
+    }
+    value = value * 10 + d;
+  }
+  return field[0] == '-' ? -value : value;
+}
+
+std::vector<std::string> CsvFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string::size_type begin = 0;
+  for (;;) {
+    const auto comma = line.find(',', begin);
+    fields.push_back(line.substr(begin, comma - begin));
+    if (comma == std::string::npos) return fields;
+    begin = comma + 1;
+  }
+}
+
+}  // namespace
+
 QueryTrace QueryTrace::LoadCsv(std::istream& is) {
   std::string line;
+  int line_no = 1;
   if (!std::getline(is, line)) {
     throw std::runtime_error("QueryTrace::LoadCsv: empty input");
   }
-  const bool multi = line.find(",model") != std::string::npos;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  bool multi = false;
+  if (line == "id,arrival_ns,batch,model") {
+    multi = true;
+  } else if (line != "id,arrival_ns,batch") {
+    CsvFail(line_no, "bad header '" + line +
+                         "' (expected id,arrival_ns,batch[,model])");
+  }
+  const std::size_t expected_fields = multi ? 4 : 3;
   std::vector<Query> queries;
   while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    std::istringstream ls(line);
-    std::string field;
+    const std::vector<std::string> fields = CsvFields(line);
+    if (fields.size() != expected_fields) {
+      CsvFail(line_no, "expected " + std::to_string(expected_fields) +
+                           " fields, got " + std::to_string(fields.size()));
+    }
     Query q;
-    std::getline(ls, field, ',');
-    q.id = std::stoull(field);
-    std::getline(ls, field, ',');
-    q.arrival = std::stoll(field);
-    std::getline(ls, field, ',');
-    q.batch = std::stoi(field);
-    if (multi && std::getline(ls, field, ',')) {
-      q.model_id = std::stoi(field);
+    const std::int64_t id = CsvInt(fields[0], line_no, "id");
+    if (id < 0) CsvFail(line_no, "negative id");
+    q.id = static_cast<std::uint64_t>(id);
+    q.arrival = CsvInt(fields[1], line_no, "arrival_ns");
+    if (q.arrival < 0) CsvFail(line_no, "negative arrival_ns");
+    const std::int64_t batch = CsvInt(fields[2], line_no, "batch");
+    if (batch < 1 || batch > std::numeric_limits<int>::max()) {
+      CsvFail(line_no, "batch must be >= 1");
+    }
+    q.batch = static_cast<int>(batch);
+    if (multi) {
+      const std::int64_t model = CsvInt(fields[3], line_no, "model");
+      if (model < 0 || model > std::numeric_limits<int>::max()) {
+        CsvFail(line_no, "bad model id");
+      }
+      q.model_id = static_cast<int>(model);
     }
     queries.push_back(q);
   }
@@ -96,23 +171,11 @@ QueryTrace QueryTrace::LoadCsv(std::istream& is) {
 QueryTrace GenerateDriftingTrace(ArrivalProcess& arrivals,
                                  const std::vector<WorkloadPhase>& phases,
                                  Rng& rng) {
-  std::vector<Query> queries;
-  SimTime now = 0;
-  std::uint64_t id = 0;
-  for (const auto& phase : phases) {
-    if (phase.dist == nullptr) {
-      throw std::invalid_argument("GenerateDriftingTrace: null distribution");
-    }
-    for (std::size_t i = 0; i < phase.num_queries; ++i) {
-      now += arrivals.NextGap(rng);
-      Query q;
-      q.id = id++;
-      q.arrival = now;
-      q.batch = phase.dist->Sample(rng);
-      queries.push_back(q);
-    }
-  }
-  return QueryTrace(std::move(queries));
+  if (phases.empty()) return QueryTrace();
+  std::size_t total = 0;
+  for (const auto& phase : phases) total += phase.num_queries;
+  PhasedTraceSource source(arrivals, phases);
+  return Take(source, total, rng);
 }
 
 std::vector<double> MixSpec::NormalizedShares() const {
@@ -138,57 +201,15 @@ std::vector<double> MixSpec::NormalizedShares() const {
 
 QueryTrace GenerateMixedTrace(ArrivalProcess& arrivals, const MixSpec& mix,
                               std::size_t num_queries, Rng& rng) {
-  const std::vector<double> shares = mix.NormalizedShares();
-  for (const auto& c : mix.components) {
-    if (c.dist == nullptr) {
-      throw std::invalid_argument("GenerateMixedTrace: null distribution");
-    }
-  }
-  std::vector<Query> queries;
-  queries.reserve(num_queries);
-  SimTime now = 0;
-  for (std::size_t i = 0; i < num_queries; ++i) {
-    now += arrivals.NextGap(rng);
-    // Single-component mixes skip the model-selection draw so the
-    // degenerate one-model case stays bit-identical to GenerateTrace.
-    std::size_t k = 0;
-    if (mix.components.size() > 1) {
-      const double u = rng.NextDouble();
-      double acc = 0.0;
-      for (std::size_t j = 0; j < shares.size(); ++j) {
-        acc += shares[j];
-        if (u < acc || j + 1 == shares.size()) {
-          k = j;
-          break;
-        }
-      }
-    }
-    const MixComponent& c = mix.components[k];
-    Query q;
-    q.id = i;
-    q.arrival = now;
-    q.batch = c.dist->Sample(rng);
-    q.model_id = c.model_id;
-    queries.push_back(q);
-  }
-  return QueryTrace(std::move(queries));
+  MixTraceSource source(arrivals, mix);
+  return Take(source, num_queries, rng);
 }
 
 QueryTrace GenerateTrace(ArrivalProcess& arrivals,
                          const BatchDistribution& batches,
                          std::size_t num_queries, Rng& rng) {
-  std::vector<Query> queries;
-  queries.reserve(num_queries);
-  SimTime now = 0;
-  for (std::size_t i = 0; i < num_queries; ++i) {
-    now += arrivals.NextGap(rng);
-    Query q;
-    q.id = i;
-    q.arrival = now;
-    q.batch = batches.Sample(rng);
-    queries.push_back(q);
-  }
-  return QueryTrace(std::move(queries));
+  ArrivalTraceSource source(arrivals, batches);
+  return Take(source, num_queries, rng);
 }
 
 }  // namespace pe::workload

@@ -53,6 +53,10 @@ class QueryTrace {
   // CSV round trip: columns id,arrival_ns,batch[,model].  The model column
   // is written only when some query has model_id != 0, so single-model
   // traces keep the legacy byte-identical format; LoadCsv accepts both.
+  // LoadCsv is strict: a bad header, wrong field count, or non-numeric
+  // field fails with a std::runtime_error naming the input line instead of
+  // silently misparsing.  (For the versioned JSON capture format with
+  // symbolic model names, see workload/trace_io.h.)
   void SaveCsv(std::ostream& os) const;
   static QueryTrace LoadCsv(std::istream& is);
 
@@ -60,6 +64,12 @@ class QueryTrace {
   std::vector<Query> queries_;  // sorted by arrival time
 };
 
+// DEPRECATED: thin adapter over workload::ArrivalTraceSource + Take()
+// (workload/scenario.h); bit-identical to the historical implementation on
+// the same Rng stream.  New code should build a TraceSource (or a
+// ScenarioSpec) directly.  Scheduled for removal one release after the
+// scenario API lands.
+//
 // Generates `num_queries` queries starting at time zero.
 QueryTrace GenerateTrace(ArrivalProcess& arrivals,
                          const BatchDistribution& batches,
@@ -72,6 +82,11 @@ struct WorkloadPhase {
   std::size_t num_queries = 0;
 };
 
+// DEPRECATED: thin adapter over workload::PhasedTraceSource + Take()
+// (workload/scenario.h); bit-identical to the historical implementation on
+// the same Rng stream.  Scheduled for removal one release after the
+// scenario API lands.
+//
 // Generates a trace whose batch-size distribution changes across phases
 // (e.g. the morning's small-batch traffic turning into the evening's
 // large-batch traffic) while the arrival process runs continuously.
@@ -101,6 +116,11 @@ struct MixSpec {
   std::vector<double> NormalizedShares() const;
 };
 
+// DEPRECATED: thin adapter over workload::MixTraceSource + Take()
+// (workload/scenario.h); bit-identical to the historical implementation on
+// the same Rng stream.  Scheduled for removal one release after the
+// scenario API lands.
+//
 // Generates `num_queries` queries whose model identity is drawn from the
 // mix's shares and whose batch from the chosen component's distribution.
 // With a single component no model-selection draw is consumed, so the

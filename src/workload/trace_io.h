@@ -1,0 +1,74 @@
+// Versioned trace capture and replay (`paris-elsa-trace-v1`).
+//
+// Any generated or simulated QueryTrace can be saved to a small JSON
+// document and replayed bit-faithfully: arrivals are integer ticks, batch
+// and model ids integers, so a round trip loses nothing.  Model identity
+// is carried *symbolically* -- `models[k]` names the model behind
+// Query::model_id == k -- so a captured trace (including a per-server
+// sub-trace split out of a fleet run, whose local model ids differ from
+// the fleet-global ones) replays standalone: the loader's models[] is the
+// complete repertoire the replay needs.
+//
+// Document shape (see docs/TRACE_SCHEMA.md):
+//
+//   {
+//     "schema": "paris-elsa-trace-v1",
+//     "time_unit": "ns",
+//     "scenario": "flashcrowd:rate=500",     // provenance; optional
+//     "models": ["resnet", "mobilenet"],     // index == Query::model_id
+//     "queries": [
+//       [0, 12345, 4, 0],                    // [id, arrival, batch, model]
+//       ...
+//     ]
+//   }
+//
+// The loader is strict and diagnostic: every malformed token, schema
+// mismatch, out-of-order id, or out-of-range field fails with the input
+// line number instead of silently misparsing.  Unknown top-level keys are
+// skipped, so v1 readers tolerate forward-compatible additions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace pe::workload {
+
+inline constexpr const char* kTraceSchema = "paris-elsa-trace-v1";
+
+struct TraceDocument {
+  // Free-form provenance label (typically the --scenario reference the
+  // trace was generated from); may be empty.
+  std::string scenario;
+  // Symbolic model names; index == Query::model_id.  Must cover every
+  // model id the trace references.
+  std::vector<std::string> models;
+  QueryTrace trace;
+
+  // The invariants SaveTrace enforces and LoadTrace guarantees: models[]
+  // non-empty and covering the trace, ids dense in row order (id == row
+  // index -- the replay engines require dense ids), arrivals >= 0 and
+  // non-decreasing, batches >= 1.  Throws std::invalid_argument.
+  void Validate() const;
+};
+
+// Serializes `doc` (validated first, so an unloadable file is never
+// written).  The stream form writes one query per line, which is what
+// makes the loader's line-number diagnostics actionable.
+void SaveTrace(std::ostream& os, const TraceDocument& doc);
+
+// File convenience; throws std::runtime_error when `path` cannot be
+// opened or written.
+void SaveTraceFile(const std::string& path, const TraceDocument& doc);
+
+// Parses and validates a paris-elsa-trace-v1 document.  Throws
+// std::runtime_error with the offending line number on malformed JSON, a
+// schema mismatch, or any violated document invariant.
+TraceDocument LoadTrace(std::istream& is);
+
+// File convenience; throws std::runtime_error when `path` cannot be read.
+TraceDocument LoadTraceFile(const std::string& path);
+
+}  // namespace pe::workload

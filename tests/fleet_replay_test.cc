@@ -1,0 +1,205 @@
+// Replay fidelity for versioned trace capture (satellite of the scenario
+// API): a trace captured from a fleet run and round-tripped through the
+// paris-elsa-trace-v1 format must drive both the fast and the reference
+// engines to record-by-record identical results, and a per-server
+// sub-trace captured with symbolic model names must replay standalone.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fleet_runner.h"
+#include "workload/scenario.h"
+#include "workload/trace_io.h"
+
+namespace pe::core {
+namespace {
+
+FleetTestbedConfig TestFleet(int servers, bool reference) {
+  FleetTestbedConfig fc;
+  fc.mix.models.push_back({"resnet", 0.6, 6.0, 0.9});
+  fc.mix.models.push_back({"mobilenet", 0.4, 4.0, 0.8});
+  fc.mix.swap_cost_us = 200.0;
+  fc.mix.latency_noise_sigma = 0.2;  // exercise the engines' RNG streams
+  fc.num_servers = servers;
+  fc.reference_engine = reference;
+  return fc;
+}
+
+// Scenario-shaped fleet workload: the flashcrowd preset over this fleet's
+// mix, captured the way the CLI's --capture-trace path does it.
+workload::TraceDocument CaptureFleetTrace(const FleetTestbed& tb,
+                                          std::size_t n, std::uint64_t seed) {
+  workload::ScenarioSpec spec = tb.mix().ScenarioFor(/*rate_qps=*/800.0);
+  workload::ApplyScenario(spec, "flashcrowd:at=1,mult=6,decay=2");
+  workload::TraceDocument doc;
+  doc.scenario = "flashcrowd:at=1,mult=6,decay=2";
+  doc.models = tb.mix().ModelNames();
+  doc.trace = workload::GenerateScenarioTrace(spec, n, seed);
+  return doc;
+}
+
+void ExpectIdenticalRecords(const std::vector<sim::QueryRecord>& a,
+                            const std::vector<sim::QueryRecord>& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << label << " record " << i;
+    EXPECT_EQ(a[i].batch, b[i].batch) << label << " record " << i;
+    EXPECT_EQ(a[i].model, b[i].model) << label << " record " << i;
+    EXPECT_EQ(a[i].arrival, b[i].arrival) << label << " record " << i;
+    EXPECT_EQ(a[i].dispatched, b[i].dispatched) << label << " record " << i;
+    EXPECT_EQ(a[i].started, b[i].started) << label << " record " << i;
+    EXPECT_EQ(a[i].finished, b[i].finished) << label << " record " << i;
+    EXPECT_EQ(a[i].worker, b[i].worker) << label << " record " << i;
+    EXPECT_EQ(a[i].model_swap, b[i].model_swap) << label << " record " << i;
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+void ExpectIdenticalStats(const sim::ServerStats& a, const sim::ServerStats& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms) << label;
+  EXPECT_EQ(a.p50_latency_ms, b.p50_latency_ms) << label;
+  EXPECT_EQ(a.p95_latency_ms, b.p95_latency_ms) << label;
+  EXPECT_EQ(a.p99_latency_ms, b.p99_latency_ms) << label;
+  EXPECT_EQ(a.max_latency_ms, b.max_latency_ms) << label;
+  EXPECT_EQ(a.sla_violation_rate, b.sla_violation_rate) << label;
+  EXPECT_EQ(a.achieved_qps, b.achieved_qps) << label;
+  EXPECT_EQ(a.reconfig_stalled, b.reconfig_stalled) << label;
+  EXPECT_EQ(a.model_swaps, b.model_swaps) << label;
+}
+
+TEST(FleetReplay, CapturedTraceRoundTripsBitFaithfully) {
+  const FleetTestbed tb(TestFleet(4, /*reference=*/false));
+  const auto doc = CaptureFleetTrace(tb, 3000, /*seed=*/7);
+
+  std::stringstream ss;
+  workload::SaveTrace(ss, doc);
+  const auto loaded = workload::LoadTrace(ss);
+
+  EXPECT_EQ(loaded.scenario, doc.scenario);
+  EXPECT_EQ(loaded.models, doc.models);
+  ASSERT_EQ(loaded.trace.size(), doc.trace.size());
+  for (std::size_t i = 0; i < doc.trace.size(); ++i) {
+    const auto& a = doc.trace.queries()[i];
+    const auto& b = loaded.trace.queries()[i];
+    ASSERT_EQ(a.arrival, b.arrival) << "query " << i;
+    ASSERT_EQ(a.batch, b.batch) << "query " << i;
+    ASSERT_EQ(a.model_id, b.model_id) << "query " << i;
+  }
+}
+
+// The headline fidelity contract: capture from a 4-server fleet run,
+// replay the loaded trace through the fast AND the reference engines, and
+// the replay is indistinguishable from the original run -- record by
+// record, server by server, at any jobs count.
+TEST(FleetReplay, ReplayDrivesBothEnginesToIdenticalResults) {
+  const FleetTestbed fast_tb(TestFleet(4, /*reference=*/false));
+  const FleetTestbed ref_tb(TestFleet(4, /*reference=*/true));
+  const auto doc = CaptureFleetTrace(fast_tb, 3000, /*seed=*/11);
+
+  // Original run on the generated trace.
+  const auto original = fast_tb.Run(doc.trace, /*jobs=*/1);
+
+  // Round-trip the capture, then replay on both engines.
+  std::stringstream ss;
+  workload::SaveTrace(ss, doc);
+  const auto loaded = workload::LoadTrace(ss);
+  const auto fast_replay = fast_tb.Run(loaded.trace, /*jobs=*/4);
+  const auto ref_replay = ref_tb.Run(loaded.trace, /*jobs=*/2);
+
+  ASSERT_EQ(fast_replay.per_server.size(), original.per_server.size());
+  ASSERT_EQ(ref_replay.per_server.size(), original.per_server.size());
+  for (std::size_t s = 0; s < original.per_server.size(); ++s) {
+    const std::string label = "server " + std::to_string(s);
+    ExpectIdenticalRecords(original.per_server[s].records,
+                           fast_replay.per_server[s].records,
+                           label + " (fast replay)");
+    ExpectIdenticalRecords(original.per_server[s].records,
+                           ref_replay.per_server[s].records,
+                           label + " (reference replay)");
+    if (::testing::Test::HasFailure()) return;
+  }
+
+  // And the merged fleet statistics agree exactly.
+  const auto sla = fast_tb.sla_target();
+  const auto original_stats = original.Stats(sla);
+  const auto fast_stats = fast_replay.Stats(sla);
+  const auto ref_stats = ref_replay.Stats(sla);
+  EXPECT_EQ(fast_stats.routed_queries, original_stats.routed_queries);
+  EXPECT_EQ(ref_stats.routed_queries, original_stats.routed_queries);
+  ExpectIdenticalStats(original_stats.aggregate, fast_stats.aggregate,
+                       "aggregate (fast)");
+  ExpectIdenticalStats(original_stats.aggregate, ref_stats.aggregate,
+                       "aggregate (reference)");
+  for (std::size_t s = 0; s < original_stats.per_server.size(); ++s) {
+    ExpectIdenticalStats(original_stats.per_server[s],
+                         fast_stats.per_server[s],
+                         "server " + std::to_string(s) + " stats (fast)");
+    ExpectIdenticalStats(
+        original_stats.per_server[s], ref_stats.per_server[s],
+        "server " + std::to_string(s) + " stats (reference)");
+  }
+}
+
+// A per-server sub-trace (local dense ids, server-local model ids) captured
+// with the *server's* symbolic model names replays standalone: the loaded
+// models[] is the complete repertoire the replay needs, independent of the
+// fleet-global numbering.
+TEST(FleetReplay, ServerSubTraceReplaysStandalone) {
+  FleetTestbedConfig fc = TestFleet(4, /*reference=*/false);
+  fc.placement = fleet::PlacementKind::kSharded;
+  fc.replicas = 2;
+  const FleetTestbed tb(fc);
+  const auto doc = CaptureFleetTrace(tb, 2000, /*seed=*/13);
+  const auto fleet_run = tb.Run(doc.trace, /*jobs=*/2);
+
+  const auto fleet_names = tb.mix().ModelNames();
+  for (int s = 0; s < tb.num_servers(); ++s) {
+    const auto& result = fleet_run.per_server[s];
+    if (result.records.empty()) continue;
+
+    // Reconstruct this server's sub-trace exactly as its engine saw it:
+    // local dense ids, server-local model ids, fleet arrival times.
+    std::vector<workload::Query> qs;
+    qs.reserve(result.records.size());
+    for (const auto& rec : result.records) {
+      workload::Query q;
+      q.id = rec.id;
+      q.arrival = rec.arrival;
+      q.batch = rec.batch;
+      q.model_id = rec.model;
+      qs.push_back(q);
+    }
+    workload::TraceDocument sub;
+    sub.scenario = doc.scenario + " [server " + std::to_string(s) + "]";
+    for (const int global_model : fleet_run.global_models[s]) {
+      sub.models.push_back(fleet_names[static_cast<std::size_t>(global_model)]);
+    }
+    sub.trace = workload::QueryTrace(std::move(qs));
+
+    std::stringstream ss;
+    workload::SaveTrace(ss, sub);
+    const auto loaded = workload::LoadTrace(ss);
+
+    // The loaded sub-trace is self-describing: every model id resolves
+    // against its own models[], and the payload is bit-identical.
+    ASSERT_EQ(loaded.trace.size(), result.records.size()) << "server " << s;
+    EXPECT_EQ(loaded.models.size(), fleet_run.global_models[s].size());
+    for (std::size_t i = 0; i < loaded.trace.size(); ++i) {
+      const auto& q = loaded.trace.queries()[i];
+      EXPECT_EQ(q.id, i) << "server " << s;
+      EXPECT_LT(static_cast<std::size_t>(q.model_id), loaded.models.size())
+          << "server " << s;
+      EXPECT_EQ(q.arrival, result.records[i].arrival) << "server " << s;
+      EXPECT_EQ(q.batch, result.records[i].batch) << "server " << s;
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace pe::core

@@ -1,0 +1,407 @@
+// The scenario-first workload API: adapter bit-identity with the legacy
+// Generate* functions, rate-curve shapes, mix drift, bursts, the preset
+// registry, and spec validation.
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "workload/trace.h"
+
+namespace pe::workload {
+namespace {
+
+void ExpectIdenticalTraces(const QueryTrace& a, const QueryTrace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Query& qa = a.queries()[i];
+    const Query& qb = b.queries()[i];
+    EXPECT_EQ(qa.id, qb.id) << "query " << i;
+    EXPECT_EQ(qa.arrival, qb.arrival) << "query " << i;
+    EXPECT_EQ(qa.batch, qb.batch) << "query " << i;
+    EXPECT_EQ(qa.model_id, qb.model_id) << "query " << i;
+  }
+}
+
+// ---- Adapter bit-identity -------------------------------------------------
+
+TEST(TraceSourceAdapters, ArrivalSourceMatchesGenerateTraceBitForBit) {
+  LogNormalBatchDist dist(6.0, 0.9, 32);
+  Rng legacy_rng(42);
+  PoissonArrivals legacy_arrivals(250.0);
+  const auto legacy =
+      GenerateTrace(legacy_arrivals, dist, 5000, legacy_rng);
+
+  Rng rng(42);
+  PoissonArrivals arrivals(250.0);
+  ArrivalTraceSource source(arrivals, dist);
+  const auto streamed = Take(source, 5000, rng);
+  ExpectIdenticalTraces(legacy, streamed);
+}
+
+TEST(TraceSourceAdapters, MixSourceMatchesGenerateMixedTraceBitForBit) {
+  LogNormalBatchDist d0(4.0, 0.8, 32);
+  LogNormalBatchDist d1(12.0, 1.1, 32);
+  MixSpec mix;
+  mix.components = {{0, 0.7, &d0}, {1, 0.3, &d1}};
+
+  Rng legacy_rng(7);
+  PoissonArrivals legacy_arrivals(400.0);
+  const auto legacy =
+      GenerateMixedTrace(legacy_arrivals, mix, 5000, legacy_rng);
+
+  Rng rng(7);
+  PoissonArrivals arrivals(400.0);
+  MixTraceSource source(arrivals, mix);
+  const auto streamed = Take(source, 5000, rng);
+  ExpectIdenticalTraces(legacy, streamed);
+}
+
+TEST(TraceSourceAdapters, PhasedSourceMatchesGenerateDriftingTraceBitForBit) {
+  LogNormalBatchDist small(2.0, 0.4, 32);
+  LogNormalBatchDist large(20.0, 0.4, 32);
+  Rng legacy_rng(8);
+  PoissonArrivals legacy_arrivals(200.0);
+  const auto legacy = GenerateDriftingTrace(
+      legacy_arrivals, {{&small, 1000}, {&large, 1000}}, legacy_rng);
+
+  Rng rng(8);
+  PoissonArrivals arrivals(200.0);
+  PhasedTraceSource source(arrivals, {{&small, 1000}, {&large, 1000}});
+  const auto streamed = Take(source, 2000, rng);
+  ExpectIdenticalTraces(legacy, streamed);
+}
+
+TEST(TraceSourceAdapters, PhasedSourceKeepsLastPhasePastBudget) {
+  FixedBatchDist a(1), b(8);
+  Rng rng(3);
+  PoissonArrivals arrivals(100.0);
+  PhasedTraceSource source(arrivals, {{&a, 5}, {&b, 5}});
+  const auto trace = Take(source, 20, rng);
+  ASSERT_EQ(trace.size(), 20u);
+  for (std::size_t i = 10; i < 20; ++i) {
+    EXPECT_EQ(trace.queries()[i].batch, 8);
+  }
+}
+
+TEST(TraceSourceAdapters, ReplaySourceIsExactAndFinite) {
+  LogNormalBatchDist dist(6.0, 0.9, 32);
+  Rng gen_rng(5);
+  PoissonArrivals arrivals(100.0);
+  const auto original = GenerateTrace(arrivals, dist, 100, gen_rng);
+
+  Rng rng(999);  // replay consumes no draws; the seed must not matter
+  ReplayTraceSource source(original);
+  const auto replayed = Take(source, 1000, rng);
+  ExpectIdenticalTraces(original, replayed);
+  EXPECT_EQ(source.Next(rng), std::nullopt);
+}
+
+// ---- Scenario bit-identity with the legacy paths ---------------------------
+
+TEST(ScenarioTrace, SteadyOneModelMatchesGenerateTraceBitForBit) {
+  ScenarioSpec spec;
+  spec.rate.base_qps = 300.0;
+  spec.max_batch = 32;
+  ComponentSpec c;
+  c.median = 6.0;
+  c.sigma = 0.9;
+  spec.components.push_back(c);
+  const auto scenario = GenerateScenarioTrace(spec, 5000, 42);
+
+  Rng rng(42);
+  PoissonArrivals arrivals(300.0);
+  LogNormalBatchDist dist(6.0, 0.9, 32);
+  const auto legacy = GenerateTrace(arrivals, dist, 5000, rng);
+  ExpectIdenticalTraces(legacy, scenario);
+}
+
+TEST(ScenarioTrace, SteadyStaticMixMatchesGenerateMixedTraceBitForBit) {
+  ScenarioSpec spec;
+  spec.rate.base_qps = 500.0;
+  spec.max_batch = 32;
+  ComponentSpec c0;
+  c0.model_id = 0;
+  c0.weight = 0.7;
+  c0.median = 4.0;
+  c0.sigma = 0.8;
+  ComponentSpec c1;
+  c1.model_id = 1;
+  c1.weight = 0.3;
+  c1.median = 12.0;
+  c1.sigma = 1.1;
+  spec.components = {c0, c1};
+  const auto scenario = GenerateScenarioTrace(spec, 5000, 77);
+
+  LogNormalBatchDist d0(4.0, 0.8, 32);
+  LogNormalBatchDist d1(12.0, 1.1, 32);
+  MixSpec mix;
+  mix.components = {{0, 0.7, &d0}, {1, 0.3, &d1}};
+  Rng rng(77);
+  PoissonArrivals arrivals(500.0);
+  const auto legacy = GenerateMixedTrace(arrivals, mix, 5000, rng);
+  ExpectIdenticalTraces(legacy, scenario);
+}
+
+TEST(ScenarioTrace, DeterministicForSameSeed) {
+  ScenarioSpec spec;
+  spec.components.push_back(ComponentSpec{});
+  ApplyScenario(spec, "flashcrowd:rate=400");
+  const auto a = GenerateScenarioTrace(spec, 2000, 11);
+  const auto b = GenerateScenarioTrace(spec, 2000, 11);
+  ExpectIdenticalTraces(a, b);
+}
+
+// ---- Rate curves ------------------------------------------------------------
+
+TEST(RateCurve, DiurnalOscillatesAroundBase) {
+  RateCurve curve;
+  curve.shape = RateShape::kDiurnal;
+  curve.base_qps = 100.0;
+  curve.amplitude = 0.6;
+  curve.period_sec = 60.0;
+  EXPECT_DOUBLE_EQ(curve.QpsAt(0.0), 100.0);
+  EXPECT_NEAR(curve.QpsAt(15.0), 160.0, 1e-9);  // peak at quarter period
+  EXPECT_NEAR(curve.QpsAt(45.0), 40.0, 1e-9);   // trough at three quarters
+}
+
+TEST(RateCurve, FlashJumpsThenDecays) {
+  RateCurve curve;
+  curve.shape = RateShape::kFlash;
+  curve.base_qps = 100.0;
+  curve.flash_at_sec = 10.0;
+  curve.flash_mult = 8.0;
+  curve.flash_decay_sec = 5.0;
+  EXPECT_DOUBLE_EQ(curve.QpsAt(9.999), 100.0);
+  EXPECT_NEAR(curve.QpsAt(10.0), 800.0, 1e-9);
+  EXPECT_GT(curve.QpsAt(12.0), curve.QpsAt(20.0));
+  EXPECT_NEAR(curve.QpsAt(200.0), 100.0, 1.0);  // decayed back to baseline
+}
+
+TEST(ScenarioTrace, FlashCrowdCompressesGapsAfterOnset) {
+  ScenarioSpec spec;
+  spec.components.push_back(ComponentSpec{});
+  ApplyScenario(spec, "flashcrowd:rate=100,at=5,mult=10,decay=4");
+  const auto trace = GenerateScenarioTrace(spec, 4000, 13);
+
+  // Mean inter-arrival gap right after the flash must be far smaller than
+  // the pre-flash gap.
+  const SimTime onset = SecToTicks(5.0);
+  const SimTime post_end = SecToTicks(7.0);
+  double pre_gaps = 0.0, post_gaps = 0.0;
+  int pre_n = 0, post_n = 0;
+  SimTime prev = 0;
+  for (const auto& q : trace.queries()) {
+    const double gap = static_cast<double>(q.arrival - prev);
+    if (q.arrival < onset) {
+      pre_gaps += gap;
+      ++pre_n;
+    } else if (q.arrival < post_end) {
+      post_gaps += gap;
+      ++post_n;
+    }
+    prev = q.arrival;
+  }
+  ASSERT_GT(pre_n, 50);
+  ASSERT_GT(post_n, 50);
+  EXPECT_LT(post_gaps / post_n, 0.3 * (pre_gaps / pre_n));
+}
+
+// ---- Mix drift and bursts ----------------------------------------------------
+
+TEST(ScenarioTrace, MixDriftShiftsModelSharesOverWindow) {
+  ScenarioSpec spec;
+  spec.rate.base_qps = 1000.0;
+  spec.drift_window_sec = 10.0;
+  ComponentSpec c0;
+  c0.model_id = 0;
+  c0.weight = 0.9;
+  c0.end_weight = 0.1;
+  ComponentSpec c1;
+  c1.model_id = 1;
+  c1.weight = 0.1;
+  c1.end_weight = 0.9;
+  spec.components = {c0, c1};
+  const auto trace = GenerateScenarioTrace(spec, 20000, 21);
+
+  const SimTime window = SecToTicks(10.0);
+  int early0 = 0, early_n = 0, late0 = 0, late_n = 0;
+  for (const auto& q : trace.queries()) {
+    if (q.arrival < window / 5) {
+      early0 += q.model_id == 0 ? 1 : 0;
+      ++early_n;
+    } else if (q.arrival > window) {
+      late0 += q.model_id == 0 ? 1 : 0;
+      ++late_n;
+    }
+  }
+  ASSERT_GT(early_n, 200);
+  ASSERT_GT(late_n, 200);
+  EXPECT_GT(static_cast<double>(early0) / early_n, 0.75);
+  EXPECT_LT(static_cast<double>(late0) / late_n, 0.25);
+}
+
+TEST(ScenarioTrace, SigmaDriftWidensBatchSpread) {
+  ScenarioSpec spec;
+  spec.rate.base_qps = 1000.0;
+  spec.drift_window_sec = 10.0;
+  spec.max_batch = 256;
+  ComponentSpec c;
+  c.median = 8.0;
+  c.sigma = 0.1;
+  c.end_sigma = 1.6;
+  spec.components = {c};
+  const auto trace = GenerateScenarioTrace(spec, 20000, 31);
+
+  const SimTime window = SecToTicks(10.0);
+  double early_var = 0.0, late_var = 0.0;
+  int early_n = 0, late_n = 0;
+  for (const auto& q : trace.queries()) {
+    const double d = std::log(static_cast<double>(q.batch)) - std::log(8.0);
+    if (q.arrival < window / 5) {
+      early_var += d * d;
+      ++early_n;
+    } else if (q.arrival > window) {
+      late_var += d * d;
+      ++late_n;
+    }
+  }
+  ASSERT_GT(early_n, 200);
+  ASSERT_GT(late_n, 200);
+  EXPECT_GT(late_var / late_n, 4.0 * (early_var / early_n));
+}
+
+TEST(ScenarioTrace, BurstsConcentrateTraffic) {
+  ScenarioSpec spec;
+  spec.rate.base_qps = 2000.0;
+  ComponentSpec c0, c1, c2, c3;
+  c0.model_id = 0;
+  c1.model_id = 1;
+  c2.model_id = 2;
+  c3.model_id = 3;
+  spec.components = {c0, c1, c2, c3};
+  spec.burst.rate_per_sec = 0.5;
+  spec.burst.duration_sec = 1.0;
+  spec.burst.share = 0.95;
+  const auto trace = GenerateScenarioTrace(spec, 20000, 17);
+
+  // In 100ms slices, bursty slices should be dominated by one model far
+  // beyond the uniform 25% baseline.
+  std::map<SimTime, std::map<int, int>> slices;
+  for (const auto& q : trace.queries()) {
+    slices[q.arrival / SecToTicks(0.1)][q.model_id]++;
+  }
+  int dominated = 0;
+  for (const auto& [slice, counts] : slices) {
+    int total = 0, peak = 0;
+    for (const auto& [model, n] : counts) {
+      total += n;
+      peak = std::max(peak, n);
+    }
+    if (total >= 50 && peak > 0.8 * total) ++dominated;
+  }
+  EXPECT_GT(dominated, 3);
+}
+
+TEST(ScenarioTrace, DisabledBurstsConsumeNoDraws) {
+  ScenarioSpec with_burst_field;
+  ComponentSpec c0, c1;
+  c0.model_id = 0;
+  c1.model_id = 1;
+  with_burst_field.components = {c0, c1};
+  with_burst_field.burst.rate_per_sec = 0.0;  // disabled
+
+  ScenarioSpec plain = with_burst_field;
+  plain.burst = BurstSpec{};
+  ExpectIdenticalTraces(GenerateScenarioTrace(plain, 2000, 5),
+                        GenerateScenarioTrace(with_burst_field, 2000, 5));
+}
+
+// ---- Preset registry and parsing ---------------------------------------------
+
+TEST(ScenarioRegistry, ParseRefSplitsNameAndOverrides) {
+  const auto opts = ParseScenarioRef("flashcrowd:rate=500,mult=10");
+  EXPECT_EQ(opts.name, "flashcrowd");
+  ASSERT_EQ(opts.overrides.size(), 2u);
+  EXPECT_EQ(opts.overrides[0].first, "rate");
+  EXPECT_EQ(opts.overrides[0].second, "500");
+  EXPECT_EQ(opts.overrides[1].first, "mult");
+  EXPECT_EQ(opts.overrides[1].second, "10");
+}
+
+TEST(ScenarioRegistry, ParseRefRejectsMalformedPairs) {
+  EXPECT_THROW(ParseScenarioRef(""), std::invalid_argument);
+  EXPECT_THROW(ParseScenarioRef("steady:rate"), std::invalid_argument);
+  EXPECT_THROW(ParseScenarioRef("steady:rate="), std::invalid_argument);
+  EXPECT_THROW(ParseScenarioRef("steady:=5"), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, EveryPresetProducesAValidSpec) {
+  for (const auto& name : ScenarioNames()) {
+    ScenarioSpec spec;
+    ComponentSpec c0, c1;
+    c0.model_id = 0;
+    c0.weight = 0.8;
+    c1.model_id = 1;
+    c1.weight = 0.2;
+    spec.components = {c0, c1};
+    ApplyScenario(spec, name);
+    EXPECT_EQ(spec.name, name);
+    const auto trace = GenerateScenarioTrace(spec, 500, 3);
+    EXPECT_EQ(trace.size(), 500u) << name;
+  }
+}
+
+TEST(ScenarioRegistry, MixdriftReversesWeights) {
+  ScenarioSpec spec;
+  ComponentSpec c0, c1;
+  c0.weight = 0.8;
+  c1.weight = 0.2;
+  spec.components = {c0, c1};
+  ApplyScenario(spec, "mixdrift");
+  EXPECT_DOUBLE_EQ(spec.components[0].end_weight, 0.2);
+  EXPECT_DOUBLE_EQ(spec.components[1].end_weight, 0.8);
+}
+
+TEST(ScenarioRegistry, UnknownPresetAndKeyRejected) {
+  ScenarioSpec spec;
+  spec.components.push_back(ComponentSpec{});
+  EXPECT_THROW(ApplyScenario(spec, "tsunami"), std::invalid_argument);
+  EXPECT_THROW(ApplyScenario(spec, "steady:bogus=1"), std::invalid_argument);
+  EXPECT_THROW(ApplyScenario(spec, "steady:rate=0.6x"),
+               std::invalid_argument);
+}
+
+// ---- Validation ---------------------------------------------------------------
+
+TEST(ScenarioSpec, ValidateRejectsBadFields) {
+  ScenarioSpec ok;
+  ok.components.push_back(ComponentSpec{});
+  EXPECT_NO_THROW(ok.Validate());
+
+  ScenarioSpec empty;
+  EXPECT_THROW(empty.Validate(), std::invalid_argument);
+
+  ScenarioSpec bad_rate = ok;
+  bad_rate.rate.base_qps = 0.0;
+  EXPECT_THROW(bad_rate.Validate(), std::invalid_argument);
+
+  ScenarioSpec bad_amp = ok;
+  bad_amp.rate.shape = RateShape::kDiurnal;
+  bad_amp.rate.amplitude = 1.0;
+  EXPECT_THROW(bad_amp.Validate(), std::invalid_argument);
+
+  ScenarioSpec bad_sigma = ok;
+  bad_sigma.components[0].sigma = 0.0;
+  EXPECT_THROW(bad_sigma.Validate(), std::invalid_argument);
+
+  ScenarioSpec bad_burst = ok;
+  bad_burst.burst.rate_per_sec = 1.0;
+  bad_burst.burst.share = 1.5;
+  EXPECT_THROW(bad_burst.Validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pe::workload

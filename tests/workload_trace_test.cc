@@ -82,6 +82,72 @@ TEST(QueryTrace, LoadCsvRejectsEmpty) {
   EXPECT_THROW(QueryTrace::LoadCsv(ss), std::runtime_error);
 }
 
+TEST(QueryTrace, CsvRoundTripMultiModel) {
+  std::vector<Query> qs = {{0, 100, 2, 1}, {1, 200, 4, 0}, {2, 300, 8, 2}};
+  const QueryTrace trace(std::move(qs));
+  std::stringstream ss;
+  trace.SaveCsv(ss);
+  const auto loaded = QueryTrace::LoadCsv(ss);
+  ASSERT_EQ(loaded.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded.queries()[i].model_id, trace.queries()[i].model_id);
+  }
+}
+
+// Malformed input must fail with the offending line named, not silently
+// misparse the way the old std::stoi-based loader did.
+std::string LoadCsvError(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    QueryTrace::LoadCsv(ss);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(QueryTrace, LoadCsvRejectsBadHeader) {
+  const auto what = LoadCsvError("id,arrival,batch\n0,100,2\n");
+  EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("header"), std::string::npos) << what;
+}
+
+TEST(QueryTrace, LoadCsvRejectsNonNumericFieldWithLineNumber) {
+  const auto what =
+      LoadCsvError("id,arrival_ns,batch\n0,100,2\n1,2x0,4\n");
+  EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("arrival_ns"), std::string::npos) << what;
+}
+
+TEST(QueryTrace, LoadCsvRejectsMissingFieldWithLineNumber) {
+  const auto what = LoadCsvError("id,arrival_ns,batch\n0,100\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("expected 3 fields"), std::string::npos) << what;
+}
+
+TEST(QueryTrace, LoadCsvRejectsExtraFieldWhenSingleModelHeader) {
+  const auto what = LoadCsvError("id,arrival_ns,batch\n0,100,2,1\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+}
+
+TEST(QueryTrace, LoadCsvRejectsNonPositiveBatch) {
+  const auto what = LoadCsvError("id,arrival_ns,batch\n0,100,0\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("batch"), std::string::npos) << what;
+}
+
+TEST(QueryTrace, LoadCsvRejectsEmptyFieldInsteadOfMisparsing) {
+  const auto what = LoadCsvError("id,arrival_ns,batch\n0,,2\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+}
+
+TEST(QueryTrace, LoadCsvAcceptsCrlfAndBlankLines) {
+  std::stringstream ss("id,arrival_ns,batch\r\n0,100,2\r\n\r\n1,200,4\r\n");
+  const auto loaded = QueryTrace::LoadCsv(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.queries()[1].arrival, 200);
+}
+
 TEST(QueryTrace, ConstructorSortsUnorderedQueries) {
   std::vector<Query> qs = {{0, 300, 1}, {1, 100, 2}, {2, 200, 4}};
   QueryTrace trace(std::move(qs));

@@ -21,6 +21,17 @@
 //   --sigma S           log-normal sigma (0.9)
 //   --max-batch B       distribution max batch (32)
 //   --sla-n N           SLA multiplier (1.5)
+// workload options (simulate/trace/elastic/mix/fleet):
+//   --scenario R        named workload preset, optionally parameterized:
+//                       steady|diurnal|flashcrowd|mixdrift|heavytail
+//                       [:key=val,...] (e.g. flashcrowd:rate=500,mult=10);
+//                       omitted = steady (the legacy constant-rate stream)
+//   --capture-trace P   save the run's workload as a paris-elsa-trace-v1
+//                       JSON document (see docs/TRACE_SCHEMA.md)
+//   --replay-trace P    replay a captured document instead of generating;
+//                       model names come from the document, so a captured
+//                       fleet sub-trace replays standalone.  Exclusive
+//                       with --scenario.
 // simulate options:
 //   --design D          paris|random|gpu1|gpu2|gpu3|gpu4|gpu7 (paris)
 //   --scheduler S       elsa|fifs|jsq|greedy (elsa)
@@ -58,7 +69,10 @@
 //                       (300 x --servers when omitted)
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/args.h"
 #include "common/table.h"
@@ -71,7 +85,9 @@
 #include "fleet/router.h"
 #include "online/elastic_server.h"
 #include "online/repartition_controller.h"
+#include "workload/scenario.h"
 #include "workload/trace.h"
+#include "workload/trace_io.h"
 
 namespace {
 
@@ -160,6 +176,191 @@ core::SchedulerKind SchedulerFrom(const std::string& name) {
   throw std::invalid_argument("unknown --scheduler: " + name);
 }
 
+// Splits a comma-separated option value ("a,b,c" -> {"a","b","c"}).
+std::vector<std::string> SplitList(const std::string& value) {
+  std::vector<std::string> items;
+  std::string::size_type begin = 0;
+  for (;;) {
+    const auto comma = value.find(',', begin);
+    items.push_back(value.substr(begin, comma - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return items;
+}
+
+// Comma-separated doubles for --shares/--medians; must be index-aligned
+// with --models when present.
+std::vector<double> GetDoubleList(const ArgParser& args,
+                                  const std::string& key,
+                                  std::size_t expected) {
+  const auto raw = args.GetString(key);
+  if (!raw) return {};
+  const auto items = SplitList(*raw);
+  if (items.size() != expected) {
+    throw std::invalid_argument("--" + key + ": expected " +
+                                std::to_string(expected) +
+                                " comma-separated values, got " +
+                                std::to_string(items.size()));
+  }
+  std::vector<double> values;
+  for (const auto& item : items) {
+    // Strict parse (same contract as ArgParser::GetDouble): the whole
+    // token must be consumed, so "0.6x" is an error, not 0.6.
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(item, &pos);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--" + key + ": bad number '" + item + "'");
+    }
+    if (pos != item.size()) {
+      throw std::invalid_argument("--" + key + ": bad number '" + item + "'");
+    }
+    values.push_back(value);
+  }
+  return values;
+}
+
+// Shared by `mix` and `fleet` (per-server world): the model list, shares,
+// distributions, budget, and swap cost.  When a replayed trace supplies
+// `names_override`, its symbolic model names define the model list; an
+// explicit conflicting --models is an error rather than a silent mismatch
+// of model ids.
+core::MixConfig MixConfigFrom(
+    const ArgParser& args,
+    const std::vector<std::string>* names_override = nullptr) {
+  std::vector<std::string> model_names;
+  if (names_override != nullptr) {
+    if (const auto flag = args.GetString("models")) {
+      if (SplitList(*flag) != *names_override) {
+        throw std::invalid_argument(
+            "--models conflicts with the replayed trace's models[]; drop "
+            "the flag or re-capture");
+      }
+    }
+    model_names = *names_override;
+  } else {
+    model_names = SplitList(args.GetString("models", "resnet,mobilenet"));
+  }
+  const auto shares = GetDoubleList(args, "shares", model_names.size());
+  const auto medians = GetDoubleList(args, "medians", model_names.size());
+  const double default_median = args.GetDouble("median", 6.0);
+
+  core::MixConfig mc;
+  for (std::size_t i = 0; i < model_names.size(); ++i) {
+    core::MixModelConfig m;
+    m.model = model_names[i];
+    m.share = shares.empty() ? 1.0 : shares[i];
+    m.dist_median = medians.empty() ? default_median : medians[i];
+    m.dist_sigma = args.GetDouble("sigma", m.dist_sigma);
+    mc.models.push_back(std::move(m));
+  }
+  const long long max_batch = args.GetInt("max-batch", 32);
+  if (max_batch < 1 || max_batch > 4096) {
+    throw std::invalid_argument(
+        "--max-batch: expected an integer in [1, 4096], got " +
+        std::to_string(max_batch));
+  }
+  mc.max_batch = static_cast<int>(max_batch);
+  mc.sla_n = args.GetDouble("sla-n", 1.5);
+  mc.num_gpus = static_cast<int>(GetCount(args, "gpus", 8));
+  mc.gpc_budget = static_cast<int>(GetCount(args, "budget", 48));
+  mc.swap_cost_us = args.GetDouble("swap-cost-us", 0.0);
+  if (mc.swap_cost_us < 0.0) {
+    throw std::invalid_argument("--swap-cost-us: expected >= 0, got " +
+                                std::to_string(mc.swap_cost_us));
+  }
+  return mc;
+}
+
+// ---- Scenario / capture / replay plumbing ---------------------------------
+//
+// Every trace-driven subcommand resolves its workload the same way:
+//   --replay-trace PATH   -> the captured document verbatim, or else
+//   --scenario REF        -> the testbed's spec reshaped by the preset, or
+//   (neither)             -> the testbed's spec unmodified (steady), which
+//                            is bit-identical to the legacy generators.
+// --capture-trace PATH then saves whatever was run.
+
+// The scenario reference driving this run, for report labels.
+std::string ScenarioLabel(const ArgParser& args) {
+  return args.GetString("scenario", "steady");
+}
+
+// Loads --replay-trace PATH; nullopt when the option is absent.  Replay is
+// exclusive with --scenario: the trace is fixed, reshaping it is a
+// contradiction.
+std::optional<workload::TraceDocument> LoadReplayDoc(const ArgParser& args) {
+  const auto path = args.GetString("replay-trace");
+  if (!path) return std::nullopt;
+  if (args.GetString("scenario")) {
+    throw std::invalid_argument(
+        "--scenario cannot reshape a replayed trace; drop one of "
+        "--scenario/--replay-trace");
+  }
+  auto doc = workload::LoadTraceFile(*path);
+  std::cerr << "replay: " << *path << " (" << doc.trace.size()
+            << " queries, " << doc.models.size() << " models)\n";
+  return doc;
+}
+
+// Writes the run's workload to --capture-trace PATH as a
+// paris-elsa-trace-v1 document (models[] symbolic, see workload/trace_io.h).
+void MaybeCaptureTrace(const ArgParser& args,
+                       const workload::QueryTrace& trace,
+                       std::vector<std::string> models, std::string label) {
+  const auto path = args.GetString("capture-trace");
+  if (!path) return;
+  if (path->empty()) {
+    throw std::invalid_argument("--capture-trace: expected a file path");
+  }
+  workload::TraceDocument doc;
+  doc.scenario = std::move(label);
+  doc.models = std::move(models);
+  doc.trace = trace;
+  workload::SaveTraceFile(*path, doc);
+  std::cerr << "capture: " << *path << "\n";
+}
+
+// Applies --scenario NAME[:key=val,...] onto the testbed-derived spec and
+// drains it on a fresh Rng(seed); without the option the spec runs
+// unmodified.
+workload::QueryTrace ScenarioTraceFrom(const ArgParser& args,
+                                       workload::ScenarioSpec spec,
+                                       std::size_t num_queries,
+                                       std::uint64_t seed) {
+  if (const auto ref = args.GetString("scenario")) {
+    workload::ApplyScenario(spec, *ref);
+  }
+  return workload::GenerateScenarioTrace(spec, num_queries, seed);
+}
+
+struct ResolvedWorkload {
+  workload::QueryTrace trace;
+  std::string label;  // scenario name (or the replayed document's label)
+};
+
+// The one workload resolution `mix` and `fleet` share, so scenario options
+// apply identically to both (and to any standalone replay of a captured
+// fleet sub-trace).
+ResolvedWorkload ResolveMixWorkload(
+    const ArgParser& args, const core::MixTestbed& tb,
+    const std::optional<workload::TraceDocument>& replay, double rate_qps,
+    std::size_t num_queries, std::uint64_t seed) {
+  ResolvedWorkload w;
+  if (replay) {
+    w.trace = replay->trace;
+    w.label = replay->scenario.empty() ? "replay" : replay->scenario;
+  } else {
+    w.trace =
+        ScenarioTraceFrom(args, tb.ScenarioFor(rate_qps), num_queries, seed);
+    w.label = ScenarioLabel(args);
+  }
+  MaybeCaptureTrace(args, w.trace, tb.ModelNames(), w.label);
+  return w;
+}
+
 int CmdProfile(const ArgParser& args) {
   const core::Testbed tb(ConfigFrom(args));
   tb.profile().SaveCsv(std::cout);
@@ -185,7 +386,24 @@ int CmdSimulate(const ArgParser& args) {
   // emitted report records the thread count actually used.
   GetJobs(args);
   CheckJsonSink(args);
-  const core::Testbed tb(ConfigFrom(args));
+  const auto replay = LoadReplayDoc(args);
+  core::TestbedConfig config = ConfigFrom(args);
+  if (replay) {
+    if (replay->models.size() != 1) {
+      throw std::invalid_argument(
+          "simulate replays single-model traces; the document carries " +
+          std::to_string(replay->models.size()) +
+          " models (use mix or fleet)");
+    }
+    if (const auto flag = args.GetString("model");
+        flag && *flag != replay->models[0]) {
+      throw std::invalid_argument(
+          "--model conflicts with the replayed trace's model '" +
+          replay->models[0] + "'");
+    }
+    config.model_name = replay->models[0];
+  }
+  const core::Testbed tb(std::move(config));
   const auto plan = PlanFrom(tb, args.GetString("design", "paris"));
   const auto kind = SchedulerFrom(args.GetString("scheduler", "elsa"));
 
@@ -193,13 +411,29 @@ int CmdSimulate(const ArgParser& args) {
   run.num_queries = GetCount(args, "queries", 20000);
   run.seed = static_cast<std::uint64_t>(GetCount(args, "seed", 1));
   run.rate_qps = args.GetDouble("rate", 0.0);
-  if (run.rate_qps <= 0.0) {
+  if (run.rate_qps <= 0.0 && !replay) {
     const auto bound = core::LatencyBoundedThroughput(
         tb, plan, kind, TicksToMs(tb.sla_target()));
     run.rate_qps = 0.85 * bound.qps;
     std::cerr << "auto rate: " << run.rate_qps << " qps\n";
   }
-  const auto stats = tb.RunStats(plan, kind, run);
+
+  workload::QueryTrace trace;
+  std::string scenario_label;
+  if (replay) {
+    trace = replay->trace;
+    scenario_label = replay->scenario.empty() ? "replay" : replay->scenario;
+    run.rate_qps = trace.OfferedQps();
+  } else {
+    trace = ScenarioTraceFrom(args, tb.ScenarioFor(run.rate_qps),
+                              run.num_queries, run.seed);
+    scenario_label = ScenarioLabel(args);
+  }
+  MaybeCaptureTrace(args, trace, {tb.config().model_name}, scenario_label);
+
+  auto scheduler = tb.MakeScheduler(kind);
+  const auto stats =
+      tb.RunTrace(plan, *scheduler, trace, run.seed).Stats(tb.sla_target());
 
   Table t({"metric", "value"});
   t.AddRow({"design", plan.Summary()});
@@ -223,6 +457,7 @@ int CmdSimulate(const ArgParser& args) {
   data.Set("model", tb.config().model_name);
   data.Set("design", plan.Summary());
   data.Set("scheduler", core::ToString(kind));
+  data.Set("scenario", scenario_label);
   data.Set("offered_qps", run.rate_qps);
   data.Set("achieved_qps", stats.achieved_qps);
   data.Set("mean_ms", stats.mean_latency_ms);
@@ -293,58 +528,40 @@ int CmdSweep(const ArgParser& args) {
   return 0;
 }
 
-int CmdElastic(const ArgParser& args) {
-  CheckJsonSink(args);
-  const core::Testbed tb(ConfigFrom(args));
-  const auto kind = SchedulerFrom(args.GetString("scheduler", "elsa"));
-
-  const std::size_t num_queries = GetCount(args, "queries", 12000);
+// Epoch granularity shared by both elastic forms: ceil(trace/epochs),
+// --epochs validated against the actual trace length.
+std::size_t QueriesPerEpoch(const ArgParser& args, std::size_t num_queries) {
   const std::size_t epochs = GetCount(args, "epochs", 8);
   if (epochs < 1 || epochs > num_queries) {
     throw std::invalid_argument(
-        "--epochs: expected an integer in [1, --queries], got " +
+        "--epochs: expected an integer in [1, #queries], got " +
         std::to_string(epochs));
   }
-  const double drift = args.GetDouble("drift", 0.15);
-  const double drift_median = args.GetDouble("drift-median", 18.0);
+  return (num_queries + epochs - 1) / epochs;
+}
+
+online::ElasticConfig ElasticConfigFrom(const ArgParser& args,
+                                        std::size_t queries_per_epoch) {
   const double downtime_ms = args.GetDouble("downtime-ms", 2000.0);
   if (downtime_ms < 0.0) {
     throw std::invalid_argument("--downtime-ms: expected >= 0, got " +
                                 std::to_string(downtime_ms));
   }
-  const auto seed = static_cast<std::uint64_t>(GetCount(args, "seed", 1));
-  double rate_qps = args.GetDouble("rate", 300.0);
-
-  // Day-cycle drift: base-median phase, drifted-median phase, and back.
-  const auto& cfg = tb.config();
-  workload::LogNormalBatchDist base(cfg.dist_median, cfg.dist_sigma,
-                                    cfg.max_batch);
-  workload::LogNormalBatchDist drifted(drift_median, cfg.dist_sigma,
-                                       cfg.max_batch);
-  workload::PoissonArrivals arrivals(rate_qps);
-  Rng rng(seed);
-  const std::size_t third = num_queries / 3;
-  const auto trace = workload::GenerateDriftingTrace(
-      arrivals,
-      {{&base, third}, {&drifted, third}, {&base, num_queries - 2 * third}},
-      rng);
-
-  const std::size_t queries_per_epoch = (num_queries + epochs - 1) / epochs;
   online::ElasticConfig econfig;
-  econfig.drift_threshold = drift;
+  econfig.drift_threshold = args.GetDouble("drift", 0.15);
   econfig.reconfig_downtime = MsToTicks(downtime_ms);
   // Trust the estimator once it has seen half an epoch (capped at the
   // library default) so short smoke runs can still reconfigure.
   econfig.min_observations =
       std::min<std::size_t>(econfig.min_observations, queries_per_epoch / 2);
-  online::RepartitionController controller(tb.profile(), tb.cluster(),
-                                           tb.table1().gpc_budget, tb.dist(),
-                                           cfg.paris, econfig);
-  online::ElasticServerSim sim(
-      controller, tb.profile(), [&] { return tb.MakeScheduler(kind); },
-      tb.ActualLatency(), tb.sla_target(), queries_per_epoch, seed);
-  const auto result = sim.Run(trace);
+  return econfig;
+}
 
+int ReportElastic(const ArgParser& args, const online::ElasticResult& result,
+                  const std::string& model_label, core::SchedulerKind kind,
+                  double rate_qps, std::size_t queries_per_epoch,
+                  const online::ElasticConfig& econfig, std::uint64_t seed,
+                  const std::string& scenario_label) {
   Table e({"epoch", "layout", "p95 ms", "viol. %", "stalled", "reconfig"});
   for (std::size_t i = 0; i < result.epochs.size(); ++i) {
     const auto& ep = result.epochs[i];
@@ -356,8 +573,9 @@ int CmdElastic(const ArgParser& args) {
               ep.reconfigured ? "yes" : ""});
   }
   Table t({"metric", "value"});
-  t.AddRow({"model", cfg.model_name});
+  t.AddRow({"model", model_label});
   t.AddRow({"scheduler", ToString(kind)});
+  t.AddRow({"scenario", scenario_label});
   t.AddRow({"offered qps", Table::Num(rate_qps, 1)});
   t.AddRow({"reconfigurations", Table::Int(result.reconfigurations)});
   t.AddRow({"stalled queries",
@@ -375,12 +593,13 @@ int CmdElastic(const ArgParser& args) {
   }
 
   core::Json data = core::ToJson(result);
-  data.Set("model", cfg.model_name);
+  data.Set("model", model_label);
   data.Set("scheduler", core::ToString(kind));
+  data.Set("scenario", scenario_label);
   data.Set("offered_qps", rate_qps);
   data.Set("queries_per_epoch", static_cast<std::uint64_t>(queries_per_epoch));
-  data.Set("drift_threshold", drift);
-  data.Set("downtime_ms", downtime_ms);
+  data.Set("drift_threshold", econfig.drift_threshold);
+  data.Set("downtime_ms", TicksToMs(econfig.reconfig_downtime));
   data.Set("seed", seed);
   auto report = core::MakeBenchReport("cli_elastic", false, /*jobs=*/1);
   report.Set("data", std::move(data));
@@ -388,91 +607,120 @@ int CmdElastic(const ArgParser& args) {
   return 0;
 }
 
-// Splits a comma-separated option value ("a,b,c" -> {"a","b","c"}).
-std::vector<std::string> SplitList(const std::string& value) {
-  std::vector<std::string> items;
-  std::string::size_type begin = 0;
-  for (;;) {
-    const auto comma = value.find(',', begin);
-    items.push_back(value.substr(begin, comma - begin));
-    if (comma == std::string::npos) break;
-    begin = comma + 1;
+// Multi-model elastic serving: one continuous run whose mix the
+// MixedRepartitionController chases (re-deriving per-model budgets from
+// the live shares).  The designed demo of the mix-drift machinery:
+//   paris_elsa_cli elastic --models resnet,mobilenet --scenario mixdrift
+int CmdElasticMix(const ArgParser& args,
+                  const std::optional<workload::TraceDocument>& replay) {
+  const auto kind = SchedulerFrom(args.GetString("scheduler", "elsa"));
+  const auto seed = static_cast<std::uint64_t>(GetCount(args, "seed", 1));
+  const double rate_qps = args.GetDouble("rate", 300.0);
+  const std::size_t num_queries = GetCount(args, "queries", 12000);
+
+  const core::MixConfig mc =
+      MixConfigFrom(args, replay ? &replay->models : nullptr);
+  const core::MixTestbed tb(mc);
+  const auto workload =
+      ResolveMixWorkload(args, tb, replay, rate_qps, num_queries, seed);
+
+  const std::size_t queries_per_epoch =
+      QueriesPerEpoch(args, workload.trace.size());
+  const online::ElasticConfig econfig =
+      ElasticConfigFrom(args, queries_per_epoch);
+  online::MixedRepartitionController controller(
+      tb.repertoire(), tb.cluster(), mc.gpc_budget, tb.mix(), mc.paris,
+      econfig);
+  online::ElasticServerSim sim(
+      controller, tb.repertoire(), [&] { return tb.MakeScheduler(kind); },
+      tb.sla_target(), queries_per_epoch, seed,
+      UsToTicks(mc.swap_cost_us));
+  const auto result = sim.Run(workload.trace);
+
+  std::string model_label;
+  for (const auto& name : tb.ModelNames()) {
+    if (!model_label.empty()) model_label += "+";
+    model_label += name;
   }
-  return items;
+  return ReportElastic(args, result, model_label, kind, rate_qps,
+                       queries_per_epoch, econfig, seed, workload.label);
 }
 
-// Comma-separated doubles for --shares/--medians; must be index-aligned
-// with --models when present.
-std::vector<double> GetDoubleList(const ArgParser& args,
-                                  const std::string& key,
-                                  std::size_t expected) {
-  const auto raw = args.GetString(key);
-  if (!raw) return {};
-  const auto items = SplitList(*raw);
-  if (items.size() != expected) {
-    throw std::invalid_argument("--" + key + ": expected " +
-                                std::to_string(expected) +
-                                " comma-separated values, got " +
-                                std::to_string(items.size()));
+int CmdElastic(const ArgParser& args) {
+  CheckJsonSink(args);
+  const auto replay = LoadReplayDoc(args);
+  // Multi-model runs (an explicit --models list, or a replayed multi-model
+  // capture) go through the mixed controller.
+  if (args.GetString("models") || (replay && replay->models.size() > 1)) {
+    return CmdElasticMix(args, replay);
   }
-  std::vector<double> values;
-  for (const auto& item : items) {
-    // Strict parse (same contract as ArgParser::GetDouble): the whole
-    // token must be consumed, so "0.6x" is an error, not 0.6.
-    std::size_t pos = 0;
-    double value = 0.0;
-    try {
-      value = std::stod(item, &pos);
-    } catch (const std::exception&) {
-      throw std::invalid_argument("--" + key + ": bad number '" + item + "'");
-    }
-    if (pos != item.size()) {
-      throw std::invalid_argument("--" + key + ": bad number '" + item + "'");
-    }
-    values.push_back(value);
-  }
-  return values;
-}
 
-// Shared by `mix` (one server) and `fleet` (per-server world): the model
-// list, shares, distributions, budget, and swap cost.
-core::MixConfig MixConfigFrom(const ArgParser& args) {
-  const auto model_names =
-      SplitList(args.GetString("models", "resnet,mobilenet"));
-  const auto shares = GetDoubleList(args, "shares", model_names.size());
-  const auto medians = GetDoubleList(args, "medians", model_names.size());
-  const double default_median = args.GetDouble("median", 6.0);
+  core::TestbedConfig config = ConfigFrom(args);
+  if (replay) {
+    if (const auto flag = args.GetString("model");
+        flag && *flag != replay->models[0]) {
+      throw std::invalid_argument(
+          "--model conflicts with the replayed trace's model '" +
+          replay->models[0] + "'");
+    }
+    config.model_name = replay->models[0];
+  }
+  const core::Testbed tb(std::move(config));
+  const auto kind = SchedulerFrom(args.GetString("scheduler", "elsa"));
 
-  core::MixConfig mc;
-  for (std::size_t i = 0; i < model_names.size(); ++i) {
-    core::MixModelConfig m;
-    m.model = model_names[i];
-    m.share = shares.empty() ? 1.0 : shares[i];
-    m.dist_median = medians.empty() ? default_median : medians[i];
-    m.dist_sigma = args.GetDouble("sigma", m.dist_sigma);
-    mc.models.push_back(std::move(m));
+  const std::size_t num_queries = GetCount(args, "queries", 12000);
+  const double drift_median = args.GetDouble("drift-median", 18.0);
+  const auto seed = static_cast<std::uint64_t>(GetCount(args, "seed", 1));
+  const double rate_qps = args.GetDouble("rate", 300.0);
+  const auto& cfg = tb.config();
+
+  workload::QueryTrace trace;
+  std::string scenario_label;
+  if (replay) {
+    trace = replay->trace;
+    scenario_label = replay->scenario.empty() ? "replay" : replay->scenario;
+  } else if (args.GetString("scenario")) {
+    trace = ScenarioTraceFrom(args, tb.ScenarioFor(rate_qps), num_queries,
+                              seed);
+    scenario_label = ScenarioLabel(args);
+  } else {
+    // Legacy day-cycle drift: base-median phase, drifted-median phase, and
+    // back (batch-size drift, the single-model controller's target).
+    workload::LogNormalBatchDist base(cfg.dist_median, cfg.dist_sigma,
+                                      cfg.max_batch);
+    workload::LogNormalBatchDist drifted(drift_median, cfg.dist_sigma,
+                                         cfg.max_batch);
+    workload::PoissonArrivals arrivals(rate_qps);
+    Rng rng(seed);
+    const std::size_t third = num_queries / 3;
+    workload::PhasedTraceSource day_cycle(
+        arrivals,
+        {{&base, third}, {&drifted, third}, {&base, num_queries - 2 * third}});
+    trace = workload::Take(day_cycle, num_queries, rng);
+    scenario_label = "drift-phases";
   }
-  const long long max_batch = args.GetInt("max-batch", 32);
-  if (max_batch < 1 || max_batch > 4096) {
-    throw std::invalid_argument(
-        "--max-batch: expected an integer in [1, 4096], got " +
-        std::to_string(max_batch));
-  }
-  mc.max_batch = static_cast<int>(max_batch);
-  mc.sla_n = args.GetDouble("sla-n", 1.5);
-  mc.num_gpus = static_cast<int>(GetCount(args, "gpus", 8));
-  mc.gpc_budget = static_cast<int>(GetCount(args, "budget", 48));
-  mc.swap_cost_us = args.GetDouble("swap-cost-us", 0.0);
-  if (mc.swap_cost_us < 0.0) {
-    throw std::invalid_argument("--swap-cost-us: expected >= 0, got " +
-                                std::to_string(mc.swap_cost_us));
-  }
-  return mc;
+  MaybeCaptureTrace(args, trace, {cfg.model_name}, scenario_label);
+
+  const std::size_t queries_per_epoch = QueriesPerEpoch(args, trace.size());
+  const online::ElasticConfig econfig =
+      ElasticConfigFrom(args, queries_per_epoch);
+  online::RepartitionController controller(tb.profile(), tb.cluster(),
+                                           tb.table1().gpc_budget, tb.dist(),
+                                           cfg.paris, econfig);
+  online::ElasticServerSim sim(
+      controller, tb.profile(), [&] { return tb.MakeScheduler(kind); },
+      tb.ActualLatency(), tb.sla_target(), queries_per_epoch, seed);
+  const auto result = sim.Run(trace);
+
+  return ReportElastic(args, result, cfg.model_name, kind, rate_qps,
+                       queries_per_epoch, econfig, seed, scenario_label);
 }
 
 int CmdMix(const ArgParser& args) {
   CheckJsonSink(args);
-  const core::MixConfig mc = MixConfigFrom(args);
+  const auto replay = LoadReplayDoc(args);
+  const core::MixConfig mc =
+      MixConfigFrom(args, replay ? &replay->models : nullptr);
   const core::MixTestbed tb(mc);
   const auto kind = SchedulerFrom(args.GetString("scheduler", "elsa"));
   const double rate_qps = args.GetDouble("rate", 300.0);
@@ -480,7 +728,9 @@ int CmdMix(const ArgParser& args) {
   const auto seed = static_cast<std::uint64_t>(GetCount(args, "seed", 1));
 
   const auto mixed = tb.PlanMixed();
-  const auto trace = tb.GenerateMix(rate_qps, num_queries, seed);
+  const auto workload =
+      ResolveMixWorkload(args, tb, replay, rate_qps, num_queries, seed);
+  const auto& trace = workload.trace;
   auto scheduler = tb.MakeScheduler(kind);
   const auto result =
       tb.Run(mixed.plan.instance_gpcs, *scheduler, trace, seed);
@@ -534,6 +784,7 @@ int CmdMix(const ArgParser& args) {
   data.Set("mix", std::move(models));
   data.Set("design", mixed.plan.Summary());
   data.Set("scheduler", core::ToString(kind));
+  data.Set("scenario", workload.label);
   data.Set("offered_qps", rate_qps);
   data.Set("swap_cost_us", mc.swap_cost_us);
   data.Set("seed", seed);
@@ -546,9 +797,10 @@ int CmdMix(const ArgParser& args) {
 int CmdFleet(const ArgParser& args) {
   const int jobs = GetJobs(args);
   CheckJsonSink(args);
+  const auto replay = LoadReplayDoc(args);
 
   core::FleetTestbedConfig fc;
-  fc.mix = MixConfigFrom(args);
+  fc.mix = MixConfigFrom(args, replay ? &replay->models : nullptr);
   fc.num_servers = static_cast<int>(GetCount(args, "servers", 4));
   if (fc.num_servers < 1) {
     throw std::invalid_argument("--servers: expected >= 1");
@@ -573,10 +825,13 @@ int CmdFleet(const ArgParser& args) {
   fc.seed = seed;
 
   const core::FleetTestbed tb(fc);
-  const double rate_qps =
+  double rate_qps =
       args.GetDouble("rate", 300.0 * static_cast<double>(fc.num_servers));
   const std::size_t num_queries = GetCount(args, "queries", 100000);
-  const auto trace = tb.GenerateFleetTrace(rate_qps, num_queries, seed);
+  const auto workload =
+      ResolveMixWorkload(args, tb.mix(), replay, rate_qps, num_queries, seed);
+  const auto& trace = workload.trace;
+  if (replay) rate_qps = trace.OfferedQps();
   const auto result = tb.Run(trace, jobs);
   const auto stats = result.Stats(tb.sla_target());
 
@@ -616,6 +871,7 @@ int CmdFleet(const ArgParser& args) {
   data.Set("policy", policy_name);
   data.Set("placement", placement_name);
   data.Set("scheduler", core::ToString(fc.scheduler));
+  data.Set("scenario", workload.label);
   data.Set("offered_qps", rate_qps);
   data.Set("swap_cost_us", fc.mix.swap_cost_us);
   data.Set("seed", seed);
@@ -626,13 +882,33 @@ int CmdFleet(const ArgParser& args) {
 }
 
 int CmdTrace(const ArgParser& args) {
+  const auto replay = LoadReplayDoc(args);
   const auto config = ConfigFrom(args);
-  Rng rng(static_cast<std::uint64_t>(GetCount(args, "seed", 1)));
-  workload::PoissonArrivals arrivals(args.GetDouble("rate", 100.0));
-  workload::LogNormalBatchDist dist(config.dist_median, config.dist_sigma,
-                                    config.max_batch);
-  const auto trace = workload::GenerateTrace(
-      arrivals, dist, GetCount(args, "queries", 10000), rng);
+  const auto seed = static_cast<std::uint64_t>(GetCount(args, "seed", 1));
+
+  workload::QueryTrace trace;
+  std::vector<std::string> models;
+  std::string scenario_label;
+  if (replay) {
+    // JSON -> CSV conversion path (stdout stays CSV either way).
+    trace = replay->trace;
+    models = replay->models;
+    scenario_label = replay->scenario.empty() ? "replay" : replay->scenario;
+  } else {
+    workload::ScenarioSpec spec;
+    spec.rate.base_qps = args.GetDouble("rate", 100.0);
+    spec.max_batch = config.max_batch;
+    workload::ComponentSpec c;
+    c.model_name = config.model_name;
+    c.median = config.dist_median;
+    c.sigma = config.dist_sigma;
+    spec.components.push_back(std::move(c));
+    trace = ScenarioTraceFrom(args, std::move(spec),
+                              GetCount(args, "queries", 10000), seed);
+    models = {config.model_name};
+    scenario_label = ScenarioLabel(args);
+  }
+  MaybeCaptureTrace(args, trace, std::move(models), scenario_label);
   trace.SaveCsv(std::cout);
   return 0;
 }
@@ -643,6 +919,8 @@ void PrintUsage(std::ostream& os) {
         "[--model M] [--design D] [--scheduler S] [--rate QPS] "
         "[--queries N] [--median M] [--sigma S] [--max-batch B] "
         "[--sla-n N] [--seed S] [--jobs N] [--json PATH] [--csv] "
+        "[--scenario NAME[:k=v,...]] [--capture-trace PATH] "
+        "[--replay-trace PATH] "
         "[--epochs N] [--drift T] [--drift-median M] [--downtime-ms D] "
         "[--models A,B] [--shares X,Y] [--medians X,Y] [--swap-cost-us C] "
         "[--budget G] [--gpus N] [--servers N] [--policy P] "
@@ -655,10 +933,10 @@ int main(int argc, char** argv) {
   ArgParser args(argc, argv, /*flags=*/{"csv", "help", "h"});
   const auto known = std::vector<std::string>{
       "model", "design", "scheduler", "rate", "queries", "median", "sigma",
-      "max-batch", "sla-n", "seed", "jobs", "json", "csv", "epochs", "drift",
-      "drift-median", "downtime-ms", "models", "shares", "medians",
-      "swap-cost-us", "budget", "gpus", "servers", "policy", "placement",
-      "replicas", "help", "h"};
+      "max-batch", "sla-n", "seed", "jobs", "json", "csv", "scenario",
+      "capture-trace", "replay-trace", "epochs", "drift", "drift-median",
+      "downtime-ms", "models", "shares", "medians", "swap-cost-us", "budget",
+      "gpus", "servers", "policy", "placement", "replicas", "help", "h"};
   try {
     const auto sub = args.Subcommand();
     if (args.HasFlag("help") || args.HasFlag("h") ||
