@@ -16,15 +16,30 @@
 // configuration.  Run in Release without PE_BENCH_SMOKE for meaningful
 // numbers.
 //
-// A fleet leg follows the single-server grid: the same 4-model mix served
-// by a router-fronted fleet (core::FleetTestbed), measured end-to-end
-// (routing + parallel per-server replay) with `--jobs` = hardware
-// concurrency, and cross-checked record-by-record against a --jobs 1 run.
-// `fleet_qps` is the CI-tracked fleet trajectory number.
+// A fleet-scaling leg follows the single-server grid: the same 4-model
+// mix served by a sharded router-fronted fleet (core::FleetTestbed, 100
+// servers / 1M queries in full mode), with every pipeline stage timed
+// fast vs reference:
+//   router_qps  batched RouteAll vs the per-query virtual Route loop,
+//               per policy (hash / least / po2c),
+//   split_qps   two-pass arena SplitTrace vs the per-query lower_bound
+//               reference split,
+//   stats_sec   zero-copy k-way FleetResult::Stats vs the merged-copy
+//               StatsReference,
+//   fleet_qps   the end-to-end pipeline (route + split + simulate +
+//               stats) at --jobs 1 and hardware concurrency, against the
+//               all-reference pipeline (fleet_reference_qps) sharing the
+//               same simulate stage -- `fleet_speedup` is the CI-gated
+//               fleet trajectory number.
+// Every fast stage is cross-checked against its reference output
+// (assignment-for-assignment routing, record-for-record split,
+// field-for-field stats, jobs-1-identical records); any divergence fails
+// the bench.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -139,6 +154,90 @@ Measurement Measure(sim::InferenceServer& server,
   return best;
 }
 
+// Best-of-`reps` wall-clock seconds of fn().
+template <typename Fn>
+double TimeSec(Fn&& fn, int reps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+// Record-for-record equality of two trace splits (arena layout included).
+bool SameSplit(const fleet::TraceSplit& a, const fleet::TraceSplit& b) {
+  if (a.offsets != b.offsets || a.global_ids != b.global_ids ||
+      a.arena.size() != b.arena.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.arena.size(); ++i) {
+    const auto& x = a.arena[i];
+    const auto& y = b.arena[i];
+    if (x.id != y.id || x.arrival != y.arrival || x.batch != y.batch ||
+        x.model_id != y.model_id) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Bit-exact field equality (doubles compared with ==, not a tolerance):
+// the zero-copy aggregate must reproduce the reference arithmetic.
+bool SameServerStats(const sim::ServerStats& a, const sim::ServerStats& b) {
+  if (a.completed != b.completed || a.mean_latency_ms != b.mean_latency_ms ||
+      a.p50_latency_ms != b.p50_latency_ms ||
+      a.p95_latency_ms != b.p95_latency_ms ||
+      a.p99_latency_ms != b.p99_latency_ms ||
+      a.max_latency_ms != b.max_latency_ms ||
+      a.mean_queue_delay_ms != b.mean_queue_delay_ms ||
+      a.sla_violation_rate != b.sla_violation_rate ||
+      a.achieved_qps != b.achieved_qps ||
+      a.mean_worker_utilization != b.mean_worker_utilization ||
+      a.reconfig_stalled != b.reconfig_stalled ||
+      a.model_swaps != b.model_swaps || a.workers.size() != b.workers.size() ||
+      a.models.size() != b.models.size()) {
+    return false;
+  }
+  for (std::size_t w = 0; w < a.workers.size(); ++w) {
+    const auto& x = a.workers[w];
+    const auto& y = b.workers[w];
+    if (x.index != y.index || x.gpcs != y.gpcs ||
+        x.busy_ticks != y.busy_ticks || x.queries != y.queries ||
+        x.utilization != y.utilization) {
+      return false;
+    }
+  }
+  for (std::size_t m = 0; m < a.models.size(); ++m) {
+    const auto& x = a.models[m];
+    const auto& y = b.models[m];
+    if (x.model != y.model || x.completed != y.completed ||
+        x.mean_latency_ms != y.mean_latency_ms ||
+        x.p95_latency_ms != y.p95_latency_ms ||
+        x.p99_latency_ms != y.p99_latency_ms ||
+        x.sla_violation_rate != y.sla_violation_rate || x.swaps != y.swaps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameFleetStats(const fleet::FleetStats& a, const fleet::FleetStats& b) {
+  if (a.num_servers != b.num_servers ||
+      a.routed_queries != b.routed_queries ||
+      a.routed_per_server != b.routed_per_server ||
+      a.per_server.size() != b.per_server.size() ||
+      !SameServerStats(a.aggregate, b.aggregate)) {
+    return false;
+  }
+  for (std::size_t s = 0; s < a.per_server.size(); ++s) {
+    if (!SameServerStats(a.per_server[s], b.per_server[s])) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main() {
@@ -229,11 +328,11 @@ int main() {
             << Table::Num(headline_speedup, 2)
             << "x over the reference engine\n";
 
-  // Fleet leg: the same 4-model mix behind the router tier.  End-to-end
-  // wall clock covers routing (serial) plus the parallel per-server
-  // replay; the --jobs 1 rerun pins the bit-identity claim the fleet
-  // driver makes (same per-server record streams at any jobs count).
-  const int fleet_servers = SmokeMode() ? 4 : 16;
+  // ------------------------------------------------------------------
+  // Fleet-scaling leg: the same 4-model mix behind a sharded router
+  // tier, each pipeline stage timed fast vs its retained reference.
+  const int fleet_servers = SmokeMode() ? 4 : 100;
+  const std::size_t fleet_queries = pe::bench::Queries(1'000'000);
   core::FleetTestbedConfig fleet_config;
   for (const auto& name : MixModels()) {
     core::MixModelConfig m;
@@ -242,12 +341,130 @@ int main() {
     fleet_config.mix.models.push_back(m);
   }
   fleet_config.num_servers = fleet_servers;
+  fleet_config.placement = fleet::PlacementKind::kSharded;
+  fleet_config.replicas = SmokeMode() ? 2 : 8;
   fleet_config.policy = fleet::RouterPolicy::kPowerOfTwo;
   const core::FleetTestbed fleet(fleet_config);
+  const auto& zoo = fleet.mix().repertoire();
   const auto fleet_trace = fleet.GenerateFleetTrace(
-      300.0 * fleet_servers, num_queries, /*seed=*/0x5EEDF);
+      300.0 * fleet_servers, fleet_queries, /*seed=*/0x5EEDF);
   const int fleet_jobs = std::max(
       1, static_cast<int>(std::thread::hardware_concurrency()));
+  const double fleet_n = static_cast<double>(fleet_trace.size());
+
+  // Stage 1: routing.  Batched RouteAll (devirtualized loop, cached
+  // replica sets, memoized backlog costs) vs the per-query virtual Route
+  // loop, per policy; the assignment vectors must match exactly.
+  Table fleet_table(
+      {"stage", "policy", "fast_qps", "reference_qps", "speedup", "identical"});
+  core::Json router_qps = core::Json::Object();
+  core::Json router_reference_qps = core::Json::Object();
+  bool router_identical = true;
+  // Routing alone is milliseconds per rep; take more reps than the
+  // simulator-driving stages so best-of isn't noise-bound.
+  const int route_reps = SmokeMode() ? 1 : 5;
+  for (const auto policy :
+       {fleet::RouterPolicy::kHash, fleet::RouterPolicy::kLeastLoaded,
+        fleet::RouterPolicy::kPowerOfTwo}) {
+    auto fast_router =
+        fleet::MakeRouter(policy, fleet.placement(), &zoo, /*seed=*/0x70C5);
+    std::vector<int> fast_assign;
+    const double fast_sec = TimeSec(
+        [&] {
+          fast_router->Reset();
+          fast_assign = fast_router->RouteAll(fleet_trace);
+        },
+        route_reps);
+    auto ref_router =
+        fleet::MakeRouter(policy, fleet.placement(), &zoo, /*seed=*/0x70C5);
+    std::vector<int> ref_assign;
+    const double ref_sec = TimeSec(
+        [&] {
+          ref_router->Reset();
+          ref_assign.clear();
+          ref_assign.reserve(fleet_trace.size());
+          for (const auto& q : fleet_trace.queries()) {
+            ref_assign.push_back(ref_router->Route(q));
+          }
+        },
+        route_reps);
+    const bool identical = fast_assign == ref_assign;
+    router_identical = router_identical && identical;
+    const double fast_qps = fast_sec > 0.0 ? fleet_n / fast_sec : 0.0;
+    const double ref_qps = ref_sec > 0.0 ? fleet_n / ref_sec : 0.0;
+    fleet_table.AddRow({"route", ToString(policy), Table::Num(fast_qps, 0),
+                        Table::Num(ref_qps, 0),
+                        Table::Num(ref_qps > 0.0 ? fast_qps / ref_qps : 0.0, 2),
+                        identical ? "yes" : "NO"});
+    router_qps.Set(ToString(policy), fast_qps);
+    router_reference_qps.Set(ToString(policy), ref_qps);
+  }
+
+  // Stage 2: trace split.  Two-pass count-then-fill into the flat arena
+  // vs the reference per-query lower_bound remap; record-for-record
+  // identical sub-traces (po2c, the planted fleet policy).
+  auto split_router = fleet.cluster().MakeFleetRouter();
+  fleet::TraceSplit fast_split;
+  const double split_sec = TimeSec(
+      [&] {
+        split_router->Reset();
+        fast_split =
+            fleet::SplitTrace(fleet_trace, *split_router, fleet.placement());
+      },
+      reps);
+  fleet::TraceSplit ref_split;
+  const double split_ref_sec = TimeSec(
+      [&] {
+        split_router->Reset();
+        ref_split = fleet::SplitTraceReference(fleet_trace, *split_router,
+                                               fleet.placement());
+      },
+      reps);
+  const bool split_identical = SameSplit(fast_split, ref_split);
+  const double split_qps = split_sec > 0.0 ? fleet_n / split_sec : 0.0;
+  const double split_reference_qps =
+      split_ref_sec > 0.0 ? fleet_n / split_ref_sec : 0.0;
+  fleet_table.AddRow(
+      {"split", "po2c", Table::Num(split_qps, 0),
+       Table::Num(split_reference_qps, 0),
+       Table::Num(split_reference_qps > 0.0 ? split_qps / split_reference_qps
+                                            : 0.0,
+                  2),
+       split_identical ? "yes" : "NO"});
+
+  // Stage 3: stats reduction over one shared simulate pass.  Zero-copy
+  // parallel Stats (k-way latency merge, no merged record vector) vs the
+  // merged-copy StatsReference; every field must match bit for bit.
+  const auto shared_result = fleet.cluster().SimulateSplit(fast_split,
+                                                           fleet_jobs);
+  fleet::FleetStats fast_stats;
+  const double stats_sec = TimeSec(
+      [&] {
+        fast_stats = shared_result.Stats(fleet.sla_target(),
+                                         /*warmup_fraction=*/0.1, fleet_jobs);
+      },
+      reps);
+  fleet::FleetStats ref_stats;
+  const double stats_reference_sec = TimeSec(
+      [&] {
+        ref_stats = shared_result.StatsReference(fleet.sla_target(),
+                                                 /*warmup_fraction=*/0.1);
+      },
+      reps);
+  const bool stats_identical = SameFleetStats(fast_stats, ref_stats);
+  fleet_table.AddRow(
+      {"stats", "-", Table::Num(stats_sec > 0.0 ? fleet_n / stats_sec : 0.0, 0),
+       Table::Num(
+           stats_reference_sec > 0.0 ? fleet_n / stats_reference_sec : 0.0, 0),
+       Table::Num(stats_sec > 0.0 ? stats_reference_sec / stats_sec : 0.0, 2),
+       stats_identical ? "yes" : "NO"});
+
+  // End to end: route + split + simulate + stats.  The fast pipeline at
+  // --jobs 1 and hardware concurrency; the reference pipeline (per-query
+  // Route inside SplitTraceReference, merged-copy StatsReference) shares
+  // the simulate stage and jobs count, so the speedup isolates the
+  // serial-stage work reduction.  The jobs-1 rerun pins the fleet
+  // driver's bit-identity claim.
   const auto hash_fleet = [](const fleet::FleetResult& r) {
     std::uint64_t h = 1469598103934665603ull;
     for (const auto& server : r.per_server) {
@@ -255,24 +472,59 @@ int main() {
     }
     return h;
   };
-  double fleet_qps = 0.0;
-  std::uint64_t fleet_hash = 0;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto result = fleet.Run(fleet_trace, fleet_jobs);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double sec = std::chrono::duration<double>(t1 - t0).count();
-    const double qps =
-        sec > 0.0 ? static_cast<double>(fleet_trace.size()) / sec : 0.0;
-    fleet_qps = std::max(fleet_qps, qps);
-    fleet_hash = hash_fleet(result);
-  }
-  const bool fleet_identical =
-      hash_fleet(fleet.Run(fleet_trace, 1)) == fleet_hash;
-  std::cout << "fleet (" << fleet_servers << " servers, po2c router, jobs="
-            << fleet_jobs << "): " << Table::Num(fleet_qps, 0)
-            << " simulated queries/sec, jobs-1 identical: "
+  std::uint64_t fleet_hash_jobs1 = 0;
+  std::uint64_t fleet_hash_jobsn = 0;
+  const auto fast_pipeline = [&](int jobs, std::uint64_t* hash_out) {
+    auto router = fleet.cluster().MakeFleetRouter();
+    const auto split =
+        fleet::SplitTrace(fleet_trace, *router, fleet.placement());
+    const auto result = fleet.cluster().SimulateSplit(split, jobs);
+    if (hash_out != nullptr) *hash_out = hash_fleet(result);
+    const auto stats =
+        result.Stats(fleet.sla_target(), /*warmup_fraction=*/0.1, jobs);
+    (void)stats;
+  };
+  const double fast_sec_jobs1 =
+      TimeSec([&] { fast_pipeline(1, &fleet_hash_jobs1); }, reps);
+  const double fast_sec_jobsn =
+      TimeSec([&] { fast_pipeline(fleet_jobs, &fleet_hash_jobsn); }, reps);
+  const double ref_pipeline_sec = TimeSec(
+      [&] {
+        auto router = fleet.cluster().MakeFleetRouter();
+        const auto split = fleet::SplitTraceReference(fleet_trace, *router,
+                                                      fleet.placement());
+        const auto result = fleet.cluster().SimulateSplit(split, fleet_jobs);
+        const auto stats = result.StatsReference(fleet.sla_target(),
+                                                 /*warmup_fraction=*/0.1);
+        (void)stats;
+      },
+      reps);
+  const double fleet_qps = fast_sec_jobsn > 0.0 ? fleet_n / fast_sec_jobsn
+                                                : 0.0;
+  const double fleet_qps_jobs1 =
+      fast_sec_jobs1 > 0.0 ? fleet_n / fast_sec_jobs1 : 0.0;
+  const double fleet_reference_qps =
+      ref_pipeline_sec > 0.0 ? fleet_n / ref_pipeline_sec : 0.0;
+  const double fleet_speedup =
+      fleet_reference_qps > 0.0 ? fleet_qps / fleet_reference_qps : 0.0;
+  const bool fleet_identical = fleet_hash_jobs1 == fleet_hash_jobsn;
+
+  std::cout << "\nfleet scaling (" << fleet_servers
+            << " servers, sharded, po2c, " << fleet_trace.size()
+            << " queries, jobs=" << fleet_jobs << "):\n";
+  fleet_table.Print(std::cout);
+  std::cout << "fleet pipeline: " << Table::Num(fleet_qps, 0)
+            << " queries/sec end-to-end ("
+            << Table::Num(fleet_qps_jobs1, 0) << " at jobs=1), "
+            << Table::Num(fleet_speedup, 2)
+            << "x over the reference pipeline, jobs-1 identical: "
             << (fleet_identical ? "yes" : "NO") << "\n";
+  if (!router_identical || !split_identical || !stats_identical) {
+    std::cerr << "error: a fleet fast path diverged from its reference"
+              << " (router " << router_identical << ", split "
+              << split_identical << ", stats " << stats_identical << ")\n";
+    return 1;
+  }
   if (!fleet_identical) {
     std::cerr << "error: fleet records diverged between --jobs 1 and --jobs "
               << fleet_jobs << "\n";
@@ -284,8 +536,21 @@ int main() {
   data.Set("engine_qps_256_mix4_elsa", headline_qps);
   data.Set("speedup_256_mix4_elsa", headline_speedup);
   data.Set("fleet_servers", fleet_servers);
+  data.Set("fleet_queries", static_cast<std::uint64_t>(fleet_trace.size()));
   data.Set("fleet_jobs", fleet_jobs);
+  data.Set("router_qps", std::move(router_qps));
+  data.Set("router_reference_qps", std::move(router_reference_qps));
+  data.Set("router_identical", router_identical);
+  data.Set("split_qps", split_qps);
+  data.Set("split_reference_qps", split_reference_qps);
+  data.Set("split_identical", split_identical);
+  data.Set("stats_sec", stats_sec);
+  data.Set("stats_reference_sec", stats_reference_sec);
+  data.Set("stats_identical", stats_identical);
   data.Set("fleet_qps", fleet_qps);
+  data.Set("fleet_qps_jobs1", fleet_qps_jobs1);
+  data.Set("fleet_reference_qps", fleet_reference_qps);
+  data.Set("fleet_speedup", fleet_speedup);
   data.Set("fleet_identical_jobs1", fleet_identical);
   pe::bench::WriteReport("engine_throughput", std::move(data));
   return 0;

@@ -108,6 +108,10 @@ inline core::SearchOptions DefaultSearch() {
 // JSON sink: when PE_BENCH_JSON_DIR is set each bench drops its
 // machine-readable report at <dir>/<bench_name>.json (the directory must
 // exist); tools/run_all_benches.sh aggregates them into bench_results.json.
+// Reports are additive: CI asserts on specific fields (engine_throughput's
+// fleet-scaling section -- per-policy router_qps, split_qps, stats_sec,
+// fleet_qps, and the fast-vs-reference identity flags -- is gated by both
+// bench-smoke and engine-perf), so rename fields only with the workflow.
 inline std::optional<std::string> JsonOutPath(const std::string& bench_name) {
   const char* dir = std::getenv("PE_BENCH_JSON_DIR");
   if (dir == nullptr || *dir == '\0') return std::nullopt;

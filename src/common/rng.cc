@@ -6,12 +6,14 @@
 namespace pe {
 namespace {
 
+// Stateful SplitMix64 stream over the shared Mix64 finalizer: returns
+// Mix64 of the advanced state.  Bit-identical to the historical inline
+// implementation (the gamma added before mixing is the same one Mix64
+// applies internally).
 std::uint64_t SplitMix64(std::uint64_t& x) {
+  const std::uint64_t z = Mix64(x);
   x += 0x9E3779B97F4A7C15ULL;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
+  return z;
 }
 
 std::uint64_t Rotl(std::uint64_t x, int k) {

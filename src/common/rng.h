@@ -14,6 +14,18 @@
 
 namespace pe {
 
+// SplitMix64 step (Steele et al.): adds the golden-ratio gamma and runs
+// the bijective 64-bit finalizer.  This is the single shared definition of
+// the mixer the whole codebase uses -- Rng seeds its xoshiro state with it,
+// and the fleet tier derives hash salts and per-server seed streams from
+// it as a pure function (no generator state).
+constexpr std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 // xoshiro256** 1.0 by Blackman & Vigna (public domain reference
 // implementation), seeded via SplitMix64 so that any 64-bit seed --
 // including zero -- yields a well-mixed state.

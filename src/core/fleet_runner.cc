@@ -108,7 +108,9 @@ fleet::FleetResult FleetTestbed::Run(const workload::QueryTrace& trace,
 
 fleet::FleetStats FleetTestbed::RunStats(const workload::QueryTrace& trace,
                                          int jobs) const {
-  return Run(trace, jobs).Stats(sla_target());
+  // The stats reduction fans out over the same job budget the simulate
+  // stage used (FleetResult::Stats is jobs-invariant bit-for-bit).
+  return Run(trace, jobs).Stats(sla_target(), /*warmup_fraction=*/0.1, jobs);
 }
 
 }  // namespace pe::core

@@ -71,7 +71,8 @@ class FleetTestbed {
   // per-server records for any jobs >= 1.
   fleet::FleetResult Run(const workload::QueryTrace& trace, int jobs) const;
 
-  // Convenience: Run + Stats at this fleet's SLA target.
+  // Convenience: Run + Stats at this fleet's SLA target; `jobs` drives
+  // both the simulate fan-out and the parallel stats reduction.
   fleet::FleetStats RunStats(const workload::QueryTrace& trace,
                              int jobs) const;
 

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -74,8 +75,11 @@ struct FleetResult {
   // Per-server engine output: local query ids (dense per server) and
   // server-local model ids -- exactly what that server's engine saw.
   std::vector<sim::SimResult> per_server;
-  // Per server: local query id -> fleet-level Query::id.
-  std::vector<std::vector<std::uint64_t>> global_ids;
+  // Local query id -> fleet-level Query::id, flat server-major (the
+  // TraceSplit arena layout): server s's ids live in
+  // global_ids[id_offsets[s], id_offsets[s+1]).
+  std::vector<std::uint64_t> global_ids;
+  std::vector<std::size_t> id_offsets;  // size num_servers + 1
   // Per server: local model id -> fleet-global model id (the server's
   // sorted hosted list).
   std::vector<std::vector<int>> global_models;
@@ -83,7 +87,33 @@ struct FleetResult {
   // fleet-wide (cumulative layout sizes).
   std::vector<int> worker_base;
 
-  FleetStats Stats(SimTime sla_target, double warmup_fraction = 0.1) const;
+  std::span<const std::uint64_t> GlobalIds(int s) const {
+    const auto i = static_cast<std::size_t>(s);
+    return {global_ids.data() + id_offsets[i],
+            id_offsets[i + 1] - id_offsets[i]};
+  }
+
+  // Fleet stats without materializing the merged record vector: per-server
+  // ComputeStats fans out over up to `jobs` threads, the merged arrival
+  // order is recovered in O(n) by scattering the global ids (the walk
+  // verifies sortedness as it goes and falls back to parallel pairwise
+  // merges of the per-server (arrival, server) key runs for unsorted
+  // source traces), order-sensitive accumulators (mean latency, Welford
+  // queue delay, per-model mean sums) run in exactly that order in one
+  // serial walk, percentiles come from linear-time selection over a flat
+  // latency pool (same order statistics, same interpolation arithmetic as
+  // Percentile), and integer counters sum associatively.  Field-for-field
+  // bit-identical to StatsReference() at any jobs count (pinned by
+  // fleet_stats_test).
+  FleetStats Stats(SimTime sla_target, double warmup_fraction = 0.1,
+                   int jobs = 1) const;
+
+  // Retained reference aggregate: deep-copies every record (re-keyed to
+  // global ids) into one merged vector and runs a single serial
+  // ComputeStats over it.  The golden baseline for Stats() and the
+  // denominator of the fleet-scaling bench's stats speedup.
+  FleetStats StatsReference(SimTime sla_target,
+                            double warmup_fraction = 0.1) const;
 };
 
 class Cluster {
@@ -118,6 +148,12 @@ class Cluster {
   // Routes `trace` and replays every sub-trace, fanning servers over up to
   // `jobs` threads.  Bit-identical per-server records for any jobs >= 1.
   FleetResult Simulate(const workload::QueryTrace& trace, int jobs) const;
+
+  // Replays an already-split trace (the route+split stages factored out,
+  // so the fleet-scaling bench can time them separately while both
+  // pipelines share this simulate stage).  `split` must come from this
+  // cluster's placement; each server replays its arena span in place.
+  FleetResult SimulateSplit(const TraceSplit& split, int jobs) const;
 
  private:
   FleetConfig config_;

@@ -59,6 +59,18 @@ PlacementMap::PlacementMap(std::vector<ServerPlacement> servers)
   for (ServerPlacement& sp : servers_) {
     std::sort(sp.model_ids.begin(), sp.model_ids.end());
   }
+  // Dense global->local model remap tables (the sorted hosted list is the
+  // local id space, matching the per-server repertoire registration order).
+  local_models_.assign(servers_.size(),
+                       std::vector<int>(static_cast<std::size_t>(max_model + 1),
+                                        -1));
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    const std::vector<int>& hosted = servers_[s].model_ids;
+    for (std::size_t local = 0; local < hosted.size(); ++local) {
+      local_models_[s][static_cast<std::size_t>(hosted[local])] =
+          static_cast<int>(local);
+    }
+  }
 }
 
 const ServerPlacement& PlacementMap::server(int server_id) const {

@@ -44,7 +44,10 @@ class PlacementMap {
 
   int num_servers() const { return static_cast<int>(servers_.size()); }
   const ServerPlacement& server(int server_id) const;
-  // Mutable access for the layout-filling planner pass.
+  // Mutable access for the layout-filling planner pass.  Only
+  // partition_gpcs may change post-construction: the hosted-model sets are
+  // baked into the replica index and the local-model remap tables at
+  // construction time.
   ServerPlacement& mutable_server(int server_id);
   const std::vector<ServerPlacement>& servers() const { return servers_; }
 
@@ -56,9 +59,22 @@ class PlacementMap {
   // std::out_of_range on an unplaced model id.
   const std::vector<int>& Replicas(int model_id) const;
 
+  // Server-local model id (the index of `model_id` within the server's
+  // sorted hosted list), or -1 when the server does not host it.  Backed
+  // by dense tables precomputed at construction, so the trace-split hot
+  // path pays an array index instead of a lower_bound per query.  No
+  // bounds checks: both ids must be in range (server in [0, num_servers),
+  // model in [0, num_models)).
+  int LocalModel(int server_id, int model_id) const {
+    return local_models_[static_cast<std::size_t>(server_id)]
+                        [static_cast<std::size_t>(model_id)];
+  }
+
  private:
   std::vector<ServerPlacement> servers_;
   std::vector<std::vector<int>> replicas_;  // model id -> server ids
+  // server id -> (global model id -> local model id, -1 when unhosted)
+  std::vector<std::vector<int>> local_models_;
 };
 
 // Full replication: every one of `num_servers` servers hosts every one of

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "common/rng.h"
 #include "common/sim_time.h"
@@ -10,14 +11,42 @@ namespace pe::fleet {
 
 namespace {
 
-// SplitMix64 finalizer (Steele et al.): a bijective 64-bit mixer; the same
-// construction common/rng.h uses for seeding, reproduced here so the hash
-// policy is a pure function with no generator state.
-std::uint64_t Mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
+// Replica lookup shared by every policy: all three previously indexed
+// reps[...] without checking, which is UB when a trace carries a model id
+// no server hosts.  One guard, one message, named model.
+[[noreturn]] void ThrowUnroutable(int model_id) {
+  throw std::logic_error("Router: no server hosts model " +
+                         std::to_string(model_id) +
+                         " (query references an unplaced model)");
+}
+
+const std::vector<int>& RoutableReplicas(const PlacementMap& placement,
+                                         int model_id) {
+  if (model_id < 0 || model_id >= placement.num_models()) {
+    ThrowUnroutable(model_id);
+  }
+  const std::vector<int>& reps = placement.Replicas(model_id);
+  if (reps.empty()) ThrowUnroutable(model_id);
+  return reps;
+}
+
+// Per-model replica cache for the batch loops: pointer + size resolved
+// once per model instead of a Replicas() call (bounds check + two
+// indirections) per query.
+struct ReplicaRef {
+  const int* data = nullptr;
+  std::uint32_t size = 0;
+};
+
+std::vector<ReplicaRef> CacheReplicas(const PlacementMap& placement) {
+  std::vector<ReplicaRef> cache(
+      static_cast<std::size_t>(placement.num_models()));
+  for (int m = 0; m < placement.num_models(); ++m) {
+    const std::vector<int>& reps = RoutableReplicas(placement, m);
+    cache[static_cast<std::size_t>(m)] = {
+        reps.data(), static_cast<std::uint32_t>(reps.size())};
+  }
+  return cache;
 }
 
 // Deterministic virtual backlog shared by the load-aware policies: one
@@ -27,7 +56,7 @@ class BacklogModel {
  public:
   BacklogModel(const PlacementMap& placement,
                const profile::ModelRepertoire* repertoire)
-      : placement_(placement), repertoire_(repertoire) {
+      : repertoire_(repertoire) {
     gpcs_.reserve(placement.num_servers());
     lanes_.reserve(placement.num_servers());
     for (const ServerPlacement& sp : placement.servers()) {
@@ -43,6 +72,17 @@ class BacklogModel {
       gpcs_.push_back(max_gpcs);
       lanes_.push_back(lanes);
     }
+    // Servers sharing a (largest partition, lane count) pair see identical
+    // costs for any (model, batch); the memo below caches per such class,
+    // not per server, so a 100-server homogeneous fleet shares one table.
+    class_of_.reserve(gpcs_.size());
+    for (std::size_t s = 0; s < gpcs_.size(); ++s) {
+      const std::pair<int, int> key{gpcs_[s], lanes_[s]};
+      std::size_t id = 0;
+      while (id < classes_.size() && classes_[id] != key) ++id;
+      if (id == classes_.size()) classes_.push_back(key);
+      class_of_.push_back(id);
+    }
     Reset();
   }
 
@@ -57,7 +97,7 @@ class BacklogModel {
     free_at = std::max(free_at, now_sec) + CostSec(server, query);
   }
 
- private:
+  // Reference per-query cost: map-backed profile lookup each call.
   double CostSec(int server, const workload::Query& query) const {
     const auto s = static_cast<size_t>(server);
     if (repertoire_ != nullptr && repertoire_->Has(query.model_id)) {
@@ -71,11 +111,54 @@ class BacklogModel {
            static_cast<double>(lanes_[s]);
   }
 
-  const PlacementMap& placement_;
+  // Batch-loop charge: identical value to Charge(), but the profiled cost
+  // is memoized per (server class, model, clamped batch) -- it stores the
+  // already-divided CostSec result, so the arithmetic (and hence the
+  // backlog clocks) stay bit-identical to the reference path while the
+  // std::map profile lookup happens once per distinct key.
+  void ChargeMemo(int server, const workload::Query& query, double now_sec) {
+    double& free_at = free_at_[static_cast<size_t>(server)];
+    free_at = std::max(free_at, now_sec) + CostSecMemo(server, query);
+  }
+
+  double BacklogRaw(int server) const {
+    return free_at_[static_cast<size_t>(server)];
+  }
+
+ private:
+  double CostSecMemo(int server, const workload::Query& query) {
+    if (repertoire_ == nullptr || !repertoire_->Has(query.model_id) ||
+        query.batch < 0) {
+      return CostSec(server, query);
+    }
+    const int batch = std::min(query.batch, repertoire_->max_batch());
+    const auto s = static_cast<size_t>(server);
+    const std::size_t cls = class_of_[s];
+    if (memo_.empty()) {
+      memo_.assign(classes_.size(), {});
+    }
+    std::vector<double>& table = memo_[cls];
+    const auto stride = static_cast<std::size_t>(repertoire_->max_batch()) + 1;
+    if (table.empty()) {
+      table.assign(static_cast<std::size_t>(repertoire_->size()) * stride,
+                   -1.0);
+    }
+    double& slot = table[static_cast<std::size_t>(query.model_id) * stride +
+                         static_cast<std::size_t>(batch)];
+    if (slot < 0.0) {
+      slot = repertoire_->EstimateSec(query.model_id, gpcs_[s], batch) /
+             static_cast<double>(lanes_[s]);
+    }
+    return slot;
+  }
+
   const profile::ModelRepertoire* repertoire_;
   std::vector<int> gpcs_;   // largest partition per server
   std::vector<int> lanes_;  // worker count per server
   std::vector<double> free_at_;
+  std::vector<std::pair<int, int>> classes_;  // distinct (gpcs, lanes)
+  std::vector<std::size_t> class_of_;         // server -> class index
+  std::vector<std::vector<double>> memo_;     // class -> cost table
 };
 
 class HashRouter final : public Router {
@@ -84,13 +167,39 @@ class HashRouter final : public Router {
       : placement_(placement) {}
 
   int Route(const workload::Query& query) override {
-    const std::vector<int>& reps = placement_.Replicas(query.model_id);
+    const std::vector<int>& reps =
+        RoutableReplicas(placement_, query.model_id);
     if (reps.size() == 1) return reps[0];
     // Salting with the model id decorrelates the replica choice across
     // models sharing a replica-set size.
     const std::uint64_t h =
         Mix64(query.id ^ Mix64(static_cast<std::uint64_t>(query.model_id)));
     return reps[h % reps.size()];
+  }
+
+  std::vector<int> RouteAll(const workload::QueryTrace& trace) override {
+    const std::vector<workload::Query>& queries = trace.queries();
+    const std::vector<ReplicaRef> reps = CacheReplicas(placement_);
+    // The per-model salt Mix64(model_id) is query-independent; hoist it.
+    std::vector<std::uint64_t> salt(reps.size());
+    for (std::size_t m = 0; m < reps.size(); ++m) {
+      salt[m] = Mix64(static_cast<std::uint64_t>(m));
+    }
+    std::vector<int> out(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const workload::Query& q = queries[i];
+      if (static_cast<std::uint32_t>(q.model_id) >=
+          static_cast<std::uint32_t>(reps.size())) {
+        ThrowUnroutable(q.model_id);
+      }
+      const ReplicaRef& r = reps[static_cast<std::size_t>(q.model_id)];
+      out[i] = r.size == 1
+                   ? r.data[0]
+                   : r.data[Mix64(q.id ^
+                                  salt[static_cast<std::size_t>(q.model_id)]) %
+                            r.size];
+    }
+    return out;
   }
 
   void Reset() override {}
@@ -107,7 +216,8 @@ class LeastLoadedRouter final : public Router {
       : placement_(placement), backlog_(placement, repertoire) {}
 
   int Route(const workload::Query& query) override {
-    const std::vector<int>& reps = placement_.Replicas(query.model_id);
+    const std::vector<int>& reps =
+        RoutableReplicas(placement_, query.model_id);
     const double now = TicksToSec(query.arrival);
     int best = reps[0];
     double best_backlog = backlog_.BacklogSec(best, now);
@@ -121,6 +231,33 @@ class LeastLoadedRouter final : public Router {
     }
     backlog_.Charge(best, query, now);
     return best;
+  }
+
+  std::vector<int> RouteAll(const workload::QueryTrace& trace) override {
+    const std::vector<workload::Query>& queries = trace.queries();
+    const std::vector<ReplicaRef> reps = CacheReplicas(placement_);
+    std::vector<int> out(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const workload::Query& q = queries[i];
+      if (static_cast<std::uint32_t>(q.model_id) >=
+          static_cast<std::uint32_t>(reps.size())) {
+        ThrowUnroutable(q.model_id);
+      }
+      const ReplicaRef& r = reps[static_cast<std::size_t>(q.model_id)];
+      const double now = TicksToSec(q.arrival);
+      int best = r.data[0];
+      double best_backlog = backlog_.BacklogSec(best, now);
+      for (std::uint32_t k = 1; k < r.size; ++k) {
+        const double b = backlog_.BacklogSec(r.data[k], now);
+        if (b < best_backlog) {
+          best = r.data[k];
+          best_backlog = b;
+        }
+      }
+      backlog_.ChargeMemo(best, q, now);
+      out[i] = best;
+    }
+    return out;
   }
 
   void Reset() override { backlog_.Reset(); }
@@ -142,7 +279,8 @@ class PowerOfTwoRouter final : public Router {
         rng_(seed) {}
 
   int Route(const workload::Query& query) override {
-    const std::vector<int>& reps = placement_.Replicas(query.model_id);
+    const std::vector<int>& reps =
+        RoutableReplicas(placement_, query.model_id);
     const double now = TicksToSec(query.arrival);
     int choice;
     if (reps.size() == 1) {
@@ -167,6 +305,42 @@ class PowerOfTwoRouter final : public Router {
     return choice;
   }
 
+  std::vector<int> RouteAll(const workload::QueryTrace& trace) override {
+    const std::vector<workload::Query>& queries = trace.queries();
+    const std::vector<ReplicaRef> reps = CacheReplicas(placement_);
+    std::vector<int> out(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const workload::Query& q = queries[i];
+      if (static_cast<std::uint32_t>(q.model_id) >=
+          static_cast<std::uint32_t>(reps.size())) {
+        ThrowUnroutable(q.model_id);
+      }
+      const ReplicaRef& r = reps[static_cast<std::size_t>(q.model_id)];
+      const double now = TicksToSec(q.arrival);
+      int choice;
+      if (r.size == 1) {
+        choice = r.data[0];
+      } else {
+        const auto n = static_cast<std::int64_t>(r.size);
+        const auto a = static_cast<std::size_t>(rng_.UniformInt(0, n - 1));
+        auto b = static_cast<std::size_t>(rng_.UniformInt(0, n - 2));
+        if (b >= a) ++b;
+        const double backlog_a = backlog_.BacklogSec(r.data[a], now);
+        const double backlog_b = backlog_.BacklogSec(r.data[b], now);
+        if (backlog_a < backlog_b) {
+          choice = r.data[a];
+        } else if (backlog_b < backlog_a) {
+          choice = r.data[b];
+        } else {
+          choice = std::min(r.data[a], r.data[b]);
+        }
+      }
+      backlog_.ChargeMemo(choice, q, now);
+      out[i] = choice;
+    }
+    return out;
+  }
+
   void Reset() override {
     backlog_.Reset();
     rng_ = Rng(seed_);
@@ -182,6 +356,15 @@ class PowerOfTwoRouter final : public Router {
 };
 
 }  // namespace
+
+std::vector<int> Router::RouteAll(const workload::QueryTrace& trace) {
+  // Reference loop: one virtual dispatch per query.  The built-in
+  // policies override this with sealed loops that must match it exactly.
+  std::vector<int> out;
+  out.reserve(trace.queries().size());
+  for (const workload::Query& q : trace.queries()) out.push_back(Route(q));
+  return out;
+}
 
 const char* ToString(RouterPolicy policy) {
   switch (policy) {
@@ -219,34 +402,93 @@ std::unique_ptr<Router> MakeRouter(RouterPolicy policy,
 
 TraceSplit SplitTrace(const workload::QueryTrace& trace, Router& router,
                       const PlacementMap& placement) {
-  TraceSplit split;
+  const std::vector<workload::Query>& queries = trace.queries();
   const int n = placement.num_servers();
-  std::vector<std::vector<workload::Query>> queries(
-      static_cast<size_t>(n));
-  split.global_ids.assign(static_cast<size_t>(n), {});
+  const std::vector<int> assignment = router.RouteAll(trace);
+
+  TraceSplit split;
+  split.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  // Pass 1: exact per-server counts (offsets[s+1] accumulates server s,
+  // turned into span boundaries by the prefix sum).
+  for (const int server : assignment) {
+    if (static_cast<std::uint32_t>(server) >=
+        static_cast<std::uint32_t>(n)) {
+      throw std::logic_error("SplitTrace: router returned bad server id");
+    }
+    ++split.offsets[static_cast<std::size_t>(server) + 1];
+  }
+  for (std::size_t s = 1; s < split.offsets.size(); ++s) {
+    split.offsets[s] += split.offsets[s - 1];
+  }
+  // Pass 2: single fill into the flat arenas; cursor[s] walks server s's
+  // span, and the dense local id is the distance from the span start.
+  split.arena.resize(queries.size());
+  split.global_ids.resize(queries.size());
+  std::vector<std::size_t> cursor(split.offsets.begin(),
+                                  split.offsets.end() - 1);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const workload::Query& q = queries[i];
+    const int server = assignment[i];
+    const int local_model = placement.LocalModel(server, q.model_id);
+    if (local_model < 0) {
+      throw std::logic_error(
+          "SplitTrace: router sent a query to a server not hosting its "
+          "model");
+    }
+    std::size_t& at = cursor[static_cast<std::size_t>(server)];
+    workload::Query& local = split.arena[at];
+    local = q;
+    local.id = at - split.offsets[static_cast<std::size_t>(server)];
+    local.model_id = local_model;
+    split.global_ids[at] = q.id;
+    ++at;
+  }
+  return split;
+}
+
+TraceSplit SplitTraceReference(const workload::QueryTrace& trace,
+                               Router& router,
+                               const PlacementMap& placement) {
+  const int n = placement.num_servers();
+  std::vector<std::vector<workload::Query>> queries(static_cast<size_t>(n));
+  std::vector<std::vector<std::uint64_t>> global_ids(static_cast<size_t>(n));
   for (const workload::Query& q : trace.queries()) {
     const int server = router.Route(q);
     if (server < 0 || server >= n) {
-      throw std::logic_error("SplitTrace: router returned bad server id");
+      throw std::logic_error(
+          "SplitTraceReference: router returned bad server id");
     }
     const ServerPlacement& sp = placement.server(server);
     const auto it = std::lower_bound(sp.model_ids.begin(),
                                      sp.model_ids.end(), q.model_id);
     if (it == sp.model_ids.end() || *it != q.model_id) {
       throw std::logic_error(
-          "SplitTrace: router sent a query to a server not hosting its "
-          "model");
+          "SplitTraceReference: router sent a query to a server not "
+          "hosting its model");
     }
     auto& bucket = queries[static_cast<size_t>(server)];
     workload::Query local = q;
     local.id = bucket.size();  // dense per-server ids, as the engine needs
     local.model_id = static_cast<int>(it - sp.model_ids.begin());
     bucket.push_back(local);
-    split.global_ids[static_cast<size_t>(server)].push_back(q.id);
+    global_ids[static_cast<size_t>(server)].push_back(q.id);
   }
-  split.per_server.reserve(static_cast<size_t>(n));
-  for (auto& bucket : queries) {
-    split.per_server.emplace_back(std::move(bucket));
+  // Pack the grown buckets into the arena layout SplitTrace emits
+  // directly.
+  TraceSplit split;
+  split.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int s = 0; s < n; ++s) {
+    split.offsets[static_cast<std::size_t>(s) + 1] =
+        split.offsets[static_cast<std::size_t>(s)] +
+        queries[static_cast<std::size_t>(s)].size();
+  }
+  split.arena.reserve(split.offsets.back());
+  split.global_ids.reserve(split.offsets.back());
+  for (int s = 0; s < n; ++s) {
+    const auto& bucket = queries[static_cast<std::size_t>(s)];
+    split.arena.insert(split.arena.end(), bucket.begin(), bucket.end());
+    const auto& gids = global_ids[static_cast<std::size_t>(s)];
+    split.global_ids.insert(split.global_ids.end(), gids.begin(), gids.end());
   }
   return split;
 }

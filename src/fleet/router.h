@@ -26,11 +26,19 @@
 // by the profiled service estimate divided by the server's worker count.
 // Coarse on purpose -- a real front tier routes on stale, aggregate
 // signals, not on the scheduler's internal state.
+//
+// Hot path: RouteAll() routes a whole trace in one sealed per-policy loop
+// (no virtual dispatch per query, replica sets resolved once per model,
+// profiled backlog charges memoized per (model, server-class, batch)).
+// The per-query Route() interface is the retained reference path; both
+// must produce the identical assignment sequence and the fleet tests pin
+// that identity per policy.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -53,8 +61,16 @@ class Router {
 
   // Server id for `query`, guaranteed to host query.model_id.  Must be
   // called in arrival order (stateful policies advance their backlog
-  // clocks and RNG stream per call).
+  // clocks and RNG stream per call).  Throws std::logic_error when no
+  // server hosts the query's model (unplaced id or empty replica set).
   virtual int Route(const workload::Query& query) = 0;
+
+  // Batch fast path: the server id for every query of `trace`, in order,
+  // identical to calling Route() per query on a fresh router.  Consumes
+  // the same policy state as the per-query loop (call Reset() to replay).
+  // The base implementation is the per-query reference loop; the built-in
+  // policies override it with devirtualized single-policy loops.
+  virtual std::vector<int> RouteAll(const workload::QueryTrace& trace);
 
   // Restores the construction-time state (backlog clocks, RNG stream), so
   // the same query sequence re-routes identically.
@@ -74,21 +90,53 @@ std::unique_ptr<Router> MakeRouter(RouterPolicy policy,
                                    const profile::ModelRepertoire* repertoire,
                                    std::uint64_t seed);
 
-// A trace split into per-server sub-streams, ready for InferenceServer:
-// per server, query ids are re-numbered densely from 0 (the engine
-// requires dense ids) and model ids are re-mapped to the server's local
-// repertoire (the index of the global id within its sorted hosted list).
+// A trace split into per-server sub-streams, ready for InferenceServer.
+// One flat server-major arena instead of N separately grown vectors: the
+// queries of server s live in arena[offsets[s], offsets[s+1]) as an
+// offset-indexed span.  Per server, query ids are re-numbered densely
+// from 0 (the engine requires dense ids) and model ids are re-mapped to
+// the server's local repertoire (the index of the global id within its
+// sorted hosted list).
 struct TraceSplit {
-  std::vector<workload::QueryTrace> per_server;
-  // Per server, local query id -> the fleet-level Query::id it came from.
-  std::vector<std::vector<std::uint64_t>> global_ids;
+  // Every query of the input trace, grouped by destination server in
+  // arrival order within each group.
+  std::vector<workload::Query> arena;
+  // Local query id -> the fleet-level Query::id it came from; same
+  // server-major layout as `arena`.
+  std::vector<std::uint64_t> global_ids;
+  // Per-server span boundaries into the arenas; size num_servers + 1.
+  std::vector<std::size_t> offsets;
+
+  int num_servers() const {
+    return static_cast<int>(offsets.empty() ? 0 : offsets.size() - 1);
+  }
+  std::span<const workload::Query> Server(int s) const {
+    const auto i = static_cast<std::size_t>(s);
+    return {arena.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
+  std::span<const std::uint64_t> GlobalIds(int s) const {
+    const auto i = static_cast<std::size_t>(s);
+    return {global_ids.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
 };
 
-// Routes every query of `trace` (in order) through `router` and builds the
-// per-server sub-traces.  Throws std::out_of_range if a query references a
-// model the placement does not place, and std::logic_error if the router
-// returns a server that does not host the query's model.
+// Routes every query of `trace` through `router` and builds the
+// per-server sub-traces with a two-pass count-then-fill over one flat
+// arena: RouteAll() yields the assignment vector, a counting pass sizes
+// every span exactly, and the fill pass writes each query once -- no
+// per-server vector growth, no lower_bound remap per query (the
+// placement's precomputed LocalModel tables serve the remap).  Throws
+// std::logic_error if a query references a model no server hosts, or if
+// the router returns a server id out of range / not hosting the model.
 TraceSplit SplitTrace(const workload::QueryTrace& trace, Router& router,
                       const PlacementMap& placement);
+
+// Retained reference implementation: per-query Route() calls into growing
+// per-server buckets with a lower_bound model remap, packed into the same
+// TraceSplit layout at the end.  SplitTrace must match it record for
+// record (pinned by fleet_stats_test for every policy); it is also the
+// denominator of the fleet-scaling bench's split speedup.
+TraceSplit SplitTraceReference(const workload::QueryTrace& trace,
+                               Router& router, const PlacementMap& placement);
 
 }  // namespace pe::fleet

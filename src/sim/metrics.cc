@@ -15,14 +15,20 @@ ServerStats ComputeStats(const std::vector<QueryRecord>& records,
   if (records.empty()) return stats;
   assert(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
 
-  // Records sorted by arrival for a well-defined warmup cut.
+  // Records stable-sorted by arrival for a well-defined warmup cut AND a
+  // well-defined tie order: equal arrivals keep their input positions, so
+  // the iteration order -- which the order-sensitive accumulators below
+  // (mean sum, Welford queue delay) depend on -- is a pure function of
+  // the input vector.  The fleet fast path (fleet/cluster.cc) reproduces
+  // this order with a k-way merge over per-server arrays; an unstable
+  // sort would make its bit-identity unachievable.
   std::vector<const QueryRecord*> sorted;
   sorted.reserve(records.size());
   for (const auto& r : records) sorted.push_back(&r);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const QueryRecord* a, const QueryRecord* b) {
-              return a->arrival < b->arrival;
-            });
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const QueryRecord* a, const QueryRecord* b) {
+                     return a->arrival < b->arrival;
+                   });
   const std::size_t skip =
       static_cast<std::size_t>(warmup_fraction *
                                static_cast<double>(sorted.size()));

@@ -349,7 +349,11 @@ void InferenceServer::InjectQuery(const workload::Query& query) {
 }
 
 void InferenceServer::InjectTrace(const workload::QueryTrace& trace) {
-  const std::size_t n = trace.size();
+  InjectSpan(trace.queries());
+}
+
+void InferenceServer::InjectSpan(std::span<const workload::Query> queries) {
+  const std::size_t n = queries.size();
   queries_.reserve(queries_.size() + n);
   records_.reserve(records_.size() + n);
   if (config_.reference_engine) {
@@ -357,7 +361,7 @@ void InferenceServer::InjectTrace(const workload::QueryTrace& trace) {
   } else {
     arrivals_.reserve(arrivals_.size() + n);
   }
-  for (const workload::Query& q : trace.queries()) InjectQuery(q);
+  for (const workload::Query& q : queries) InjectQuery(q);
 }
 
 void InferenceServer::BeginReconfigure(std::vector<int> new_layout,
@@ -522,8 +526,12 @@ SimResult InferenceServer::Finish() {
 }
 
 SimResult InferenceServer::Run(const workload::QueryTrace& trace) {
+  return Run(std::span<const workload::Query>(trace.queries()));
+}
+
+SimResult InferenceServer::Run(std::span<const workload::Query> queries) {
   Reset();
-  InjectTrace(trace);
+  InjectSpan(queries);
   return Finish();
 }
 

@@ -53,6 +53,7 @@
 #include <limits>
 #include <memory>
 #include <set>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -131,6 +132,11 @@ class InferenceServer {
   // InjectTrace(trace) + Finish().
   SimResult Run(const workload::QueryTrace& trace);
 
+  // Span form: same semantics over a borrowed query sequence -- lets the
+  // fleet tier replay an arena slice (fleet::TraceSplit) without copying
+  // it into a QueryTrace first.
+  SimResult Run(std::span<const workload::Query> queries);
+
   // --- Incremental driving API ---------------------------------------
   // Feeds one arrival.  Ids must stay dense (query.id == number of queries
   // injected so far) and arrivals must not predate the current time.
@@ -139,6 +145,9 @@ class InferenceServer {
   // Feeds every query of `trace` (ids continuing the dense sequence),
   // reserving arrival/record capacity for the whole trace up front.
   void InjectTrace(const workload::QueryTrace& trace);
+
+  // Span form of InjectTrace (same dense-id and ordering requirements).
+  void InjectSpan(std::span<const workload::Query> queries);
 
   // Processes every pending event strictly before `when`, then sets the
   // current time to `when` (no-op when `when` is in the past).  Events at

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -31,7 +33,10 @@ workload::QueryTrace MakeTrace(std::size_t n, int num_models,
   return workload::GenerateMixedTrace(arrivals, mix, n, rng);
 }
 
-std::vector<int> RouteAll(Router& router, const workload::QueryTrace& trace) {
+// The per-query reference loop (what Router::RouteAll's base
+// implementation does); the batch overrides must match it exactly.
+std::vector<int> RouteSerially(Router& router,
+                               const workload::QueryTrace& trace) {
   std::vector<int> out;
   out.reserve(trace.size());
   for (const auto& q : trace.queries()) out.push_back(router.Route(q));
@@ -74,7 +79,29 @@ TEST(Router, DeterministicAcrossFreshInstances) {
                             RouterPolicy::kPowerOfTwo}) {
     auto a = MakeRouter(policy, placement, nullptr, /*seed=*/42);
     auto b = MakeRouter(policy, placement, nullptr, /*seed=*/42);
-    EXPECT_EQ(RouteAll(*a, trace), RouteAll(*b, trace)) << ToString(policy);
+    EXPECT_EQ(RouteSerially(*a, trace), RouteSerially(*b, trace))
+        << ToString(policy);
+  }
+}
+
+TEST(Router, RouteAllMatchesPerQueryRoute) {
+  // The devirtualized batch loops must reproduce the per-query reference
+  // decision sequence exactly -- same replica picks, same backlog
+  // arithmetic, same RNG stream consumption -- with and without a
+  // repertoire-backed backlog model (the memoized-cost path).
+  const auto placement = ShardedPlacement(7, 4, 3);
+  const auto trace = MakeTrace(4000, 4, /*seed=*/23);
+  for (const auto policy : {RouterPolicy::kHash, RouterPolicy::kLeastLoaded,
+                            RouterPolicy::kPowerOfTwo}) {
+    auto batch = MakeRouter(policy, placement, nullptr, /*seed=*/31);
+    auto serial = MakeRouter(policy, placement, nullptr, /*seed=*/31);
+    EXPECT_EQ(batch->RouteAll(trace), RouteSerially(*serial, trace))
+        << ToString(policy);
+    // After Reset() the batch path replays the same sequence.
+    batch->Reset();
+    serial->Reset();
+    EXPECT_EQ(batch->RouteAll(trace), RouteSerially(*serial, trace))
+        << ToString(policy) << " after Reset";
   }
 }
 
@@ -86,9 +113,9 @@ TEST(Router, ResetReproducesTheDecisionSequence) {
   for (const auto policy : {RouterPolicy::kHash, RouterPolicy::kLeastLoaded,
                             RouterPolicy::kPowerOfTwo}) {
     auto router = MakeRouter(policy, placement, nullptr, /*seed=*/7);
-    const auto first = RouteAll(*router, trace);
+    const auto first = RouteSerially(*router, trace);
     router->Reset();
-    EXPECT_EQ(RouteAll(*router, trace), first) << ToString(policy);
+    EXPECT_EQ(RouteSerially(*router, trace), first) << ToString(policy);
   }
 }
 
@@ -101,9 +128,9 @@ TEST(Router, PoliciesActuallyDiffer) {
   auto hash = MakeRouter(RouterPolicy::kHash, placement, nullptr, 1);
   auto least = MakeRouter(RouterPolicy::kLeastLoaded, placement, nullptr, 1);
   auto po2c = MakeRouter(RouterPolicy::kPowerOfTwo, placement, nullptr, 1);
-  const auto h = RouteAll(*hash, trace);
-  const auto l = RouteAll(*least, trace);
-  const auto p = RouteAll(*po2c, trace);
+  const auto h = RouteSerially(*hash, trace);
+  const auto l = RouteSerially(*least, trace);
+  const auto p = RouteSerially(*po2c, trace);
   EXPECT_NE(h, l);
   EXPECT_NE(h, p);
   EXPECT_NE(l, p);
@@ -115,14 +142,16 @@ TEST(SplitTrace, DenseLocalIdsAndModelRemap) {
   auto router = MakeRouter(RouterPolicy::kHash, placement, nullptr, 1);
   const auto split = SplitTrace(trace, *router, placement);
 
-  ASSERT_EQ(split.per_server.size(), 4u);
-  ASSERT_EQ(split.global_ids.size(), 4u);
+  ASSERT_EQ(split.num_servers(), 4);
+  ASSERT_EQ(split.arena.size(), trace.size());
+  ASSERT_EQ(split.global_ids.size(), trace.size());
   std::size_t total = 0;
   std::vector<bool> seen(trace.size(), false);
   for (int s = 0; s < 4; ++s) {
     const auto& sp = placement.server(s);
-    const auto& queries = split.per_server[s].queries();
-    ASSERT_EQ(split.global_ids[s].size(), queries.size());
+    const auto queries = split.Server(s);
+    const auto gids = split.GlobalIds(s);
+    ASSERT_EQ(gids.size(), queries.size());
     for (std::size_t i = 0; i < queries.size(); ++i) {
       // Engine contract: local ids are dense injection indices.
       EXPECT_EQ(queries[i].id, i);
@@ -130,7 +159,7 @@ TEST(SplitTrace, DenseLocalIdsAndModelRemap) {
       ASSERT_GE(queries[i].model_id, 0);
       ASSERT_LT(queries[i].model_id,
                 static_cast<int>(sp.model_ids.size()));
-      const auto gid = split.global_ids[s][i];
+      const auto gid = gids[i];
       ASSERT_LT(gid, trace.size());
       EXPECT_FALSE(seen[gid]) << "query " << gid << " routed twice";
       seen[gid] = true;
@@ -145,6 +174,61 @@ TEST(SplitTrace, DenseLocalIdsAndModelRemap) {
     total += queries.size();
   }
   EXPECT_EQ(total, trace.size());
+}
+
+TEST(SplitTrace, FastSplitMatchesReferenceRecordForRecord) {
+  // The two-pass arena split and the retained per-query reference path
+  // must agree on every byte of every sub-trace, for every policy.
+  const auto placement = ShardedPlacement(6, 4, 2);
+  const auto trace = MakeTrace(3000, 4, /*seed=*/29);
+  for (const auto policy : {RouterPolicy::kHash, RouterPolicy::kLeastLoaded,
+                            RouterPolicy::kPowerOfTwo}) {
+    auto fast_router = MakeRouter(policy, placement, nullptr, /*seed=*/71);
+    auto ref_router = MakeRouter(policy, placement, nullptr, /*seed=*/71);
+    const auto fast = SplitTrace(trace, *fast_router, placement);
+    const auto ref = SplitTraceReference(trace, *ref_router, placement);
+    ASSERT_EQ(fast.offsets, ref.offsets) << ToString(policy);
+    ASSERT_EQ(fast.global_ids, ref.global_ids) << ToString(policy);
+    ASSERT_EQ(fast.arena.size(), ref.arena.size()) << ToString(policy);
+    for (std::size_t i = 0; i < fast.arena.size(); ++i) {
+      EXPECT_EQ(fast.arena[i].id, ref.arena[i].id) << ToString(policy);
+      EXPECT_EQ(fast.arena[i].arrival, ref.arena[i].arrival)
+          << ToString(policy);
+      EXPECT_EQ(fast.arena[i].batch, ref.arena[i].batch) << ToString(policy);
+      EXPECT_EQ(fast.arena[i].model_id, ref.arena[i].model_id)
+          << ToString(policy);
+    }
+  }
+}
+
+TEST(Router, UnplacedModelThrowsLogicErrorNamingTheModel) {
+  // Regression: routing a model no server hosts used to be UB (indexing
+  // an out-of-range / empty replica set); every policy must now throw a
+  // logic_error that names the offending model, on both the per-query
+  // and the batch path.
+  const auto placement = ShardedPlacement(3, 2, 2);
+  workload::Query stray;
+  stray.id = 0;
+  stray.model_id = 9;  // only models 0..1 are placed
+  workload::QueryTrace stray_trace(std::vector<workload::Query>{stray});
+  for (const auto policy : {RouterPolicy::kHash, RouterPolicy::kLeastLoaded,
+                            RouterPolicy::kPowerOfTwo}) {
+    auto router = MakeRouter(policy, placement, nullptr, /*seed=*/5);
+    try {
+      router->Route(stray);
+      FAIL() << ToString(policy) << ": Route accepted an unplaced model";
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string(e.what()).find("model 9"), std::string::npos)
+          << ToString(policy) << " message: " << e.what();
+    }
+    router->Reset();
+    EXPECT_THROW(router->RouteAll(stray_trace), std::logic_error)
+        << ToString(policy);
+    router->Reset();
+    EXPECT_THROW(SplitTrace(stray_trace, *router, placement),
+                 std::logic_error)
+        << ToString(policy);
+  }
 }
 
 TEST(Placement, ValidatesAndShards) {

@@ -833,7 +833,8 @@ int CmdFleet(const ArgParser& args) {
   const auto& trace = workload.trace;
   if (replay) rate_qps = trace.OfferedQps();
   const auto result = tb.Run(trace, jobs);
-  const auto stats = result.Stats(tb.sla_target());
+  const auto stats = result.Stats(tb.sla_target(), /*warmup_fraction=*/0.1,
+                                  jobs);
 
   Table t({"metric", "value"});
   t.AddRow({"servers", Table::Int(fc.num_servers)});
