@@ -50,7 +50,7 @@ int main() {
   Rng rng(trace_seed);
   const std::size_t phase = bench::SmokeMode() ? 1500 : 6000;
   const std::size_t queries_per_epoch = phase / 4;
-  // Same stream GenerateDriftingTrace produced before the scenario API.
+  // Phased source: the batch distribution drifts across the day cycle.
   workload::PhasedTraceSource day_cycle(
       arrivals, {{&small, phase}, {&large, phase}, {&small, phase}});
   const auto trace = workload::Take(day_cycle, 3 * phase, rng);

@@ -19,11 +19,16 @@
 // A fleet-scaling leg follows the single-server grid: the same 4-model
 // mix served by a sharded router-fronted fleet (core::FleetTestbed, 100
 // servers / 1M queries in full mode), with every pipeline stage timed
-// fast vs reference:
-//   router_qps  batched RouteAll vs the per-query virtual Route loop,
-//               per policy (hash / least / po2c),
+// fast vs reference through one MeasureStage helper:
+//   router_qps  batched (and, for hash, thread-chunked) RouteAll vs the
+//               per-query virtual Route loop, per policy
+//               (hash / least / po2c),
 //   split_qps   two-pass arena SplitTrace vs the per-query lower_bound
 //               reference split,
+//   sim_qps     the bucketed-calendar fast engine replaying the split at
+//               jobs=1 vs the reference (heap + per-event view refresh)
+//               engine on the identical split -- `sim_speedup_jobs1` is
+//               the CI-gated event-core trajectory number,
 //   stats_sec   zero-copy k-way FleetResult::Stats vs the merged-copy
 //               StatsReference,
 //   fleet_qps   the end-to-end pipeline (route + split + simulate +
@@ -90,9 +95,9 @@ double RateFor(const profile::ModelRepertoire& rep,
   return 0.75 * capacity;
 }
 
-// Constant-rate scenario specs drain bit-identically to the legacy
-// GenerateTrace / GenerateMixedTrace streams this bench tracked before
-// the scenario API landed, so the trajectory numbers stay comparable.
+// Constant-rate scenario specs drain bit-identically to the adapter
+// sources (ArrivalTraceSource / MixTraceSource) on the same seed, so the
+// trajectory numbers stay comparable across bench revisions.
 workload::QueryTrace MakeTrace(bool mixed, double rate_qps, std::size_t n,
                                std::uint64_t seed) {
   workload::ScenarioSpec spec;
@@ -165,6 +170,35 @@ double TimeSec(Fn&& fn, int reps) {
     best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
   }
   return best;
+}
+
+struct StageResult {
+  double fast_sec = 0.0;
+  double reference_sec = 0.0;
+  double fast_qps = 0.0;
+  double reference_qps = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+// One fleet pipeline stage, fast vs its retained reference: best-of-reps
+// both sides, identity cross-check, one table row.  Every stage (route,
+// split, sim, stats) funnels through here so a new stage is one call.
+template <typename FastFn, typename RefFn, typename SameFn>
+StageResult MeasureStage(Table& table, const std::string& stage,
+                         const std::string& variant, double n, int reps,
+                         FastFn&& fast_fn, RefFn&& ref_fn, SameFn&& same) {
+  StageResult r;
+  r.fast_sec = TimeSec(fast_fn, reps);
+  r.reference_sec = TimeSec(ref_fn, reps);
+  r.fast_qps = r.fast_sec > 0.0 ? n / r.fast_sec : 0.0;
+  r.reference_qps = r.reference_sec > 0.0 ? n / r.reference_sec : 0.0;
+  r.speedup = r.reference_qps > 0.0 ? r.fast_qps / r.reference_qps : 0.0;
+  r.identical = same();
+  table.AddRow({stage, variant, Table::Num(r.fast_qps, 0),
+                Table::Num(r.reference_qps, 0), Table::Num(r.speedup, 2),
+                r.identical ? "yes" : "NO"});
+  return r;
 }
 
 // Record-for-record equality of two trace splits (arena layout included).
@@ -353,8 +387,9 @@ int main() {
   const double fleet_n = static_cast<double>(fleet_trace.size());
 
   // Stage 1: routing.  Batched RouteAll (devirtualized loop, cached
-  // replica sets, memoized backlog costs) vs the per-query virtual Route
-  // loop, per policy; the assignment vectors must match exactly.
+  // replica sets, memoized backlog costs, thread-chunked for the
+  // stateless hash policy) vs the per-query virtual Route loop, per
+  // policy; the assignment vectors must match exactly.
   Table fleet_table(
       {"stage", "policy", "fast_qps", "reference_qps", "speedup", "identical"});
   core::Json router_qps = core::Json::Object();
@@ -369,16 +404,15 @@ int main() {
     auto fast_router =
         fleet::MakeRouter(policy, fleet.placement(), &zoo, /*seed=*/0x70C5);
     std::vector<int> fast_assign;
-    const double fast_sec = TimeSec(
-        [&] {
-          fast_router->Reset();
-          fast_assign = fast_router->RouteAll(fleet_trace);
-        },
-        route_reps);
     auto ref_router =
         fleet::MakeRouter(policy, fleet.placement(), &zoo, /*seed=*/0x70C5);
     std::vector<int> ref_assign;
-    const double ref_sec = TimeSec(
+    const StageResult r = MeasureStage(
+        fleet_table, "route", ToString(policy), fleet_n, route_reps,
+        [&] {
+          fast_router->Reset();
+          fast_assign = fast_router->RouteAll(fleet_trace, fleet_jobs);
+        },
         [&] {
           ref_router->Reset();
           ref_assign.clear();
@@ -387,84 +421,36 @@ int main() {
             ref_assign.push_back(ref_router->Route(q));
           }
         },
-        route_reps);
-    const bool identical = fast_assign == ref_assign;
-    router_identical = router_identical && identical;
-    const double fast_qps = fast_sec > 0.0 ? fleet_n / fast_sec : 0.0;
-    const double ref_qps = ref_sec > 0.0 ? fleet_n / ref_sec : 0.0;
-    fleet_table.AddRow({"route", ToString(policy), Table::Num(fast_qps, 0),
-                        Table::Num(ref_qps, 0),
-                        Table::Num(ref_qps > 0.0 ? fast_qps / ref_qps : 0.0, 2),
-                        identical ? "yes" : "NO"});
-    router_qps.Set(ToString(policy), fast_qps);
-    router_reference_qps.Set(ToString(policy), ref_qps);
+        [&] { return fast_assign == ref_assign; });
+    router_identical = router_identical && r.identical;
+    router_qps.Set(ToString(policy), r.fast_qps);
+    router_reference_qps.Set(ToString(policy), r.reference_qps);
   }
 
   // Stage 2: trace split.  Two-pass count-then-fill into the flat arena
-  // vs the reference per-query lower_bound remap; record-for-record
-  // identical sub-traces (po2c, the planted fleet policy).
+  // (routing parallelized for stateless policies) vs the reference
+  // per-query lower_bound remap; record-for-record identical sub-traces
+  // (po2c, the planted fleet policy).
   auto split_router = fleet.cluster().MakeFleetRouter();
   fleet::TraceSplit fast_split;
-  const double split_sec = TimeSec(
+  fleet::TraceSplit ref_split;
+  const StageResult split_r = MeasureStage(
+      fleet_table, "split", "po2c", fleet_n, reps,
       [&] {
         split_router->Reset();
-        fast_split =
-            fleet::SplitTrace(fleet_trace, *split_router, fleet.placement());
+        fast_split = fleet::SplitTrace(fleet_trace, *split_router,
+                                       fleet.placement(), fleet_jobs);
       },
-      reps);
-  fleet::TraceSplit ref_split;
-  const double split_ref_sec = TimeSec(
       [&] {
         split_router->Reset();
         ref_split = fleet::SplitTraceReference(fleet_trace, *split_router,
                                                fleet.placement());
       },
-      reps);
-  const bool split_identical = SameSplit(fast_split, ref_split);
-  const double split_qps = split_sec > 0.0 ? fleet_n / split_sec : 0.0;
-  const double split_reference_qps =
-      split_ref_sec > 0.0 ? fleet_n / split_ref_sec : 0.0;
-  fleet_table.AddRow(
-      {"split", "po2c", Table::Num(split_qps, 0),
-       Table::Num(split_reference_qps, 0),
-       Table::Num(split_reference_qps > 0.0 ? split_qps / split_reference_qps
-                                            : 0.0,
-                  2),
-       split_identical ? "yes" : "NO"});
+      [&] { return SameSplit(fast_split, ref_split); });
+  const bool split_identical = split_r.identical;
 
-  // Stage 3: stats reduction over one shared simulate pass.  Zero-copy
-  // parallel Stats (k-way latency merge, no merged record vector) vs the
-  // merged-copy StatsReference; every field must match bit for bit.
-  const auto shared_result = fleet.cluster().SimulateSplit(fast_split,
-                                                           fleet_jobs);
-  fleet::FleetStats fast_stats;
-  const double stats_sec = TimeSec(
-      [&] {
-        fast_stats = shared_result.Stats(fleet.sla_target(),
-                                         /*warmup_fraction=*/0.1, fleet_jobs);
-      },
-      reps);
-  fleet::FleetStats ref_stats;
-  const double stats_reference_sec = TimeSec(
-      [&] {
-        ref_stats = shared_result.StatsReference(fleet.sla_target(),
-                                                 /*warmup_fraction=*/0.1);
-      },
-      reps);
-  const bool stats_identical = SameFleetStats(fast_stats, ref_stats);
-  fleet_table.AddRow(
-      {"stats", "-", Table::Num(stats_sec > 0.0 ? fleet_n / stats_sec : 0.0, 0),
-       Table::Num(
-           stats_reference_sec > 0.0 ? fleet_n / stats_reference_sec : 0.0, 0),
-       Table::Num(stats_sec > 0.0 ? stats_reference_sec / stats_sec : 0.0, 2),
-       stats_identical ? "yes" : "NO"});
-
-  // End to end: route + split + simulate + stats.  The fast pipeline at
-  // --jobs 1 and hardware concurrency; the reference pipeline (per-query
-  // Route inside SplitTraceReference, merged-copy StatsReference) shares
-  // the simulate stage and jobs count, so the speedup isolates the
-  // serial-stage work reduction.  The jobs-1 rerun pins the fleet
-  // driver's bit-identity claim.
+  // Per-server record-stream hash: equal hashes across engine variants
+  // (and jobs counts) back every apples-to-apples claim below.
   const auto hash_fleet = [](const fleet::FleetResult& r) {
     std::uint64_t h = 1469598103934665603ull;
     for (const auto& server : r.per_server) {
@@ -472,12 +458,57 @@ int main() {
     }
     return h;
   };
+
+  // Stage 3: simulate.  The fast event core (bucketed calendar, batched
+  // same-instant dispatch, epoch-coalesced view refresh) vs the reference
+  // engine (binary heap, per-event refresh) replaying the identical split
+  // at jobs=1, so the speedup isolates per-event work, not thread
+  // fan-out.  The reference fleet shares every config knob but the
+  // engine, hence the same placement and per-server seeds.
+  core::FleetTestbedConfig ref_fleet_config = fleet_config;
+  ref_fleet_config.reference_engine = true;
+  const core::FleetTestbed ref_fleet(ref_fleet_config);
+  fleet::FleetResult sim_result;
+  fleet::FleetResult sim_ref_result;
+  const StageResult sim_r = MeasureStage(
+      fleet_table, "sim", "jobs=1", fleet_n, reps,
+      [&] { sim_result = fleet.cluster().SimulateSplit(fast_split, 1); },
+      [&] {
+        sim_ref_result = ref_fleet.cluster().SimulateSplit(fast_split, 1);
+      },
+      [&] { return hash_fleet(sim_result) == hash_fleet(sim_ref_result); });
+  const bool sim_identical = sim_r.identical;
+
+  // Stage 4: stats reduction over the shared simulate result.  Zero-copy
+  // parallel Stats (k-way latency merge, no merged record vector) vs the
+  // merged-copy StatsReference; every field must match bit for bit.
+  fleet::FleetStats fast_stats;
+  fleet::FleetStats ref_stats;
+  const StageResult stats_r = MeasureStage(
+      fleet_table, "stats", "-", fleet_n, reps,
+      [&] {
+        fast_stats = sim_result.Stats(fleet.sla_target(),
+                                      /*warmup_fraction=*/0.1, fleet_jobs);
+      },
+      [&] {
+        ref_stats = sim_result.StatsReference(fleet.sla_target(),
+                                              /*warmup_fraction=*/0.1);
+      },
+      [&] { return SameFleetStats(fast_stats, ref_stats); });
+  const bool stats_identical = stats_r.identical;
+
+  // End to end: route + split + simulate + stats.  The fast pipeline at
+  // --jobs 1 and hardware concurrency; the reference pipeline (per-query
+  // Route inside SplitTraceReference, merged-copy StatsReference) shares
+  // the simulate stage and jobs count, so the speedup isolates the
+  // serial-stage work reduction.  The jobs-1 rerun pins the fleet
+  // driver's bit-identity claim.
   std::uint64_t fleet_hash_jobs1 = 0;
   std::uint64_t fleet_hash_jobsn = 0;
   const auto fast_pipeline = [&](int jobs, std::uint64_t* hash_out) {
     auto router = fleet.cluster().MakeFleetRouter();
     const auto split =
-        fleet::SplitTrace(fleet_trace, *router, fleet.placement());
+        fleet::SplitTrace(fleet_trace, *router, fleet.placement(), jobs);
     const auto result = fleet.cluster().SimulateSplit(split, jobs);
     if (hash_out != nullptr) *hash_out = hash_fleet(result);
     const auto stats =
@@ -513,16 +544,20 @@ int main() {
             << " servers, sharded, po2c, " << fleet_trace.size()
             << " queries, jobs=" << fleet_jobs << "):\n";
   fleet_table.Print(std::cout);
+  std::cout << "sim stage (jobs=1): " << Table::Num(sim_r.speedup, 2)
+            << "x over the reference event core\n";
   std::cout << "fleet pipeline: " << Table::Num(fleet_qps, 0)
             << " queries/sec end-to-end ("
             << Table::Num(fleet_qps_jobs1, 0) << " at jobs=1), "
             << Table::Num(fleet_speedup, 2)
             << "x over the reference pipeline, jobs-1 identical: "
             << (fleet_identical ? "yes" : "NO") << "\n";
-  if (!router_identical || !split_identical || !stats_identical) {
+  if (!router_identical || !split_identical || !sim_identical ||
+      !stats_identical) {
     std::cerr << "error: a fleet fast path diverged from its reference"
               << " (router " << router_identical << ", split "
-              << split_identical << ", stats " << stats_identical << ")\n";
+              << split_identical << ", sim " << sim_identical << ", stats "
+              << stats_identical << ")\n";
     return 1;
   }
   if (!fleet_identical) {
@@ -541,11 +576,15 @@ int main() {
   data.Set("router_qps", std::move(router_qps));
   data.Set("router_reference_qps", std::move(router_reference_qps));
   data.Set("router_identical", router_identical);
-  data.Set("split_qps", split_qps);
-  data.Set("split_reference_qps", split_reference_qps);
+  data.Set("split_qps", split_r.fast_qps);
+  data.Set("split_reference_qps", split_r.reference_qps);
   data.Set("split_identical", split_identical);
-  data.Set("stats_sec", stats_sec);
-  data.Set("stats_reference_sec", stats_reference_sec);
+  data.Set("sim_qps", sim_r.fast_qps);
+  data.Set("sim_reference_qps", sim_r.reference_qps);
+  data.Set("sim_speedup_jobs1", sim_r.speedup);
+  data.Set("sim_identical", sim_identical);
+  data.Set("stats_sec", stats_r.fast_sec);
+  data.Set("stats_reference_sec", stats_r.reference_sec);
   data.Set("stats_identical", stats_identical);
   data.Set("fleet_qps", fleet_qps);
   data.Set("fleet_qps_jobs1", fleet_qps_jobs1);

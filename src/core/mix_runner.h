@@ -86,7 +86,7 @@ class MixTestbed {
   // `rate_qps` total offered load: constant rate, static weights, this
   // config's batch distributions.  Presets and key=val overrides
   // (workload::ApplyScenario) reshape it; drained unmodified it is
-  // bit-identical to the legacy GenerateMixedTrace stream.
+  // bit-identical to MixTraceSource on the same spec and seed.
   workload::ScenarioSpec ScenarioFor(double rate_qps) const;
 
   // Interleaved multi-model trace at `rate_qps` total offered load

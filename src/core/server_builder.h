@@ -100,8 +100,8 @@ class Testbed {
   // The declarative scenario equivalent of this testbed's workload at
   // `rate_qps`: one component (this model), constant rate, this config's
   // batch distribution.  Presets and overrides (workload::ApplyScenario)
-  // reshape it; drained unmodified it is bit-identical to the legacy
-  // GenerateTrace stream.
+  // reshape it; drained unmodified it is bit-identical to
+  // ArrivalTraceSource on the same spec and seed.
   workload::ScenarioSpec ScenarioFor(double rate_qps) const;
 
   // Replays an explicit trace (generated, captured, or loaded) on a server

@@ -71,7 +71,7 @@ std::unique_ptr<Router> Cluster::MakeFleetRouter() const {
 FleetResult Cluster::Simulate(const workload::QueryTrace& trace,
                               int jobs) const {
   const auto router = MakeFleetRouter();
-  return SimulateSplit(SplitTrace(trace, *router, placement_), jobs);
+  return SimulateSplit(SplitTrace(trace, *router, placement_, jobs), jobs);
 }
 
 FleetResult Cluster::SimulateSplit(const TraceSplit& split, int jobs) const {

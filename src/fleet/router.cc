@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/sim_time.h"
+#include "common/thread_pool.h"
 
 namespace pe::fleet {
 
@@ -180,13 +181,61 @@ class HashRouter final : public Router {
   std::vector<int> RouteAll(const workload::QueryTrace& trace) override {
     const std::vector<workload::Query>& queries = trace.queries();
     const std::vector<ReplicaRef> reps = CacheReplicas(placement_);
-    // The per-model salt Mix64(model_id) is query-independent; hoist it.
-    std::vector<std::uint64_t> salt(reps.size());
-    for (std::size_t m = 0; m < reps.size(); ++m) {
+    const std::vector<std::uint64_t> salt = HoistSalts(reps.size());
+    std::vector<int> out(queries.size());
+    RouteRange(queries, reps, salt, out, 0, queries.size());
+    return out;
+  }
+
+  std::vector<int> RouteAll(const workload::QueryTrace& trace,
+                            int jobs) override {
+    const std::vector<workload::Query>& queries = trace.queries();
+    if (jobs <= 1 || queries.size() < kParallelGrain) return RouteAll(trace);
+    const std::vector<ReplicaRef> reps = CacheReplicas(placement_);
+    const std::vector<std::uint64_t> salt = HoistSalts(reps.size());
+    std::vector<int> out(queries.size());
+    // Chunk boundaries depend only on the query count, and out[i] depends
+    // only on query i -- the assignment vector is identical for any jobs
+    // (the serial loop included).  Chunks write disjoint ranges of `out`;
+    // reps/salt are shared read-only.
+    const std::size_t chunks =
+        (queries.size() + kParallelGrain - 1) / kParallelGrain;
+    ParallelMap(chunks, jobs, [&](std::size_t c) {
+      const std::size_t begin = c * kParallelGrain;
+      const std::size_t end =
+          std::min(begin + kParallelGrain, queries.size());
+      RouteRange(queries, reps, salt, out, begin, end);
+      return 0;  // ParallelMap needs a result; the chunk writes in place
+    });
+    return out;
+  }
+
+  void Reset() override {}
+  std::string name() const override { return "hash"; }
+
+ private:
+  // Queries per parallel chunk: coarse enough that pool overhead is noise
+  // against the ~ns-per-query hash kernel, fine enough to spread a
+  // million-query trace over every core.
+  static constexpr std::size_t kParallelGrain = 65536;
+
+  // The per-model salt Mix64(model_id) is query-independent; hoist it.
+  static std::vector<std::uint64_t> HoistSalts(std::size_t num_models) {
+    std::vector<std::uint64_t> salt(num_models);
+    for (std::size_t m = 0; m < num_models; ++m) {
       salt[m] = Mix64(static_cast<std::uint64_t>(m));
     }
-    std::vector<int> out(queries.size());
-    for (std::size_t i = 0; i < queries.size(); ++i) {
+    return salt;
+  }
+
+  // The sealed hash kernel over queries[begin, end): shared by the serial
+  // fast path (one full-range call) and the parallel chunks.
+  static void RouteRange(const std::vector<workload::Query>& queries,
+                         const std::vector<ReplicaRef>& reps,
+                         const std::vector<std::uint64_t>& salt,
+                         std::vector<int>& out, std::size_t begin,
+                         std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
       const workload::Query& q = queries[i];
       if (static_cast<std::uint32_t>(q.model_id) >=
           static_cast<std::uint32_t>(reps.size())) {
@@ -199,13 +248,8 @@ class HashRouter final : public Router {
                                   salt[static_cast<std::size_t>(q.model_id)]) %
                             r.size];
     }
-    return out;
   }
 
-  void Reset() override {}
-  std::string name() const override { return "hash"; }
-
- private:
   const PlacementMap& placement_;
 };
 
@@ -366,6 +410,14 @@ std::vector<int> Router::RouteAll(const workload::QueryTrace& trace) {
   return out;
 }
 
+std::vector<int> Router::RouteAll(const workload::QueryTrace& trace,
+                                  int jobs) {
+  // Stateful-policy fallback: per-query routing mutates policy state in
+  // arrival order, so threads cannot help; `jobs` is deliberately unused.
+  (void)jobs;
+  return RouteAll(trace);
+}
+
 const char* ToString(RouterPolicy policy) {
   switch (policy) {
     case RouterPolicy::kHash:
@@ -401,10 +453,10 @@ std::unique_ptr<Router> MakeRouter(RouterPolicy policy,
 }
 
 TraceSplit SplitTrace(const workload::QueryTrace& trace, Router& router,
-                      const PlacementMap& placement) {
+                      const PlacementMap& placement, int jobs) {
   const std::vector<workload::Query>& queries = trace.queries();
   const int n = placement.num_servers();
-  const std::vector<int> assignment = router.RouteAll(trace);
+  const std::vector<int> assignment = router.RouteAll(trace, jobs);
 
   TraceSplit split;
   split.offsets.assign(static_cast<std::size_t>(n) + 1, 0);

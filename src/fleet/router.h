@@ -72,6 +72,17 @@ class Router {
   // policies override it with devirtualized single-policy loops.
   virtual std::vector<int> RouteAll(const workload::QueryTrace& trace);
 
+  // Parallel batch path: same assignment vector, computed with up to
+  // `jobs` threads when the policy is stateless (each query routed
+  // independently of every other).  `hash` chunks the trace across a
+  // thread pool -- out[i] depends only on query i, so the result is
+  // bit-identical at any jobs count by construction.  Stateful policies
+  // (`least`, `po2c` advance backlog clocks / an RNG stream per query)
+  // ignore `jobs` and run the serial fast path; this base implementation
+  // is that fallback.
+  virtual std::vector<int> RouteAll(const workload::QueryTrace& trace,
+                                    int jobs);
+
   // Restores the construction-time state (backlog clocks, RNG stream), so
   // the same query sequence re-routes identically.
   virtual void Reset() = 0;
@@ -125,11 +136,13 @@ struct TraceSplit {
 // arena: RouteAll() yields the assignment vector, a counting pass sizes
 // every span exactly, and the fill pass writes each query once -- no
 // per-server vector growth, no lower_bound remap per query (the
-// placement's precomputed LocalModel tables serve the remap).  Throws
-// std::logic_error if a query references a model no server hosts, or if
-// the router returns a server id out of range / not hosting the model.
+// placement's precomputed LocalModel tables serve the remap).  `jobs`
+// feeds the router's parallel batch path (stateless policies only; see
+// Router::RouteAll).  Throws std::logic_error if a query references a
+// model no server hosts, or if the router returns a server id out of
+// range / not hosting the model.
 TraceSplit SplitTrace(const workload::QueryTrace& trace, Router& router,
-                      const PlacementMap& placement);
+                      const PlacementMap& placement, int jobs = 1);
 
 // Retained reference implementation: per-query Route() calls into growing
 // per-server buckets with a lower_bound model remap, packed into the same

@@ -78,7 +78,9 @@ class WorkerView {
   // Twait of worker i alone (== Get(i).wait_ticks).  The one
   // time-dependent field; a live view can answer it without
   // re-materializing the whole snapshot, which is what ELSA's inner scan
-  // is bound by at large W.
+  // is bound by at large W.  Time dependence is tracked by a view-global
+  // epoch the engine advances once per distinct simulated instant, so a
+  // burst of same-timestamp consultations shares one refresh per worker.
   virtual SimTime WaitTicks(std::size_t i) const { return Get(i).wait_ticks; }
 
   // True for a long-lived, server-owned view whose Get() positions are

@@ -40,16 +40,17 @@ const sched::WorkerState& InferenceServer::LiveWorkerView::Get(
   Slot& slot = slots_[i];
   // Idle-or-queued-only workers have a time-independent snapshot, so the
   // version check alone suffices; a busy worker's Twait remainder shrinks
-  // as time advances, hence the extra timestamp check.
+  // as time advances, hence the extra time-epoch check (the event loop
+  // bumps the epoch once per distinct instant).
   if (slot.seen_version != w.version()) {
     slot.state = w.Snapshot(server_.now_);
     slot.seen_version = w.version();
-    slot.seen_at = server_.now_;
-  } else if (w.busy() && slot.seen_at != server_.now_) {
+    slot.seen_epoch = time_epoch_;
+  } else if (w.busy() && slot.seen_epoch != time_epoch_) {
     // Same worker state, later instant: only Twait's in-flight remainder
     // moved; everything else in the snapshot is version-covered.
     slot.state.wait_ticks = w.EstimatedWait(server_.now_);
-    slot.seen_at = server_.now_;
+    slot.seen_epoch = time_epoch_;
   }
   return slot.state;
 }
@@ -113,6 +114,7 @@ void InferenceServer::Reset() {
   // incarnations -- Run after Run, or the experiment engine replaying
   // probes -- keeps its event/arrival/record capacity instead of
   // reallocating it each time.
+  calendar_.Clear();
   events_.clear();
   arrivals_.clear();
   arrival_cursor_ = 0;
@@ -164,8 +166,12 @@ void InferenceServer::SyncIdle(const PartitionWorker& worker) {
 
 void InferenceServer::PushWithSeq(SimTime time, std::uint64_t seq,
                                   EventType type, std::uint32_t payload) {
-  events_.push_back(Event{time, seq, payload, type});
-  std::push_heap(events_.begin(), events_.end(), std::greater<Event>{});
+  if (config_.reference_engine) {
+    events_.push_back(Event{time, seq, payload, type});
+    std::push_heap(events_.begin(), events_.end(), std::greater<Event>{});
+  } else {
+    calendar_.Push(Event{time, seq, payload, type});
+  }
 }
 
 void InferenceServer::Push(SimTime time, EventType type,
@@ -174,14 +180,20 @@ void InferenceServer::Push(SimTime time, EventType type,
 }
 
 bool InferenceServer::PopNextEvent(SimTime bound, bool bounded, Event& ev) {
-  const bool have_heap = !events_.empty();
+  // Both paths expose their pending minimum the same way: a pointer that
+  // is null when the structure is empty.  The calendar's Peek caches the
+  // located minimum, so the Pop below re-scans nothing.
+  const bool reference = config_.reference_engine;
+  const Event* head = reference
+                          ? (events_.empty() ? nullptr : &events_.front())
+                          : calendar_.Peek();
   const bool have_arrival = arrival_cursor_ < arrivals_.size();
-  if (!have_heap && !have_arrival) return false;
+  if (head == nullptr && !have_arrival) return false;
   bool take_arrival = have_arrival;
-  if (have_heap && have_arrival) {
+  if (head != nullptr && have_arrival) {
     const PendingArrival& a = arrivals_[arrival_cursor_];
-    const Event& h = events_.front();
-    take_arrival = a.time != h.time ? a.time < h.time : a.seq < h.seq;
+    take_arrival =
+        a.time != head->time ? a.time < head->time : a.seq < head->seq;
   }
   if (take_arrival) {
     const PendingArrival& a = arrivals_[arrival_cursor_];
@@ -189,10 +201,14 @@ bool InferenceServer::PopNextEvent(SimTime bound, bool bounded, Event& ev) {
     ev = Event{a.time, a.seq, a.query, EventType::kArrival};
     ++arrival_cursor_;
   } else {
-    if (bounded && events_.front().time >= bound) return false;
-    ev = events_.front();
-    std::pop_heap(events_.begin(), events_.end(), std::greater<Event>{});
-    events_.pop_back();
+    if (bounded && head->time >= bound) return false;
+    if (reference) {
+      ev = *head;
+      std::pop_heap(events_.begin(), events_.end(), std::greater<Event>{});
+      events_.pop_back();
+    } else {
+      ev = calendar_.Pop();
+    }
   }
   return true;
 }
@@ -507,21 +523,33 @@ void InferenceServer::ProcessEvent(const Event& ev) {
   }
 }
 
-void InferenceServer::AdvanceTo(SimTime when) {
+void InferenceServer::SetNow(SimTime when) {
+  if (when == now_) return;
+  now_ = when;
+  view_.BeginInstant();
+}
+
+void InferenceServer::DrainEvents(SimTime bound, bool bounded) {
+  // The batched same-instant sweep: SetNow moves the clock (and the live
+  // view's time epoch) only when the popped event's timestamp differs from
+  // the current one, so a burst of events at one instant -- simultaneous
+  // completions, a same-tick arrival train -- shares a single epoch and
+  // each busy worker's wait ticks refresh at most once for the whole
+  // burst.
   Event ev;
-  while (PopNextEvent(when, /*bounded=*/true, ev)) {
-    now_ = ev.time;
+  while (PopNextEvent(bound, bounded, ev)) {
+    SetNow(ev.time);
     ProcessEvent(ev);
   }
-  now_ = std::max(now_, when);
+}
+
+void InferenceServer::AdvanceTo(SimTime when) {
+  DrainEvents(when, /*bounded=*/true);
+  if (when > now_) SetNow(when);
 }
 
 SimResult InferenceServer::Finish() {
-  Event ev;
-  while (PopNextEvent(0, /*bounded=*/false, ev)) {
-    now_ = ev.time;
-    ProcessEvent(ev);
-  }
+  DrainEvents(0, /*bounded=*/false);
   return SimResult{std::move(records_)};
 }
 

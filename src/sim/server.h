@@ -27,15 +27,25 @@
 //    per consultation -- draining a long central queue after a
 //    reconfiguration is no longer O(Q*W);
 //  * injected arrivals are (typically) already time-sorted, so they live
-//    in a flat cursor merged on the fly with a small binary heap that
-//    holds only worker/frontend/reconfiguration events; a million-query
-//    trace no longer sits in the priority queue.  Arrivals injected out
-//    of order mid-run still work -- they fall back to the heap.
+//    in a flat cursor merged on the fly with the pending-event calendar;
+//    a million-query trace never sits in the priority structure at all;
+//  * worker/frontend/reconfiguration events (and out-of-order arrival
+//    injections, which fall off the sorted cursor) live in a two-level
+//    bucketed EventCalendar -- a near-future bucket wheel plus a sorted
+//    overflow spill -- so the dominant completion -> dispatch ->
+//    completion cycle is O(1) amortized instead of the binary heap's
+//    O(log E) (see sim/event_calendar.h);
+//  * the event loop drains every event at the same timestamp in one
+//    sweep: the current time is written, the bound re-checked, and the
+//    live view's time epoch bumped once per distinct instant, so wide
+//    servers refresh busy-worker wait ticks at most once per instant
+//    rather than re-validating per event.
 // ServerConfig::reference_engine re-enables the pre-optimization
-// implementation; both paths produce bit-identical SimResults (the event
-// order is the same total (time, seq) order), asserted record-by-record
-// by the golden determinism suite and measured by
-// bench_engine_throughput.
+// implementation (every event in one binary heap, per-consultation
+// snapshot vectors, uncompiled profile lookups); both paths produce
+// bit-identical SimResults (the event order is the same total (time, seq)
+// order), asserted record-by-record by the golden determinism suite and
+// measured by bench_engine_throughput.
 //
 // A live reconfiguration models a MIG layout change as a first-class
 // simulation event: in-flight queries drain on the old layout, queued work
@@ -60,6 +70,7 @@
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "profile/compiled_profile.h"
+#include "sim/event_calendar.h"
 #include "profile/model_repertoire.h"
 #include "profile/profile_table.h"
 #include "sched/scheduler.h"
@@ -173,27 +184,8 @@ class InferenceServer {
   const std::vector<PartitionWorker>& workers() const { return workers_; }
 
  private:
-  enum class EventType : std::uint8_t {
-    kArrival,
-    kFrontendDone,
-    kWorkerDone,
-    kReconfigDone
-  };
-
-  // 24 bytes: time + the shared seq tie-breaker + a packed payload.  The
-  // heap holds only worker/frontend/reconfig events on the fast path, so
-  // the struct stays small and cache-friendly.
-  struct Event {
-    SimTime time = 0;
-    std::uint64_t seq = 0;  // tie-breaker: deterministic FIFO order
-    std::uint32_t payload = 0;  // query index, worker index, or reconfig gen
-    EventType type = EventType::kArrival;
-
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
-  };
+  // The Event record and EventType live in sim/event_calendar.h beside
+  // the structure that orders them.
 
   // An injected arrival on the sorted cursor; `seq` is drawn from the
   // same counter as heap events so the merged pop order reproduces the
@@ -206,11 +198,15 @@ class InferenceServer {
 
   // Server-owned incremental scheduler view.  WorkerState snapshots are
   // cached per worker and re-materialized only when the worker's version
-  // ticked or, for busy workers, when simulated time moved (the in-flight
-  // remainder of Twait is the one time-dependent term); Get is O(1) and
-  // the per-consultation O(W) vector rebuild of the reference path
-  // disappears.  layout_version() is process-unique per BuildWorkers so
-  // schedulers can cache per-layout derived state against it.
+  // ticked or, for busy workers, when the view's time epoch moved (the
+  // in-flight remainder of Twait is the one time-dependent term); Get is
+  // O(1) and the per-consultation O(W) vector rebuild of the reference
+  // path disappears.  The epoch is bumped by the event loop exactly once
+  // per distinct simulated instant (the batched same-timestamp sweep), so
+  // however many events land on one timestamp, each busy worker's wait
+  // ticks refresh at most once for it.  layout_version() is
+  // process-unique per BuildWorkers so schedulers can cache per-layout
+  // derived state against it.
   class LiveWorkerView final : public sched::WorkerView {
    public:
     explicit LiveWorkerView(const InferenceServer& server)
@@ -226,16 +222,20 @@ class InferenceServer {
     std::uint64_t layout_version() const override { return version_; }
 
     void OnLayoutChange(std::size_t num_workers);
+    // One call per distinct simulated instant: invalidates every busy
+    // worker's cached wait ticks in O(1) by moving the shared epoch.
+    void BeginInstant() { ++time_epoch_; }
 
    private:
     struct Slot {
       sched::WorkerState state;
       std::uint64_t seen_version = std::numeric_limits<std::uint64_t>::max();
-      SimTime seen_at = -1;
+      std::uint64_t seen_epoch = std::numeric_limits<std::uint64_t>::max();
     };
 
     const InferenceServer& server_;
     std::uint64_t version_ = 0;
+    std::uint64_t time_epoch_ = 0;
     mutable std::vector<Slot> slots_;
   };
 
@@ -243,10 +243,18 @@ class InferenceServer {
   void Push(SimTime time, EventType type, std::uint32_t payload);
   void PushWithSeq(SimTime time, std::uint64_t seq, EventType type,
                    std::uint32_t payload);
-  // Pops the earliest pending event (merging the heap with the arrival
-  // cursor by (time, seq)) into `ev`.  With `bounded`, events at or after
-  // `bound` stay pending.  Returns false when nothing qualifies.
+  // Pops the earliest pending event (merging the calendar -- or, on the
+  // reference path, the heap -- with the arrival cursor by (time, seq))
+  // into `ev`.  With `bounded`, events at or after `bound` stay pending.
+  // Returns false when nothing qualifies.
   bool PopNextEvent(SimTime bound, bool bounded, Event& ev);
+  // The shared event loop of AdvanceTo/Finish: pops events in (time, seq)
+  // order and drains every event at the same timestamp in one sweep --
+  // the current time is written and the view's time epoch bumped once per
+  // distinct instant.
+  void DrainEvents(SimTime bound, bool bounded);
+  // Moves the clock, bumping the live view's time epoch on real moves.
+  void SetNow(SimTime when);
   void ProcessEvent(const Event& ev);
   // Scheduler consultation for an arrival or a reconfiguration orphan:
   // the fast path hands the scheduler the live view; the reference path
@@ -286,9 +294,12 @@ class InferenceServer {
   // Dense lookup surface compiled from `repertoire_` once per server.
   profile::CompiledProfile compiled_;
 
-  // Worker/frontend/reconfig events (plus out-of-order or reference-path
-  // arrivals): a binary min-heap over (time, seq) kept in a plain vector
-  // so Reset() retains its capacity across incarnations.
+  // Fast path: worker/frontend/reconfig events plus out-of-order arrival
+  // injections, in the two-level bucketed calendar (O(1) amortized).
+  EventCalendar calendar_;
+  // Reference path: the same event population in a binary min-heap over
+  // (time, seq), kept in a plain vector so Reset() retains its capacity
+  // across incarnations.  Unused on the fast path.
   std::vector<Event> events_;
   // In-order arrivals: a flat cursor over the (already time-sorted)
   // injected trace, merged with the heap at pop time.

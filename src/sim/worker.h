@@ -37,8 +37,12 @@ class PartitionWorker {
   // Mutation counter: ticks on every state change that can alter a
   // Snapshot (enqueue/start/finish/queue takeover).  The server's live
   // scheduler view re-materializes a worker's WorkerState only when this
-  // moved -- or, for a busy worker, when simulated time moved, since the
-  // in-flight remainder of Twait is the one time-dependent term.
+  // moved -- or, for a busy worker, when the view's time epoch moved,
+  // since the in-flight remainder of Twait is the one time-dependent
+  // term.  The event loop bumps that epoch once per distinct simulated
+  // instant, so however many same-timestamp events a batched sweep
+  // processes, a busy worker's wait ticks refresh at most once per
+  // instant.
   std::uint64_t version() const { return version_; }
 
   bool busy() const { return current_.has_value(); }

@@ -333,9 +333,9 @@ std::optional<Query> ScenarioTraceSource::Next(Rng& rng) {
     in_burst = now_ < burst_until_;
   }
 
-  // Model pick: one uniform draw walked over the effective weights, in the
-  // legacy GenerateMixedTrace order; single-component scenarios skip the
-  // draw entirely.
+  // Model pick: one uniform draw walked over the effective weights, in
+  // the canonical mixed order (gap, model, batch); single-component
+  // scenarios skip the draw entirely.
   std::size_t k = 0;
   if (spec_.components.size() > 1) {
     if (!static_mix_) EffectiveWeights(t_sec, in_burst, burst_model_);

@@ -17,10 +17,10 @@
 //
 // Determinism contract: a source's output is a pure function of its spec
 // and the Rng stream it is pulled with.  A single-component constant-rate
-// scenario consumes draws in exactly the legacy GenerateTrace order
-// (gap, batch), and a static multi-component one in the GenerateMixedTrace
-// order (gap, model, batch), so both legacy paths are reproduced
-// bit-identically on the same seed (asserted by workload_scenario_test).
+// scenario consumes draws in the canonical single-model order (gap, batch),
+// and a static multi-component one in the mixed order (gap, model, batch),
+// matching the adapter sources below bit-for-bit on the same seed
+// (asserted by workload_scenario_test).
 #pragma once
 
 #include <cstdint>
@@ -61,8 +61,9 @@ QueryTrace Take(TraceSource& source, std::size_t max_queries, Rng& rng);
 
 // ---- Adapters over the legacy generator inputs ---------------------------
 
-// The GenerateTrace shape: one arrival process, one batch distribution,
-// model id fixed at 0.  Both references are borrowed.
+// The single-model shape: one arrival process, one batch distribution,
+// model id fixed at 0.  Both references are borrowed.  Draw order per
+// query is (gap, batch) -- the canonical order every consumer pins.
 class ArrivalTraceSource final : public TraceSource {
  public:
   ArrivalTraceSource(ArrivalProcess& arrivals, const BatchDistribution& dist);
@@ -77,7 +78,7 @@ class ArrivalTraceSource final : public TraceSource {
   std::uint64_t id_ = 0;
 };
 
-// The GenerateDriftingTrace shape: the batch distribution switches across
+// The drifting shape: the batch distribution switches across
 // count-bounded phases while the arrival process runs continuously.  Pulls
 // past the last phase's budget keep its distribution (the tail of the day
 // looks like its final phase).  Throws std::invalid_argument on an empty
@@ -99,9 +100,9 @@ class PhasedTraceSource final : public TraceSource {
   std::uint64_t id_ = 0;
 };
 
-// The GenerateMixedTrace shape: model identity drawn from a MixSpec's
-// shares, batch from the chosen component's distribution.  `mix` is
-// borrowed (components borrow their distributions as usual).
+// The mixed shape: model identity drawn from a MixSpec's shares, batch
+// from the chosen component's distribution, draw order (gap, model,
+// batch).  `mix` is borrowed (components borrow their distributions).
 class MixTraceSource final : public TraceSource {
  public:
   MixTraceSource(ArrivalProcess& arrivals, const MixSpec& mix);

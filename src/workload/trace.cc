@@ -8,8 +8,6 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "workload/scenario.h"
-
 namespace pe::workload {
 
 QueryTrace::QueryTrace(std::vector<Query> queries)
@@ -168,16 +166,6 @@ QueryTrace QueryTrace::LoadCsv(std::istream& is) {
   return QueryTrace(std::move(queries));
 }
 
-QueryTrace GenerateDriftingTrace(ArrivalProcess& arrivals,
-                                 const std::vector<WorkloadPhase>& phases,
-                                 Rng& rng) {
-  if (phases.empty()) return QueryTrace();
-  std::size_t total = 0;
-  for (const auto& phase : phases) total += phase.num_queries;
-  PhasedTraceSource source(arrivals, phases);
-  return Take(source, total, rng);
-}
-
 std::vector<double> MixSpec::NormalizedShares() const {
   if (components.empty()) {
     throw std::invalid_argument("MixSpec: no components");
@@ -197,19 +185,6 @@ std::vector<double> MixSpec::NormalizedShares() const {
   }
   for (double& s : shares) s /= total;
   return shares;
-}
-
-QueryTrace GenerateMixedTrace(ArrivalProcess& arrivals, const MixSpec& mix,
-                              std::size_t num_queries, Rng& rng) {
-  MixTraceSource source(arrivals, mix);
-  return Take(source, num_queries, rng);
-}
-
-QueryTrace GenerateTrace(ArrivalProcess& arrivals,
-                         const BatchDistribution& batches,
-                         std::size_t num_queries, Rng& rng) {
-  ArrivalTraceSource source(arrivals, batches);
-  return Take(source, num_queries, rng);
 }
 
 }  // namespace pe::workload

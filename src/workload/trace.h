@@ -64,36 +64,13 @@ class QueryTrace {
   std::vector<Query> queries_;  // sorted by arrival time
 };
 
-// DEPRECATED: thin adapter over workload::ArrivalTraceSource + Take()
-// (workload/scenario.h); bit-identical to the historical implementation on
-// the same Rng stream.  New code should build a TraceSource (or a
-// ScenarioSpec) directly.  Scheduled for removal one release after the
-// scenario API lands.
-//
-// Generates `num_queries` queries starting at time zero.
-QueryTrace GenerateTrace(ArrivalProcess& arrivals,
-                         const BatchDistribution& batches,
-                         std::size_t num_queries, Rng& rng);
-
 // One phase of a drifting workload: `num_queries` drawn from `dist`.
-// `dist` is borrowed and must outlive the GenerateDriftingTrace call.
+// `dist` is borrowed and must outlive the consuming PhasedTraceSource
+// (workload/scenario.h).
 struct WorkloadPhase {
   const BatchDistribution* dist = nullptr;
   std::size_t num_queries = 0;
 };
-
-// DEPRECATED: thin adapter over workload::PhasedTraceSource + Take()
-// (workload/scenario.h); bit-identical to the historical implementation on
-// the same Rng stream.  Scheduled for removal one release after the
-// scenario API lands.
-//
-// Generates a trace whose batch-size distribution changes across phases
-// (e.g. the morning's small-batch traffic turning into the evening's
-// large-batch traffic) while the arrival process runs continuously.
-// Used by the online re-partitioning extension.
-QueryTrace GenerateDriftingTrace(ArrivalProcess& arrivals,
-                                 const std::vector<WorkloadPhase>& phases,
-                                 Rng& rng);
 
 // ---- Mixed-model workloads ---------------------------------------------
 
@@ -107,6 +84,7 @@ struct MixComponent {
 };
 
 // A multi-model traffic mix: per-model rate shares + batch distributions.
+// Consumed by MixTraceSource (workload/scenario.h).
 struct MixSpec {
   std::vector<MixComponent> components;
 
@@ -115,17 +93,5 @@ struct MixSpec {
   // all-zero total.
   std::vector<double> NormalizedShares() const;
 };
-
-// DEPRECATED: thin adapter over workload::MixTraceSource + Take()
-// (workload/scenario.h); bit-identical to the historical implementation on
-// the same Rng stream.  Scheduled for removal one release after the
-// scenario API lands.
-//
-// Generates `num_queries` queries whose model identity is drawn from the
-// mix's shares and whose batch from the chosen component's distribution.
-// With a single component no model-selection draw is consumed, so the
-// one-model mix is bit-identical to GenerateTrace on the same Rng stream.
-QueryTrace GenerateMixedTrace(ArrivalProcess& arrivals, const MixSpec& mix,
-                              std::size_t num_queries, Rng& rng);
 
 }  // namespace pe::workload

@@ -20,6 +20,7 @@
 #include "sim/server.h"
 #include "workload/arrival.h"
 #include "workload/batch_dist.h"
+#include "workload/scenario.h"
 #include "workload/trace.h"
 
 namespace pe::sim {
@@ -65,13 +66,15 @@ workload::QueryTrace MakeTraceFor(const profile::ModelRepertoire& rep,
   workload::LogNormalBatchDist d1(4.0, 0.7, 32);
   workload::LogNormalBatchDist d2(9.0, 0.8, 32);
   if (rep.size() == 1) {
-    return workload::GenerateTrace(arrivals, d0, n, rng);
+    workload::ArrivalTraceSource source(arrivals, d0);
+    return workload::Take(source, n, rng);
   }
   workload::MixSpec mix;
   mix.components.push_back({0, 0.5, &d0});
   mix.components.push_back({1, 0.3, &d1});
   mix.components.push_back({2, 0.2, &d2});
-  return workload::GenerateMixedTrace(arrivals, mix, n, rng);
+  workload::MixTraceSource source(arrivals, mix);
+  return workload::Take(source, n, rng);
 }
 
 enum class Sched { kFifs, kElsa };
@@ -195,6 +198,123 @@ TEST(EngineGolden, OutOfOrderInjectionMatchesReference) {
     results.push_back(server.Finish().records);
   }
   ExpectIdenticalRecords(results[0], results[1], "out-of-order");
+}
+
+// Calendar-ordering scenarios: each stresses one structural mechanism of
+// the bucketed event calendar (sim/event_calendar.h) and pins the result
+// record-by-record against the reference engine's single binary heap.
+
+// Same-timestamp bursts: many arrivals share one instant, so their
+// frontend/worker completion events collide on single timestamps too; the
+// (time, seq) tie-break must order them across calendar buckets exactly
+// as the heap does, and the batched same-instant sweep must not perturb
+// scheduler decisions made mid-burst.
+TEST(EngineGolden, SameInstantBurstTieBreakMatchesReference) {
+  const auto rep = MakeRepertoire(1);
+  ServerConfig config;
+  config.partition_gpcs = {1, 1, 2, 7};
+  config.sla_target = MsToTicks(30.0);
+  config.seed = 17;
+  config.frontend.enabled = true;  // same-instant frontend-done trains
+  config.frontend.lanes = 3;
+  std::vector<workload::Query> qs;
+  for (std::size_t burst = 0; burst < 50; ++burst) {
+    const SimTime at = MsToTicks(5.0 * static_cast<double>(burst));
+    for (int k = 0; k < 8; ++k) {
+      workload::Query q;
+      q.id = qs.size();
+      q.arrival = at;  // every query of the burst lands on one tick
+      q.batch = 1 + (k % 4) * 8;
+      qs.push_back(q);
+    }
+  }
+  const workload::QueryTrace trace(std::move(qs));
+  std::vector<std::vector<QueryRecord>> results;
+  for (const bool reference : {false, true}) {
+    auto c = config;
+    c.reference_engine = reference;
+    sched::FifsScheduler fifs;
+    InferenceServer server(c, rep, fifs);
+    results.push_back(server.Run(trace).records);
+  }
+  ExpectIdenticalRecords(results[0], results[1], "same-instant bursts");
+}
+
+// Overflow-spill promotion: out-of-order injections spanning several
+// seconds land far beyond the calendar's initial ~67 ms wheel horizon, so
+// they wait in the spill and are promoted across multiple re-anchors;
+// the pop order must still be the exact global (time, seq) order.
+TEST(EngineGolden, FarFutureSpillPromotionMatchesReference) {
+  const auto rep = MakeRepertoire(1);
+  ServerConfig config;
+  config.partition_gpcs = {1, 7};
+  config.sla_target = MsToTicks(30.0);
+  config.seed = 23;
+  // Alternating near/far arrivals in injection order: every second query
+  // breaks the sorted-cursor invariant and falls into the calendar, with
+  // times spread over ~8 s (hundreds of wheel horizons apart).
+  std::vector<workload::Query> qs;
+  for (std::size_t i = 0; i < 40; ++i) {
+    workload::Query q;
+    q.id = i;
+    q.arrival = (i % 2 == 0)
+                    ? MsToTicks(1.0 * static_cast<double>(i))
+                    : MsToTicks(8000.0 - 150.0 * static_cast<double>(i));
+    q.batch = 4;
+    qs.push_back(q);
+  }
+  std::vector<std::vector<QueryRecord>> results;
+  for (const bool reference : {false, true}) {
+    auto c = config;
+    c.reference_engine = reference;
+    sched::FifsScheduler fifs;
+    InferenceServer server(c, rep, fifs);
+    for (const auto& q : qs) server.InjectQuery(q);
+    results.push_back(server.Finish().records);
+  }
+  ExpectIdenticalRecords(results[0], results[1], "far-future spill");
+}
+
+// Out-of-order fallback under incremental driving: chunked AdvanceTo
+// between injection waves, so calendar pops interleave with clock moves
+// and a partially drained wheel keeps receiving behind-the-cursor pushes.
+TEST(EngineGolden, IncrementalOutOfOrderWavesMatchReference) {
+  const auto rep = MakeRepertoire(1);
+  ServerConfig config;
+  config.partition_gpcs = {1, 2, 7};
+  config.sla_target = MsToTicks(30.0);
+  config.seed = 31;
+  std::vector<std::vector<QueryRecord>> results;
+  for (const bool reference : {false, true}) {
+    auto c = config;
+    c.reference_engine = reference;
+    sched::FifsScheduler fifs;
+    InferenceServer server(c, rep, fifs);
+    std::uint64_t id = 0;
+    for (int wave = 0; wave < 4; ++wave) {
+      const SimTime base = MsToTicks(25.0 * static_cast<double>(wave));
+      // Each wave injects: ahead-of-now in-order arrivals, then a burst
+      // that jumps backwards relative to the previous push (calendar
+      // fallback), all at or after the current clock.
+      for (int k = 0; k < 6; ++k) {
+        workload::Query q;
+        q.id = id++;
+        q.arrival = base + MsToTicks(20.0 + static_cast<double>(k));
+        q.batch = 8;
+        server.InjectQuery(q);
+      }
+      for (int k = 0; k < 6; ++k) {
+        workload::Query q;
+        q.id = id++;
+        q.arrival = base + MsToTicks(5.0 + 2.0 * static_cast<double>(k));
+        q.batch = 2;
+        server.InjectQuery(q);
+      }
+      server.AdvanceTo(base + MsToTicks(25.0));
+    }
+    results.push_back(server.Finish().records);
+  }
+  ExpectIdenticalRecords(results[0], results[1], "incremental waves");
 }
 
 // The elastic driver (epoch advances + controller-ordered live

@@ -16,6 +16,7 @@
 #include "fleet/placement.h"
 #include "workload/arrival.h"
 #include "workload/batch_dist.h"
+#include "workload/scenario.h"
 #include "workload/trace.h"
 
 namespace pe::fleet {
@@ -30,7 +31,8 @@ workload::QueryTrace MakeTrace(std::size_t n, int num_models,
   for (int m = 0; m < num_models; ++m) {
     mix.components.push_back({m, 1.0 / num_models, &dist});
   }
-  return workload::GenerateMixedTrace(arrivals, mix, n, rng);
+  workload::MixTraceSource source(arrivals, mix);
+  return workload::Take(source, n, rng);
 }
 
 // The per-query reference loop (what Router::RouteAll's base

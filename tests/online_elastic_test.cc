@@ -8,6 +8,7 @@
 #include "perf/model_zoo.h"
 #include "profile/profiler.h"
 #include "sched/elsa.h"
+#include "workload/scenario.h"
 
 namespace pe::online {
 namespace {
@@ -170,7 +171,8 @@ TEST_F(ControllerFixture, DriftFreeRunMatchesStaticServerBitIdentical) {
   workload::LogNormalBatchDist dist(4.0, 0.6, 32);
   workload::PoissonArrivals arrivals(250.0);
   Rng rng(9);
-  const auto trace = workload::GenerateTrace(arrivals, dist, 3000, rng);
+  workload::ArrivalTraceSource steady(arrivals, dist);
+  const auto trace = workload::Take(steady, 3000, rng);
 
   const auto& profile = Profile();
   const SimTime sla = SecToTicks(1.5 * profile.LatencySec(7, 32));
@@ -234,8 +236,9 @@ TEST_F(ControllerFixture, SameSeedSameResult) {
   workload::LogNormalBatchDist large(20.0, 0.4, 32);
   workload::PoissonArrivals arrivals(300.0);
   Rng rng(6);
-  const auto trace = workload::GenerateDriftingTrace(
-      arrivals, {{&small, 2000}, {&large, 2000}}, rng);
+  workload::PhasedTraceSource drifting(arrivals,
+                                       {{&small, 2000}, {&large, 2000}});
+  const auto trace = workload::Take(drifting, 4000, rng);
 
   const auto& profile = Profile();
   const SimTime sla = SecToTicks(1.5 * profile.LatencySec(7, 32));
@@ -275,8 +278,9 @@ TEST_F(ControllerFixture, ElasticServerTracksDriftingWorkload) {
   workload::LogNormalBatchDist large(20.0, 0.4, 32);
   workload::PoissonArrivals arrivals(300.0);
   Rng rng(6);
-  const auto trace = workload::GenerateDriftingTrace(
-      arrivals, {{&small, 4000}, {&large, 4000}}, rng);
+  workload::PhasedTraceSource drifting(arrivals,
+                                       {{&small, 4000}, {&large, 4000}});
+  const auto trace = workload::Take(drifting, 8000, rng);
 
   const auto& profile = Profile();
   const SimTime sla = SecToTicks(1.5 * profile.LatencySec(7, 32));

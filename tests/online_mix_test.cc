@@ -10,6 +10,7 @@
 #include "sched/elsa.h"
 #include "workload/arrival.h"
 #include "workload/batch_dist.h"
+#include "workload/scenario.h"
 
 namespace pe::online {
 namespace {
@@ -169,10 +170,10 @@ TEST_F(MixedControllerFixture, MixDriftDrivesLiveReconfiguration) {
 
   workload::PoissonArrivals arrivals(300.0);
   Rng rng(6);
-  const auto phase1 = workload::GenerateMixedTrace(arrivals, balanced, 3000,
-                                                   rng);
-  const auto phase2 = workload::GenerateMixedTrace(arrivals, skewed, 3000,
-                                                   rng);
+  workload::MixTraceSource balanced_source(arrivals, balanced);
+  const auto phase1 = workload::Take(balanced_source, 3000, rng);
+  workload::MixTraceSource skewed_source(arrivals, skewed);
+  const auto phase2 = workload::Take(skewed_source, 3000, rng);
   std::vector<workload::Query> all = phase1.queries();
   const SimTime offset = phase1.Span();
   for (workload::Query q : phase2.queries()) {

@@ -1,12 +1,14 @@
 // Tests for mixed-model workload generation: MixSpec share handling, the
-// one-component bit-identity with GenerateTrace, model-tagged CSV round
-// trips, and the per-model trace split used by dedicated layouts.
+// one-component bit-identity of MixTraceSource with ArrivalTraceSource,
+// model-tagged CSV round trips, and the per-model trace split used by
+// dedicated layouts.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
 #include "workload/arrival.h"
 #include "workload/batch_dist.h"
+#include "workload/scenario.h"
 #include "workload/trace.h"
 
 namespace pe::workload {
@@ -36,19 +38,21 @@ TEST(MixSpec, RejectsDegenerateShares) {
 }
 
 // The degenerate one-model mix must consume the same Rng draws as the
-// single-model generator: bit-identical queries, model_id 0 throughout.
-TEST(GenerateMixedTrace, SingleComponentBitIdenticalToGenerateTrace) {
+// single-model source: bit-identical queries, model_id 0 throughout.
+TEST(MixTraceSource, SingleComponentBitIdenticalToArrivalSource) {
   LogNormalBatchDist dist(6.0, 0.9, 32);
 
   Rng rng_plain(41);
   PoissonArrivals arrivals_plain(250.0);
-  const auto plain = GenerateTrace(arrivals_plain, dist, 2000, rng_plain);
+  ArrivalTraceSource plain_source(arrivals_plain, dist);
+  const auto plain = Take(plain_source, 2000, rng_plain);
 
   Rng rng_mix(41);
   PoissonArrivals arrivals_mix(250.0);
   MixSpec mix;
   mix.components.push_back({0, 1.0, &dist});
-  const auto mixed = GenerateMixedTrace(arrivals_mix, mix, 2000, rng_mix);
+  MixTraceSource mix_source(arrivals_mix, mix);
+  const auto mixed = Take(mix_source, 2000, rng_mix);
 
   ASSERT_EQ(mixed.size(), plain.size());
   for (std::size_t i = 0; i < plain.size(); ++i) {
@@ -61,7 +65,7 @@ TEST(GenerateMixedTrace, SingleComponentBitIdenticalToGenerateTrace) {
   }
 }
 
-TEST(GenerateMixedTrace, SharesRespectedAndIdsDense) {
+TEST(MixTraceSource, SharesRespectedAndIdsDense) {
   LogNormalBatchDist small(3.0, 0.5, 16);
   LogNormalBatchDist large(12.0, 0.5, 16);
   MixSpec mix;
@@ -69,7 +73,8 @@ TEST(GenerateMixedTrace, SharesRespectedAndIdsDense) {
   mix.components.push_back({1, 0.3, &large});
   Rng rng(5);
   PoissonArrivals arrivals(500.0);
-  const auto trace = GenerateMixedTrace(arrivals, mix, 6000, rng);
+  MixTraceSource source(arrivals, mix);
+  const auto trace = Take(source, 6000, rng);
 
   ASSERT_EQ(trace.size(), 6000u);
   EXPECT_EQ(trace.NumModels(), 2);
@@ -88,13 +93,11 @@ TEST(GenerateMixedTrace, SharesRespectedAndIdsDense) {
   EXPECT_NEAR(share1, 0.3, 0.03);
 }
 
-TEST(GenerateMixedTrace, RejectsNullDistribution) {
+TEST(MixTraceSource, RejectsNullDistribution) {
   MixSpec mix;
   mix.components.push_back({0, 1.0, nullptr});
-  Rng rng(1);
   PoissonArrivals arrivals(100.0);
-  EXPECT_THROW(GenerateMixedTrace(arrivals, mix, 10, rng),
-               std::invalid_argument);
+  EXPECT_THROW(MixTraceSource(arrivals, mix), std::invalid_argument);
 }
 
 TEST(QueryTrace, FilterModelRenumbersDensely) {

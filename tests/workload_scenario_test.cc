@@ -1,5 +1,5 @@
-// The scenario-first workload API: adapter bit-identity with the legacy
-// Generate* functions, rate-curve shapes, mix drift, bursts, the preset
+// The scenario-first workload API: adapter bit-identity with the retired
+// Generate* draw order, rate-curve shapes, mix drift, bursts, the preset
 // registry, and spec validation.
 #include "workload/scenario.h"
 
@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <map>
+#include <vector>
 
 #include "workload/trace.h"
 
@@ -27,50 +28,32 @@ void ExpectIdenticalTraces(const QueryTrace& a, const QueryTrace& b) {
 
 // ---- Adapter bit-identity -------------------------------------------------
 
-TEST(TraceSourceAdapters, ArrivalSourceMatchesGenerateTraceBitForBit) {
+// The one retained adapter-parity assertion, now that the Generate*Trace
+// free functions are gone: ArrivalTraceSource must consume draws in
+// exactly the retired GenerateTrace order -- one gap draw then one batch
+// draw per query, arrivals cumulative from time zero, ids dense.  The
+// inline loop below IS that contract; every historical trace (and every
+// seed-pinned result derived from one) depends on it staying fixed.
+TEST(TraceSourceAdapters, ArrivalSourceMatchesLegacyDrawOrderBitForBit) {
   LogNormalBatchDist dist(6.0, 0.9, 32);
   Rng legacy_rng(42);
   PoissonArrivals legacy_arrivals(250.0);
-  const auto legacy =
-      GenerateTrace(legacy_arrivals, dist, 5000, legacy_rng);
+  std::vector<Query> legacy_queries;
+  SimTime now = 0;
+  for (std::size_t i = 0; i < 5000; ++i) {
+    now += legacy_arrivals.NextGap(legacy_rng);
+    Query q;
+    q.id = i;
+    q.arrival = now;
+    q.batch = dist.Sample(legacy_rng);
+    legacy_queries.push_back(q);
+  }
+  const QueryTrace legacy(std::move(legacy_queries));
 
   Rng rng(42);
   PoissonArrivals arrivals(250.0);
   ArrivalTraceSource source(arrivals, dist);
   const auto streamed = Take(source, 5000, rng);
-  ExpectIdenticalTraces(legacy, streamed);
-}
-
-TEST(TraceSourceAdapters, MixSourceMatchesGenerateMixedTraceBitForBit) {
-  LogNormalBatchDist d0(4.0, 0.8, 32);
-  LogNormalBatchDist d1(12.0, 1.1, 32);
-  MixSpec mix;
-  mix.components = {{0, 0.7, &d0}, {1, 0.3, &d1}};
-
-  Rng legacy_rng(7);
-  PoissonArrivals legacy_arrivals(400.0);
-  const auto legacy =
-      GenerateMixedTrace(legacy_arrivals, mix, 5000, legacy_rng);
-
-  Rng rng(7);
-  PoissonArrivals arrivals(400.0);
-  MixTraceSource source(arrivals, mix);
-  const auto streamed = Take(source, 5000, rng);
-  ExpectIdenticalTraces(legacy, streamed);
-}
-
-TEST(TraceSourceAdapters, PhasedSourceMatchesGenerateDriftingTraceBitForBit) {
-  LogNormalBatchDist small(2.0, 0.4, 32);
-  LogNormalBatchDist large(20.0, 0.4, 32);
-  Rng legacy_rng(8);
-  PoissonArrivals legacy_arrivals(200.0);
-  const auto legacy = GenerateDriftingTrace(
-      legacy_arrivals, {{&small, 1000}, {&large, 1000}}, legacy_rng);
-
-  Rng rng(8);
-  PoissonArrivals arrivals(200.0);
-  PhasedTraceSource source(arrivals, {{&small, 1000}, {&large, 1000}});
-  const auto streamed = Take(source, 2000, rng);
   ExpectIdenticalTraces(legacy, streamed);
 }
 
@@ -90,7 +73,8 @@ TEST(TraceSourceAdapters, ReplaySourceIsExactAndFinite) {
   LogNormalBatchDist dist(6.0, 0.9, 32);
   Rng gen_rng(5);
   PoissonArrivals arrivals(100.0);
-  const auto original = GenerateTrace(arrivals, dist, 100, gen_rng);
+  ArrivalTraceSource gen(arrivals, dist);
+  const auto original = Take(gen, 100, gen_rng);
 
   Rng rng(999);  // replay consumes no draws; the seed must not matter
   ReplayTraceSource source(original);
@@ -99,9 +83,9 @@ TEST(TraceSourceAdapters, ReplaySourceIsExactAndFinite) {
   EXPECT_EQ(source.Next(rng), std::nullopt);
 }
 
-// ---- Scenario bit-identity with the legacy paths ---------------------------
+// ---- Scenario bit-identity with the raw adapter sources --------------------
 
-TEST(ScenarioTrace, SteadyOneModelMatchesGenerateTraceBitForBit) {
+TEST(ScenarioTrace, SteadyOneModelMatchesArrivalSourceBitForBit) {
   ScenarioSpec spec;
   spec.rate.base_qps = 300.0;
   spec.max_batch = 32;
@@ -114,11 +98,12 @@ TEST(ScenarioTrace, SteadyOneModelMatchesGenerateTraceBitForBit) {
   Rng rng(42);
   PoissonArrivals arrivals(300.0);
   LogNormalBatchDist dist(6.0, 0.9, 32);
-  const auto legacy = GenerateTrace(arrivals, dist, 5000, rng);
-  ExpectIdenticalTraces(legacy, scenario);
+  ArrivalTraceSource source(arrivals, dist);
+  const auto direct = Take(source, 5000, rng);
+  ExpectIdenticalTraces(direct, scenario);
 }
 
-TEST(ScenarioTrace, SteadyStaticMixMatchesGenerateMixedTraceBitForBit) {
+TEST(ScenarioTrace, SteadyStaticMixMatchesMixSourceBitForBit) {
   ScenarioSpec spec;
   spec.rate.base_qps = 500.0;
   spec.max_batch = 32;
@@ -141,8 +126,9 @@ TEST(ScenarioTrace, SteadyStaticMixMatchesGenerateMixedTraceBitForBit) {
   mix.components = {{0, 0.7, &d0}, {1, 0.3, &d1}};
   Rng rng(77);
   PoissonArrivals arrivals(500.0);
-  const auto legacy = GenerateMixedTrace(arrivals, mix, 5000, rng);
-  ExpectIdenticalTraces(legacy, scenario);
+  MixTraceSource source(arrivals, mix);
+  const auto direct = Take(source, 5000, rng);
+  ExpectIdenticalTraces(direct, scenario);
 }
 
 TEST(ScenarioTrace, DeterministicForSameSeed) {

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "workload/scenario.h"
+
 namespace pe::workload {
 namespace {
 
@@ -12,7 +14,8 @@ QueryTrace MakeTrace(std::size_t n, double rate = 100.0,
   Rng rng(seed);
   PoissonArrivals arrivals(rate);
   LogNormalBatchDist dist(6.0, 0.9, 32);
-  return GenerateTrace(arrivals, dist, n, rng);
+  ArrivalTraceSource source(arrivals, dist);
+  return Take(source, n, rng);
 }
 
 TEST(QueryTrace, GeneratesRequestedCount) {
@@ -160,8 +163,8 @@ TEST(DriftingTrace, PhasesChangeBatchStatistics) {
   PoissonArrivals arrivals(200.0);
   LogNormalBatchDist small(2.0, 0.4, 32);
   LogNormalBatchDist large(20.0, 0.4, 32);
-  const auto trace = GenerateDriftingTrace(
-      arrivals, {{&small, 2000}, {&large, 2000}}, rng);
+  PhasedTraceSource source(arrivals, {{&small, 2000}, {&large, 2000}});
+  const auto trace = Take(source, 4000, rng);
   ASSERT_EQ(trace.size(), 4000u);
   double first = 0.0, second = 0.0;
   for (std::size_t i = 0; i < 2000; ++i) first += trace.queries()[i].batch;
@@ -176,8 +179,8 @@ TEST(DriftingTrace, ArrivalsContinuousAcrossPhases) {
   Rng rng(9);
   PoissonArrivals arrivals(100.0);
   FixedBatchDist a(1), b(8);
-  const auto trace =
-      GenerateDriftingTrace(arrivals, {{&a, 100}, {&b, 100}}, rng);
+  PhasedTraceSource source(arrivals, {{&a, 100}, {&b, 100}});
+  const auto trace = Take(source, 200, rng);
   for (std::size_t i = 1; i < trace.size(); ++i) {
     EXPECT_GT(trace.queries()[i].arrival, trace.queries()[i - 1].arrival);
     EXPECT_EQ(trace.queries()[i].id, i);
@@ -185,11 +188,9 @@ TEST(DriftingTrace, ArrivalsContinuousAcrossPhases) {
 }
 
 TEST(DriftingTrace, NullDistributionRejected) {
-  Rng rng(10);
   PoissonArrivals arrivals(100.0);
-  EXPECT_THROW(
-      GenerateDriftingTrace(arrivals, {{nullptr, 10}}, rng),
-      std::invalid_argument);
+  EXPECT_THROW(PhasedTraceSource(arrivals, {{nullptr, 10}}),
+               std::invalid_argument);
 }
 
 TEST(QueryTrace, EmptyTraceProperties) {
