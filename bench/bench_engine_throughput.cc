@@ -566,6 +566,122 @@ int main() {
     return 1;
   }
 
+  // ------------------------------------------------------------------
+  // Chaos leg: the same fleet under a deterministic serverloss schedule
+  // (fleet/fault.h), with and without degraded-capacity repartition.
+  // Gate 1: an EMPTY fault plan must reproduce the batch pipeline's
+  // record hash bit for bit -- the fault driver costs nothing when
+  // nothing breaks.  Gate 2: conservation -- every injected query ends
+  // terminal (completed + failed + shed == injected), so a crash sheds
+  // loudly instead of losing work.
+  const auto empty_plan_run =
+      fleet.RunWithFaults(fleet_trace, fleet::FaultPlan{}, fleet_jobs);
+  const bool chaos_identity_ok =
+      hash_fleet(empty_plan_run) == fleet_hash_jobsn;
+
+  // Crash ~10% of the fleet permanently, with an end-to-end deadline so
+  // overload behind the outage sheds instead of queueing forever.
+  const std::string chaos_spec =
+      "serverloss:count=" + std::to_string(std::max(1, fleet_servers / 10)) +
+      ",deadline-ms=250";
+  const auto chaos_plan =
+      fleet.ResolveFaults(fleet::ParseFaultRef(chaos_spec), fleet_trace);
+  auto chaos_routing_only = chaos_plan;
+  chaos_routing_only.repartition = false;
+  const auto chaos_run = fleet.RunWithFaults(fleet_trace, chaos_plan,
+                                             fleet_jobs);
+  const auto chaos_no_repart =
+      fleet.RunWithFaults(fleet_trace, chaos_routing_only, fleet_jobs);
+  const auto& chaos = chaos_run.fault;
+  const bool chaos_conserved =
+      chaos.completed + chaos.failed + chaos.shed == chaos.injected &&
+      chaos.injected == fleet_trace.size();
+  double chaos_min_availability = 1.0;
+  for (const double a : chaos.availability) {
+    chaos_min_availability = std::min(chaos_min_availability, a);
+  }
+  // Incident-window p99 vs the fault-free fleet p99: what the outage
+  // costs the survivors' tail while it is in progress.
+  const double chaos_p99_degradation =
+      fast_stats.aggregate.p99_latency_ms > 0.0
+          ? chaos.p99_incident_ms / fast_stats.aggregate.p99_latency_ms
+          : 0.0;
+
+  std::cout << "chaos (" << chaos_spec << "): "
+            << chaos.completed << "/" << chaos.injected << " completed, "
+            << chaos.shed << " shed ("
+            << chaos_no_repart.fault.shed << " without repartition), "
+            << chaos.failed << " failed, min availability "
+            << Table::Num(chaos_min_availability, 3)
+            << ", chaos_p99_degradation "
+            << Table::Num(chaos_p99_degradation, 2)
+            << "x, fault-free leg identical: "
+            << (chaos_identity_ok ? "yes" : "NO") << "\n";
+  if (!chaos_identity_ok) {
+    std::cerr << "error: empty fault plan diverged from the batch pipeline\n";
+    return 1;
+  }
+  if (!chaos_conserved) {
+    std::cerr << "error: chaos leg lost queries (completed " << chaos.completed
+              << " + failed " << chaos.failed << " + shed " << chaos.shed
+              << " != injected " << chaos.injected << ")\n";
+    return 1;
+  }
+  if (chaos_min_availability >= 1.0) {
+    std::cerr << "error: chaos leg crashed nothing (min availability 1.0)\n";
+    return 1;
+  }
+
+  // Degraded-capacity comparison: the repartition controller replans a
+  // survivor's lane mix from its renormalized model shares, so it can
+  // only express itself where servers co-host models.  Densify the
+  // placement (two models per server), crash 3/4 of the fleet with a
+  // tight deadline so the survivors genuinely overload, and run the
+  // identical schedule with and without repartition; failover routing
+  // alone must shed measurably more than routing + repartition.
+  core::FleetTestbedConfig dense_config = fleet_config;
+  dense_config.replicas = std::max(2, fleet_servers / 2);
+  const core::FleetTestbed dense(dense_config);
+  const auto dense_trace = dense.GenerateFleetTrace(
+      300.0 * fleet_servers, fleet_queries, /*seed=*/0x5EEDF);
+  const std::string degraded_spec =
+      "serverloss:count=" + std::to_string(std::max(1, 3 * fleet_servers / 4)) +
+      ",deadline-ms=100";
+  const auto degraded_plan =
+      dense.ResolveFaults(fleet::ParseFaultRef(degraded_spec), dense_trace);
+  auto degraded_routing_only = degraded_plan;
+  degraded_routing_only.repartition = false;
+  const auto degraded_run =
+      dense.RunWithFaults(dense_trace, degraded_plan, fleet_jobs);
+  const auto degraded_norep =
+      dense.RunWithFaults(dense_trace, degraded_routing_only, fleet_jobs);
+  const auto& degraded = degraded_run.fault;
+  const std::uint64_t degraded_shed_routing_only = degraded_norep.fault.shed;
+  const bool degraded_conserved =
+      degraded.completed + degraded.failed + degraded.shed ==
+          degraded.injected &&
+      degraded_norep.fault.completed + degraded_norep.fault.failed +
+              degraded_norep.fault.shed ==
+          degraded_norep.fault.injected;
+
+  std::cout << "degraded capacity (" << degraded_spec << ", replicas="
+            << dense_config.replicas << "): repartition shed " << degraded.shed
+            << " vs routing-only " << degraded_shed_routing_only << " ("
+            << degraded.repartitions << " repartitions)\n";
+  if (!degraded_conserved) {
+    std::cerr << "error: degraded-capacity leg lost queries\n";
+    return 1;
+  }
+  // Smoke's 4-server fleet is too small for a stable margin; the full
+  // 100-server run must show repartition strictly ahead.
+  if (SmokeMode() ? degraded.shed > degraded_shed_routing_only
+                  : degraded.shed >= degraded_shed_routing_only) {
+    std::cerr << "error: failover repartition did not lower shed ("
+              << degraded.shed << " vs " << degraded_shed_routing_only
+              << " routing-only)\n";
+    return 1;
+  }
+
   core::Json data = core::Json::Object();
   data.Set("configs", std::move(configs));
   data.Set("engine_qps_256_mix4_elsa", headline_qps);
@@ -591,6 +707,26 @@ int main() {
   data.Set("fleet_reference_qps", fleet_reference_qps);
   data.Set("fleet_speedup", fleet_speedup);
   data.Set("fleet_identical_jobs1", fleet_identical);
+  data.Set("chaos_spec", chaos_spec);
+  data.Set("chaos_identity_ok", chaos_identity_ok);
+  data.Set("chaos_injected", chaos.injected);
+  data.Set("chaos_completed", chaos.completed);
+  data.Set("chaos_failed", chaos.failed);
+  data.Set("chaos_shed", chaos.shed);
+  data.Set("chaos_shed_no_repartition", chaos_no_repart.fault.shed);
+  data.Set("chaos_retried", chaos.retried);
+  data.Set("chaos_rerouted", chaos.rerouted);
+  data.Set("chaos_repartitions", chaos.repartitions);
+  data.Set("chaos_min_availability", chaos_min_availability);
+  data.Set("chaos_p99_incident_ms", chaos.p99_incident_ms);
+  data.Set("chaos_p99_degradation", chaos_p99_degradation);
+  data.Set("degraded_spec", degraded_spec);
+  data.Set("degraded_replicas", dense_config.replicas);
+  data.Set("degraded_injected", degraded.injected);
+  data.Set("degraded_completed", degraded.completed);
+  data.Set("degraded_shed_repartition", degraded.shed);
+  data.Set("degraded_shed_routing_only", degraded_shed_routing_only);
+  data.Set("degraded_repartitions", degraded.repartitions);
   pe::bench::WriteReport("engine_throughput", std::move(data));
   return 0;
 }

@@ -1,9 +1,11 @@
 #include "core/fleet_runner.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "online/failover_controller.h"
 #include "partition/mix.h"
 #include "sched/baselines.h"
 #include "sched/fifs.h"
@@ -104,6 +106,53 @@ workload::QueryTrace FleetTestbed::GenerateFleetTrace(
 fleet::FleetResult FleetTestbed::Run(const workload::QueryTrace& trace,
                                      int jobs) const {
   return cluster_->Simulate(trace, jobs);
+}
+
+fleet::FaultPlan FleetTestbed::ResolveFaults(
+    const fleet::FaultOptions& opts,
+    const workload::QueryTrace& trace) const {
+  if (trace.size() == 0) {
+    throw std::invalid_argument("ResolveFaults: empty trace");
+  }
+  const SimTime span = trace.queries().back().arrival;
+  return fleet::ResolveFaultPlan(opts, placement(), std::max<SimTime>(span, 1),
+                                 config_.seed);
+}
+
+fleet::FleetResult FleetTestbed::RunWithFaults(
+    const workload::QueryTrace& trace, const fleet::FaultPlan& plan,
+    int jobs) const {
+  return fleet::SimulateWithFaults(*cluster_, trace, plan, jobs,
+                                   plan.repartition ? MakeReplanFn()
+                                                    : fleet::ReplanFn{});
+}
+
+fleet::ReplanFn FleetTestbed::MakeReplanFn() const {
+  // Value-captured controller; the planner inputs borrow profiles and
+  // batch distributions from mix_, which this testbed owns and outlives
+  // every RunWithFaults call.
+  online::FailoverRepartitionController controller(mix_.cluster(),
+                                                   config_.mix.paris);
+  return [this, controller](int server,
+                            const std::vector<int>& down) -> std::vector<int> {
+    const fleet::ServerPlacement& sp = placement().server(server);
+    std::vector<partition::MixModelInput> inputs =
+        mix_.PlannerInputs(sp.model_ids);
+    std::vector<int> full(sp.model_ids.size(), 0);
+    std::vector<int> surviving(sp.model_ids.size(), 0);
+    for (std::size_t i = 0; i < sp.model_ids.size(); ++i) {
+      const std::vector<int>& reps = placement().Replicas(sp.model_ids[i]);
+      full[i] = static_cast<int>(reps.size());
+      for (const int r : reps) {
+        if (!std::binary_search(down.begin(), down.end(), r)) {
+          ++surviving[i];
+        }
+      }
+    }
+    inputs = online::FailoverRepartitionController::ScaleForOutage(
+        std::move(inputs), full, surviving);
+    return controller.PlanDegraded(inputs, sp.gpc_budget);
+  };
 }
 
 fleet::FleetStats FleetTestbed::RunStats(const workload::QueryTrace& trace,

@@ -22,6 +22,8 @@
 #include "core/mix_runner.h"
 #include "core/server_builder.h"
 #include "fleet/cluster.h"
+#include "fleet/failover.h"
+#include "fleet/fault.h"
 #include "fleet/placement.h"
 #include "fleet/router.h"
 #include "sched/elsa.h"
@@ -75,6 +77,27 @@ class FleetTestbed {
   // both the simulate fan-out and the parallel stats reduction.
   fleet::FleetStats RunStats(const workload::QueryTrace& trace,
                              int jobs) const;
+
+  // Resolves a parsed `--faults` reference into a concrete schedule over
+  // `trace`'s span (last arrival) against this fleet's placement, seeded
+  // by the fleet seed.  Throws std::invalid_argument on an unknown
+  // preset/key or an empty trace.
+  fleet::FaultPlan ResolveFaults(const fleet::FaultOptions& opts,
+                                 const workload::QueryTrace& trace) const;
+
+  // Runs `trace` under `plan`: health-patched routing, retry/shed
+  // failover, and -- when plan.repartition -- degraded-capacity
+  // repartition of survivors through the online mixed-PARIS planner
+  // (MakeReplanFn).  An empty plan is bit-identical to Run().
+  fleet::FleetResult RunWithFaults(const workload::QueryTrace& trace,
+                                   const fleet::FaultPlan& plan,
+                                   int jobs) const;
+
+  // The degraded-capacity repartition hook RunWithFaults wires in:
+  // survivor layouts re-planned with each impacted model's share scaled
+  // by full/surviving replica counts (online::FailoverRepartition-
+  // Controller over this testbed's planner inputs).
+  fleet::ReplanFn MakeReplanFn() const;
 
  private:
   FleetTestbedConfig config_;

@@ -195,6 +195,12 @@ Json ToJson(const sim::ServerStats& s) {
   j.Set("achieved_qps", s.achieved_qps);
   j.Set("utilization", s.mean_worker_utilization);
   j.Set("reconfig_stalled", static_cast<std::uint64_t>(s.reconfig_stalled));
+  if (s.failed > 0 || s.shed > 0) {
+    // Fault casualties (excluded from every latency figure above); only
+    // fault-injected runs emit these, keeping the legacy document shape.
+    j.Set("failed", static_cast<std::uint64_t>(s.failed));
+    j.Set("shed", static_cast<std::uint64_t>(s.shed));
+  }
   if (s.model_swaps > 0 || s.models.size() > 1) {
     // Mixed-traffic runs carry the per-model breakdown; single-model runs
     // keep the legacy document shape.
@@ -254,6 +260,33 @@ Json ToJson(const fleet::FleetStats& f) {
     servers.Add(std::move(entry));
   }
   j.Set("servers", std::move(servers));
+  if (f.fault.faulted) {
+    // Fault-tolerance block (docs/FAULTS.md documents the keys).  The
+    // terminal counts satisfy completed + failed + shed == injected; the
+    // CI chaos smoke gates on exactly that identity.
+    const fleet::FaultSummary& ft = f.fault;
+    Json fault = Json::Object();
+    fault.Set("injected", ft.injected);
+    fault.Set("completed", ft.completed);
+    fault.Set("failed", ft.failed);
+    fault.Set("shed", ft.shed);
+    fault.Set("retried", ft.retried);
+    fault.Set("rerouted", ft.rerouted);
+    fault.Set("incidents", ft.incidents);
+    fault.Set("repartitions", ft.repartitions);
+    fault.Set("makespan_ms", TicksToMs(ft.makespan));
+    double min_availability = 1.0;
+    Json availability = Json::Array();
+    for (const double a : ft.availability) {
+      availability.Add(a);
+      min_availability = std::min(min_availability, a);
+    }
+    fault.Set("availability", std::move(availability));
+    fault.Set("min_availability", min_availability);
+    fault.Set("p99_incident_ms", ft.p99_incident_ms);
+    fault.Set("incident_completions", ft.incident_completions);
+    j.Set("fault", std::move(fault));
+  }
   return j;
 }
 

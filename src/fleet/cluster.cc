@@ -74,6 +74,37 @@ FleetResult Cluster::Simulate(const workload::QueryTrace& trace,
   return SimulateSplit(SplitTrace(trace, *router, placement_, jobs), jobs);
 }
 
+sim::ServerConfig Cluster::MakeServerConfig(int server_id) const {
+  const ServerPlacement& sp = placement_.server(server_id);
+  sim::ServerConfig sc;
+  sc.partition_gpcs = sp.partition_gpcs;
+  sc.sla_target = config_.sla_target;
+  sc.latency_noise_sigma = config_.latency_noise_sigma;
+  sc.seed = ServerSeed(config_.seed, server_id);
+  sc.model_swap_cost = config_.model_swap_cost;
+  sc.reference_engine = config_.reference_engine;
+  return sc;
+}
+
+std::unique_ptr<sched::Scheduler> Cluster::MakeScheduler(int server_id) const {
+  const auto s = static_cast<std::size_t>(server_id);
+  return factory_(server_id, repertoires_[s]);
+}
+
+void Cluster::FillGlobalTables(FleetResult& result) const {
+  const auto n = static_cast<std::size_t>(num_servers());
+  result.global_models.clear();
+  result.worker_base.clear();
+  result.global_models.reserve(n);
+  result.worker_base.reserve(n);
+  int worker_base = 0;
+  for (const ServerPlacement& sp : placement_.servers()) {
+    result.global_models.push_back(sp.model_ids);
+    result.worker_base.push_back(worker_base);
+    worker_base += static_cast<int>(sp.partition_gpcs.size());
+  }
+}
+
 FleetResult Cluster::SimulateSplit(const TraceSplit& split, int jobs) const {
   if (split.num_servers() != num_servers()) {
     throw std::invalid_argument(
@@ -86,15 +117,8 @@ FleetResult Cluster::SimulateSplit(const TraceSplit& split, int jobs) const {
   // sub-trace are all read-only, the scheduler is freshly built per task,
   // and the engine seed comes from the pure ServerSeed derivation.
   auto sims = ParallelMap(n, jobs, [&](std::size_t s) {
-    const ServerPlacement& sp = placement_.server(static_cast<int>(s));
-    sim::ServerConfig sc;
-    sc.partition_gpcs = sp.partition_gpcs;
-    sc.sla_target = config_.sla_target;
-    sc.latency_noise_sigma = config_.latency_noise_sigma;
-    sc.seed = ServerSeed(config_.seed, static_cast<int>(s));
-    sc.model_swap_cost = config_.model_swap_cost;
-    sc.reference_engine = config_.reference_engine;
-    const auto scheduler = factory_(static_cast<int>(s), repertoires_[s]);
+    const sim::ServerConfig sc = MakeServerConfig(static_cast<int>(s));
+    const auto scheduler = MakeScheduler(static_cast<int>(s));
     sim::InferenceServer server(sc, repertoires_[s], *scheduler);
     return server.Run(split.Server(static_cast<int>(s)));
   });
@@ -103,14 +127,7 @@ FleetResult Cluster::SimulateSplit(const TraceSplit& split, int jobs) const {
   result.per_server = std::move(sims);
   result.global_ids = split.global_ids;
   result.id_offsets = split.offsets;
-  result.global_models.reserve(n);
-  result.worker_base.reserve(n);
-  int worker_base = 0;
-  for (const ServerPlacement& sp : placement_.servers()) {
-    result.global_models.push_back(sp.model_ids);
-    result.worker_base.push_back(worker_base);
-    worker_base += static_cast<int>(sp.partition_gpcs.size());
-  }
+  FillGlobalTables(result);
   return result;
 }
 
@@ -235,7 +252,10 @@ FleetStats FleetResult::Stats(SimTime sla_target, double warmup_fraction,
     total += count;
   }
   stats.routed_queries = total;
-  if (total == 0) return stats;
+  if (total == 0) {
+    stats.fault = fault;
+    return stats;
+  }
 
   // Same warmup cut the reference takes over the merged population.
   const std::size_t skip = static_cast<std::size_t>(
@@ -263,10 +283,17 @@ FleetStats FleetResult::Stats(SimTime sla_target, double warmup_fraction,
   // backwards); an unsorted source trace falls back to rebuilding the
   // order with parallel pairwise merges of the per-server runs.
   std::vector<std::size_t> included_from(n, 0);  // per-server skip counts
+  // Fault casualties past the cut: counted (ServerStats::failed/shed),
+  // never sampled -- mirrors ComputeStats record for record.  excluded[s]
+  // sizes server s's latency-pool slice in Phase C.
+  std::vector<std::size_t> excluded(n, 0);
+  std::size_t agg_failed = 0;
+  std::size_t agg_shed = 0;
   double latency_sum = 0.0;
   StreamingStats queue_delay;
   std::vector<double> model_latency_sum;
   SimTime window_begin = 0;
+  bool window_set = false;
   int first_model = 0;
   bool multi_model = false;
 
@@ -278,10 +305,14 @@ FleetStats FleetResult::Stats(SimTime sla_target, double warmup_fraction,
   // to ties); returns false on an arrival inversion (scatter order only).
   const auto walk = [&](const std::vector<std::uint32_t>& seq) {
     included_from.assign(n, 0);
+    excluded.assign(n, 0);
+    agg_failed = 0;
+    agg_shed = 0;
     latency_sum = 0.0;
     queue_delay = StreamingStats();
     model_latency_sum.assign(static_cast<std::size_t>(num_models), 0.0);
     window_begin = 0;
+    window_set = false;
     first_model = 0;
     multi_model = false;
     std::vector<std::size_t> cursor(n, 0);
@@ -289,20 +320,34 @@ FleetStats FleetResult::Stats(SimTime sla_target, double warmup_fraction,
     const auto emit = [&](std::uint32_t s, const sim::QueryRecord& r) {
       if (out_idx < skip) {
         ++included_from[s];
-      } else {
-        const double lat_ms = TicksToMs(r.Latency());
-        latency_sum += lat_ms;
-        queue_delay.Add(TicksToMs(r.QueueDelay()));
-        const int gm = global_models[s][static_cast<std::size_t>(r.model)];
-        model_latency_sum[static_cast<std::size_t>(gm)] += lat_ms;
-        if (out_idx == skip) {
-          window_begin = r.arrival;
-          first_model = gm;
-        } else if (gm != first_model) {
-          multi_model = true;
-        }
+        ++out_idx;
+        return;
+      }
+      // The reference's multi-model pre-scan compares every post-cut
+      // record's model to the one at the cut -- casualties included --
+      // so the model bookkeeping runs before the casualty skip.
+      const int gm = global_models[s][static_cast<std::size_t>(r.model)];
+      if (out_idx == skip) {
+        first_model = gm;
+      } else if (gm != first_model) {
+        multi_model = true;
       }
       ++out_idx;
+      if (r.failed || r.shed) {
+        if (r.failed) ++agg_failed;
+        if (r.shed) ++agg_shed;
+        ++excluded[s];
+        return;
+      }
+      const double lat_ms = TicksToMs(r.Latency());
+      latency_sum += lat_ms;
+      queue_delay.Add(TicksToMs(r.QueueDelay()));
+      model_latency_sum[static_cast<std::size_t>(gm)] += lat_ms;
+      if (!window_set) {
+        // First *completed* record past the cut, as in ComputeStats.
+        window_begin = r.arrival;
+        window_set = true;
+      }
     };
     std::vector<Pending> group;
     SimTime group_arrival = 0;
@@ -434,7 +479,9 @@ FleetStats FleetResult::Stats(SimTime sla_target, double warmup_fraction,
   // each server's records in that order).  Latencies land unsorted in a
   // disjoint slice of one shared pool; the percentile selection below
   // does not care about sample order.
-  const std::size_t included_total = total - skip;
+  std::size_t excluded_total = 0;
+  for (const std::size_t e : excluded) excluded_total += e;
+  const std::size_t included_total = total - skip - excluded_total;
   std::vector<double> latency_pool(included_total);
   std::vector<std::size_t> pool_at;
   pool_at.reserve(n);
@@ -442,7 +489,7 @@ FleetStats FleetResult::Stats(SimTime sla_target, double warmup_fraction,
     std::size_t at = 0;
     for (std::size_t s = 0; s < n; ++s) {
       pool_at.push_back(at);
-      at += per_server[s].records.size() - included_from[s];
+      at += per_server[s].records.size() - included_from[s] - excluded[s];
     }
   }
   auto extracts = ParallelMap(n, jobs, [&](std::size_t s) {
@@ -462,6 +509,7 @@ FleetStats FleetResult::Stats(SimTime sla_target, double warmup_fraction,
     std::vector<std::vector<sim::WorkerStats>> variants;
     for (std::size_t k = included_from[s]; k < records.size(); ++k) {
       const sim::QueryRecord& r = RecordAt(records, perm, k);
+      if (r.failed || r.shed) continue;  // counted in the walk, never sampled
       const double lat_ms = TicksToMs(r.Latency());
       *lat_out++ = lat_ms;
       if (r.Latency() > sla_target) ++e.violations;
@@ -510,7 +558,15 @@ FleetStats FleetResult::Stats(SimTime sla_target, double warmup_fraction,
   // Final assembly (serial, O(completed) for the percentile merge and
   // O(servers + workers + models) for everything else).
   sim::ServerStats& agg = stats.aggregate;
-  agg.completed = total - skip;
+  agg.completed = included_total;
+  agg.failed = agg_failed;
+  agg.shed = agg_shed;
+  stats.fault = fault;
+  if (agg.completed == 0) {
+    // Every post-cut record was a casualty: the reference bails before
+    // any rate/percentile math, leaving only the counters set.
+    return stats;
+  }
   agg.mean_latency_ms =
       latency_sum / static_cast<double>(agg.completed);
   agg.mean_queue_delay_ms = queue_delay.mean();
@@ -641,6 +697,7 @@ FleetStats FleetResult::StatsReference(SimTime sla_target,
     }
   }
   stats.aggregate = sim::ComputeStats(merged, sla_target, warmup_fraction);
+  stats.fault = fault;
   return stats;
 }
 

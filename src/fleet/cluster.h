@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/sim_time.h"
+#include "fleet/fault.h"
 #include "fleet/placement.h"
 #include "fleet/router.h"
 #include "profile/model_repertoire.h"
@@ -69,6 +70,11 @@ struct FleetStats {
   sim::ServerStats aggregate;
   // Per-server stats; ModelStats entries carry fleet-global model ids.
   std::vector<sim::ServerStats> per_server;
+  // Fleet-level fault accounting (defaults when no fault plan ran; see
+  // fleet/fault.h).  The aggregate/per_server latency figures above
+  // exclude failed and shed attempts -- casualties are *counted* here
+  // and in ServerStats::failed/shed, never sampled.
+  FaultSummary fault;
 };
 
 struct FleetResult {
@@ -86,6 +92,9 @@ struct FleetResult {
   // Per server: offset added to local worker indices to make them unique
   // fleet-wide (cumulative layout sizes).
   std::vector<int> worker_base;
+  // Filled by fleet::SimulateWithFaults; defaults for fault-free runs.
+  // Copied into FleetStats by Stats()/StatsReference().
+  FaultSummary fault;
 
   std::span<const std::uint64_t> GlobalIds(int s) const {
     const auto i = static_cast<std::size_t>(s);
@@ -144,6 +153,21 @@ class Cluster {
 
   // Builds a fresh router for this cluster's policy/placement/seed.
   std::unique_ptr<Router> MakeFleetRouter() const;
+
+  // The ServerConfig Simulate() builds for `server_id` (layout, SLA,
+  // noise, per-server seed, engine flavour).  Exposed so external
+  // drivers -- fleet::SimulateWithFaults runs engines incrementally --
+  // construct bit-identical engines to the batch path.
+  sim::ServerConfig MakeServerConfig(int server_id) const;
+
+  // A fresh scheduler for `server_id` over its local repertoire, from
+  // the cluster's factory.  Thread-safe (the factory must be).
+  std::unique_ptr<sched::Scheduler> MakeScheduler(int server_id) const;
+
+  // Fills `result`'s placement-derived tables (global_models,
+  // worker_base) from this cluster's placement.  Callers supply the
+  // per_server / global_ids / id_offsets trio themselves.
+  void FillGlobalTables(FleetResult& result) const;
 
   // Routes `trace` and replays every sub-trace, fanning servers over up to
   // `jobs` threads.  Bit-identical per-server records for any jobs >= 1.

@@ -1,0 +1,99 @@
+// Fault-tolerant fleet serving: the driver that runs a Cluster under a
+// FaultPlan.
+//
+// Three layers of defence, mirroring a production serving stack:
+//  1. Health-aware routing.  The fault schedule is known up front (it is
+//     a plan, not a surprise to the simulator), so the front tier routes
+//     *around* planned downtime: queries arriving while their assigned
+//     server is crashed divert to a healthy replica via a salted hash
+//     (counted as rerouted), or are pre-shed when no replica is up.
+//     This models a health-checked load balancer whose view is accurate
+//     at arrival time; the crashed engine never sees arrivals inside
+//     its down window.
+//  2. Retry with budget + backoff.  Work lost *inside* a server at the
+//     crash instant -- in-flight, queued, centrally parked, all with
+//     arrival <= crash time -- comes back to the driver, which re-injects
+//     each casualty as a fresh attempt on a healthy replica at
+//     t + backoff * 2^(attempt-1), up to max_retries attempts beyond the
+//     first.  A retry that would land past the end-to-end deadline (vs
+//     the ORIGINAL arrival) or finds no healthy replica is shed; an
+//     exhausted budget marks the query failed.  Per-attempt engine
+//     deadlines (ServerConfig::deadline) shed queue-stuck work locally.
+//  3. Degraded-capacity repartition.  On a crash (and again on
+//     recovery), surviving replicas of the impacted models re-plan their
+//     MIG layouts through the `ReplanFn` callback -- wired to the
+//     online tier's mixed-PARIS planner by core::FleetTestbed -- via
+//     BeginReconfigure, absorbing the shifted traffic.
+//
+// Determinism: routing, the patch pass, fault application, and retry
+// injection are all serial and seeded; the only parallel work is
+// advancing disjoint engines between fault instants (one task per
+// engine).  The result is bit-identical at any --jobs count and across
+// repeated runs with the same (trace, plan, seed).  An EMPTY plan
+// delegates to Cluster::Simulate verbatim -- record-by-record
+// bit-identical to the fault-free driver (pinned by fleet_failover_test).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "fleet/cluster.h"
+#include "fleet/fault.h"
+#include "workload/trace.h"
+
+namespace pe::fleet {
+
+// Degraded-capacity repartition hook: given a surviving server and the
+// currently-down server set (ascending ids; empty after full recovery),
+// returns the MIG layout the server should reconfigure to -- or an empty
+// vector for "keep the current layout".  Must be deterministic.  The
+// fleet module cannot depend on the online planner (layering), so
+// core::FleetTestbed injects it from above.
+using ReplanFn =
+    std::function<std::vector<int>(int server, const std::vector<int>& down)>;
+
+// The fault schedule, digested for O(log) time queries: per-server crash
+// windows (crash -> matching recover, open-ended when permanent) and the
+// merged union of every incident window (crashes, worker outages,
+// slowdowns) for the p99-during-incident metric.
+class HealthView {
+ public:
+  HealthView(const FaultPlan& plan, int num_servers);
+
+  // False iff `t` falls inside one of `server`'s crash windows
+  // [crash, recover).  Worker failures and slowdowns leave the server up.
+  bool IsUp(int server, SimTime t) const;
+
+  // Total crashed ticks of `server` clipped to [0, horizon).
+  SimTime DownTicks(int server, SimTime horizon) const;
+
+  // True iff `t` lies inside the union of all incident windows.
+  bool InIncident(SimTime t) const;
+
+  const std::vector<std::pair<SimTime, SimTime>>& incident_windows() const {
+    return incidents_;
+  }
+
+ private:
+  // Per server, disjoint ascending [begin, end) crash windows.
+  std::vector<std::vector<std::pair<SimTime, SimTime>>> down_;
+  // Merged union over every fault kind, ascending and disjoint.
+  std::vector<std::pair<SimTime, SimTime>> incidents_;
+};
+
+// Runs `trace` on `cluster` under `plan`.  The FleetResult carries every
+// attempt's record (retries appear as extra per-server records whose
+// global ids repeat) plus the filled FaultSummary; FleetResult::Stats
+// excludes casualties from every latency figure and reports them through
+// the failed/shed counters.  Throws what Cluster::Simulate throws, plus
+// std::invalid_argument on a plan that does not validate against the
+// cluster's placement.
+FleetResult SimulateWithFaults(const Cluster& cluster,
+                               const workload::QueryTrace& trace,
+                               const FaultPlan& plan, int jobs,
+                               const ReplanFn& replan = {});
+
+}  // namespace pe::fleet

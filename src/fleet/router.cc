@@ -58,6 +58,18 @@ class BacklogModel {
   BacklogModel(const PlacementMap& placement,
                const profile::ModelRepertoire* repertoire)
       : repertoire_(repertoire) {
+    RefreshTopology(placement);
+    Reset();
+  }
+
+  // (Re)derives every layout-dependent table from the placement's current
+  // state: per-server geometry, the cost classes, and the memo (dropped --
+  // its entries bake in the old gpcs/lanes).  Called at construction and
+  // by Router::OnPlacementChange after a layout edit; the free-at clocks
+  // are preserved across a refresh so the router's load picture survives.
+  void RefreshTopology(const PlacementMap& placement) {
+    gpcs_.clear();
+    lanes_.clear();
     gpcs_.reserve(placement.num_servers());
     lanes_.reserve(placement.num_servers());
     for (const ServerPlacement& sp : placement.servers()) {
@@ -76,6 +88,8 @@ class BacklogModel {
     // Servers sharing a (largest partition, lane count) pair see identical
     // costs for any (model, batch); the memo below caches per such class,
     // not per server, so a 100-server homogeneous fleet shares one table.
+    classes_.clear();
+    class_of_.clear();
     class_of_.reserve(gpcs_.size());
     for (std::size_t s = 0; s < gpcs_.size(); ++s) {
       const std::pair<int, int> key{gpcs_[s], lanes_[s]};
@@ -84,7 +98,8 @@ class BacklogModel {
       if (id == classes_.size()) classes_.push_back(key);
       class_of_.push_back(id);
     }
-    Reset();
+    memo_.clear();
+    free_at_.resize(gpcs_.size(), 0.0);
   }
 
   void Reset() { free_at_.assign(gpcs_.size(), 0.0); }
@@ -305,6 +320,7 @@ class LeastLoadedRouter final : public Router {
   }
 
   void Reset() override { backlog_.Reset(); }
+  void OnPlacementChange() override { backlog_.RefreshTopology(placement_); }
   std::string name() const override { return "least"; }
 
  private:
@@ -390,6 +406,8 @@ class PowerOfTwoRouter final : public Router {
     rng_ = Rng(seed_);
   }
 
+  void OnPlacementChange() override { backlog_.RefreshTopology(placement_); }
+
   std::string name() const override { return "po2c"; }
 
  private:
@@ -454,37 +472,49 @@ std::unique_ptr<Router> MakeRouter(RouterPolicy policy,
 
 TraceSplit SplitTrace(const workload::QueryTrace& trace, Router& router,
                       const PlacementMap& placement, int jobs) {
+  return SplitByAssignment(trace, router.RouteAll(trace, jobs), placement);
+}
+
+TraceSplit SplitByAssignment(const workload::QueryTrace& trace,
+                             std::span<const int> assignment,
+                             const PlacementMap& placement) {
   const std::vector<workload::Query>& queries = trace.queries();
   const int n = placement.num_servers();
-  const std::vector<int> assignment = router.RouteAll(trace, jobs);
+  if (assignment.size() != queries.size()) {
+    throw std::logic_error("SplitByAssignment: assignment size mismatch");
+  }
 
   TraceSplit split;
   split.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
   // Pass 1: exact per-server counts (offsets[s+1] accumulates server s,
-  // turned into span boundaries by the prefix sum).
+  // turned into span boundaries by the prefix sum).  -1 = dropped.
+  std::size_t assigned = 0;
   for (const int server : assignment) {
+    if (server == -1) continue;
     if (static_cast<std::uint32_t>(server) >=
         static_cast<std::uint32_t>(n)) {
-      throw std::logic_error("SplitTrace: router returned bad server id");
+      throw std::logic_error("SplitByAssignment: bad server id");
     }
     ++split.offsets[static_cast<std::size_t>(server) + 1];
+    ++assigned;
   }
   for (std::size_t s = 1; s < split.offsets.size(); ++s) {
     split.offsets[s] += split.offsets[s - 1];
   }
   // Pass 2: single fill into the flat arenas; cursor[s] walks server s's
   // span, and the dense local id is the distance from the span start.
-  split.arena.resize(queries.size());
-  split.global_ids.resize(queries.size());
+  split.arena.resize(assigned);
+  split.global_ids.resize(assigned);
   std::vector<std::size_t> cursor(split.offsets.begin(),
                                   split.offsets.end() - 1);
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    const workload::Query& q = queries[i];
     const int server = assignment[i];
+    if (server == -1) continue;
+    const workload::Query& q = queries[i];
     const int local_model = placement.LocalModel(server, q.model_id);
     if (local_model < 0) {
       throw std::logic_error(
-          "SplitTrace: router sent a query to a server not hosting its "
+          "SplitByAssignment: query routed to a server not hosting its "
           "model");
     }
     std::size_t& at = cursor[static_cast<std::size_t>(server)];

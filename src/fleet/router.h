@@ -87,6 +87,18 @@ class Router {
   // the same query sequence re-routes identically.
   virtual void Reset() = 0;
 
+  // The borrowed PlacementMap mutated underneath the router (a failover
+  // repartition resized a server's layout, or a health change edited a
+  // replica set).  Replica tables are re-read from the placement on every
+  // Route/RouteAll call, but the load-aware policies also snapshot each
+  // server's *layout geometry* (largest partition, worker-lane count) and
+  // derived cost tables at construction; this hook rebuilds those from
+  // the current placement -- virtual backlog clocks are preserved, so the
+  // router's load picture survives the change.  Stateless policies no-op.
+  // Forgetting to call this after a placement edit serves stale cost
+  // tables (pinned by fleet_router_test's regression case).
+  virtual void OnPlacementChange() {}
+
   virtual std::string name() const = 0;
 };
 
@@ -143,6 +155,17 @@ struct TraceSplit {
 // range / not hosting the model.
 TraceSplit SplitTrace(const workload::QueryTrace& trace, Router& router,
                       const PlacementMap& placement, int jobs = 1);
+
+// The count-then-fill core of SplitTrace over an explicit assignment
+// vector (assignment[i] = destination server of trace query i).  An
+// assignment of -1 drops the query from every sub-trace -- the failover
+// driver pre-sheds queries whose model has no healthy replica at
+// arrival and routes the rest around the outage, then splits here.
+// Throws std::logic_error on a server id other than -1 outside
+// [0, num_servers) or a destination not hosting the query's model.
+TraceSplit SplitByAssignment(const workload::QueryTrace& trace,
+                             std::span<const int> assignment,
+                             const PlacementMap& placement);
 
 // Retained reference implementation: per-query Route() calls into growing
 // per-server buckets with a lower_bound model remap, packed into the same

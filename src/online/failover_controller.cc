@@ -1,0 +1,41 @@
+#include "online/failover_controller.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pe::online {
+
+FailoverRepartitionController::FailoverRepartitionController(
+    hw::Cluster cluster, partition::ParisConfig paris)
+    : cluster_(std::move(cluster)), paris_(paris) {}
+
+std::vector<int> FailoverRepartitionController::PlanDegraded(
+    const std::vector<partition::MixModelInput>& inputs,
+    int gpc_budget) const {
+  return partition::PlanMixedParis(inputs, cluster_, gpc_budget, paris_)
+      .plan.instance_gpcs;
+}
+
+std::vector<partition::MixModelInput>
+FailoverRepartitionController::ScaleForOutage(
+    std::vector<partition::MixModelInput> inputs,
+    const std::vector<int>& full_replicas,
+    const std::vector<int>& surviving_replicas) {
+  if (full_replicas.size() != inputs.size() ||
+      surviving_replicas.size() != inputs.size()) {
+    throw std::invalid_argument(
+        "ScaleForOutage: replica vectors must align with inputs");
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (full_replicas[i] <= 0) {
+      throw std::invalid_argument(
+          "ScaleForOutage: full replica count must be positive");
+    }
+    if (surviving_replicas[i] <= 0) continue;  // orphaned model: no warp
+    inputs[i].share *= static_cast<double>(full_replicas[i]) /
+                       static_cast<double>(surviving_replicas[i]);
+  }
+  return inputs;
+}
+
+}  // namespace pe::online

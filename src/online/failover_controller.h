@@ -1,0 +1,60 @@
+// Degraded-capacity repartition: re-planning a survivor's MIG layout
+// after a fleet-level outage.
+//
+// When a server crashes, the health-aware front tier diverts its traffic
+// to the surviving replicas of the models it hosted -- each survivor of
+// an impacted model absorbs share * full/surviving times its normal
+// load.  A layout planned for the nominal mix is now mis-provisioned:
+// the impacted models deserve more GPCs at the expense of the others.
+// This controller re-runs the same mixed-PARIS pipeline the fleet
+// planner pass used (per-model budgets from scaled shares, PARIS within
+// each budget, union packed on the cluster), yielding the layout a
+// survivor should reconfigure to for the degraded epoch -- and, on
+// recovery, the scaling drops back to 1x and the nominal layout returns.
+//
+// Layering: this lives in the online tier (planning machinery), NOT in
+// fleet/ -- the fleet module cannot depend on the partition planner.
+// core::FleetTestbed bridges the two by wrapping PlanDegraded in the
+// fleet::ReplanFn callback it hands to fleet::SimulateWithFaults.
+#pragma once
+
+#include <vector>
+
+#include "hw/cluster.h"
+#include "partition/mix.h"
+#include "partition/partitioner.h"
+
+namespace pe::online {
+
+class FailoverRepartitionController {
+ public:
+  // `cluster` is the per-server GPU topology layouts are packed on
+  // (copied); `paris` tunes the underlying PARIS passes.
+  explicit FailoverRepartitionController(hw::Cluster cluster,
+                                         partition::ParisConfig paris = {});
+
+  // The MIG layout (partition multiset) one server should run over
+  // `gpc_budget`, given planner inputs for exactly its hosted models
+  // whose shares are already scaled for the degraded fleet (see
+  // ScaleForOutage).  Deterministic; throws what PlanMixedParis throws.
+  std::vector<int> PlanDegraded(
+      const std::vector<partition::MixModelInput>& inputs,
+      int gpc_budget) const;
+
+  // Scales each input's share by full_replicas[i] / surviving_replicas[i]
+  // (both index-aligned with `inputs`): the per-survivor traffic
+  // multiplier after an outage.  A model with zero surviving replicas
+  // keeps its nominal share -- nobody serves it, so it should not warp
+  // the survivors' budgets.  Throws std::invalid_argument on mismatched
+  // vector sizes or non-positive full counts.
+  static std::vector<partition::MixModelInput> ScaleForOutage(
+      std::vector<partition::MixModelInput> inputs,
+      const std::vector<int>& full_replicas,
+      const std::vector<int>& surviving_replicas);
+
+ private:
+  hw::Cluster cluster_;
+  partition::ParisConfig paris_;
+};
+
+}  // namespace pe::online

@@ -11,10 +11,11 @@ int JsqScheduler::OnQueryArrival(const workload::Query& query,
   const std::size_t n = workers.size();
   assert(n > 0);
   SimTime best_wait = std::numeric_limits<SimTime>::max();
-  int best = workers.Get(0).index;
+  int best = kNoAssignment;
   for (std::size_t i = 0; i < n; ++i) {
     const WorkerState& w = workers.Get(i);
-    if (w.wait_ticks < best_wait) {
+    if (w.failed) continue;
+    if (best == kNoAssignment || w.wait_ticks < best_wait) {
       best_wait = w.wait_ticks;
       best = w.index;
     }
@@ -31,12 +32,13 @@ int GreedyFastestScheduler::OnQueryArrival(const workload::Query& query,
   const std::size_t n = workers.size();
   assert(n > 0);
   double t_min = std::numeric_limits<double>::infinity();
-  int best = workers.Get(0).index;
+  int best = kNoAssignment;
   for (std::size_t i = 0; i < n; ++i) {
     const WorkerState& w = workers.Get(i);
+    if (w.failed) continue;
     const double t = TicksToSec(w.wait_ticks) +
                      profile_.LatencySec(w.gpcs, query.batch);
-    if (t < t_min) {
+    if (best == kNoAssignment || t < t_min) {
       t_min = t;
       best = w.index;
     }

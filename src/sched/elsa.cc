@@ -195,6 +195,7 @@ int ElsaScheduler::OnQueryArrival(const workload::Query& query,
       const std::uint32_t i = order_[k];
       if (slack_sec(i, run.gpcs) <= 0.0) continue;
       const WorkerState& w = workers.Get(i);
+      if (w.failed) continue;
       // Among positive-slack candidates, a swap-free partition wins over
       // the default choice when its predicted completion ties within the
       // locality window: the query avoids a model-swap penalty at no
@@ -211,6 +212,7 @@ int ElsaScheduler::OnQueryArrival(const workload::Query& query,
             // path.
             if (slack_sec(j, local.gpcs) <= 0.0) continue;
             const WorkerState& c = workers.Get(j);
+            if (c.failed) continue;
             if (!swap_free(c)) continue;
             if (completion_sec(j, local.gpcs) <= bound) return c.index;
           }
@@ -221,16 +223,23 @@ int ElsaScheduler::OnQueryArrival(const workload::Query& query,
   }
 
   // Step B: no partition satisfies the SLA; pick minimum completion time.
+  // Failed partitions are excluded here too; if every partition is failed
+  // the arrival is declined (kNoAssignment) and the server parks it until
+  // recovery.
   double t_min = std::numeric_limits<double>::infinity();
-  int best = workers.Get(order_.front()).index;
+  int best = kNoAssignment;
   for (const SizeRun& run : runs_) {
-    if (skip_b && !(tnew_sec(run.gpcs) < t_min)) continue;
+    if (skip_b && best != kNoAssignment && !(tnew_sec(run.gpcs) < t_min)) {
+      continue;
+    }
     for (std::uint32_t k = run.begin; k < run.end; ++k) {
       const std::uint32_t i = order_[k];
+      const WorkerState& w = workers.Get(i);
+      if (w.failed) continue;
       const double t = completion_sec(i, run.gpcs);
-      if (t < t_min) {
+      if (best == kNoAssignment || t < t_min) {
         t_min = t;
-        best = workers.Get(i).index;
+        best = w.index;
       }
     }
   }

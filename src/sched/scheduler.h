@@ -46,6 +46,12 @@ struct WorkerState {
   // aware schedulers prefer partitions whose resident model matches the
   // arriving query so the server avoids a model-swap penalty.
   int resident_model = -1;
+  // True while the partition is failed (fault injection): it executes
+  // nothing and must not receive work.  Schedulers skip failed workers;
+  // when every worker is failed they return kNoAssignment and the server
+  // holds arrivals centrally until recovery.  `idle` is always false for
+  // a failed worker.
+  bool failed = false;
 };
 
 // Sentinel: leave the query in the central queue.

@@ -62,6 +62,13 @@ ServerStats ComputeStats(const std::vector<QueryRecord>& records,
 
   for (std::size_t i = skip; i < sorted.size(); ++i) {
     const QueryRecord& r = *sorted[i];
+    if (r.failed || r.shed) {
+      // Fault casualties never completed; their timestamps mark the
+      // failure/shed instant and must stay out of every latency pool.
+      if (r.failed) ++stats.failed;
+      if (r.shed) ++stats.shed;
+      continue;
+    }
     latency.Add(TicksToMs(r.Latency()));
     queue_delay.Add(TicksToMs(r.QueueDelay()));
     if (r.Latency() > sla_target) ++violations;

@@ -31,6 +31,18 @@ struct QueryRecord {
   // retired partition's local queue).  0 in any run without
   // reconfigurations; the downtime itself lands in QueueDelay().
   int reconfig_stalls = 0;
+  // Fault outcome of this attempt.  `failed`: the query was on a worker
+  // (or held by a server) that failed before completing it -- `finished`
+  // holds the failure instant, not a completion.  `shed`: the per-query
+  // deadline expired before the query could start, so the server dropped
+  // it.  Both are excluded from latency statistics and tallied separately
+  // (ServerStats::failed / shed).  Always false without fault injection.
+  bool failed = false;
+  bool shed = false;
+  // Times this query was re-placed because of a fault: local re-queues
+  // after a worker failure, plus (for fleet re-injections) the attempt
+  // number the failover driver stamped on this record.
+  int retries = 0;
 
   SimTime Latency() const { return finished - arrival; }
   SimTime QueueDelay() const { return started - arrival; }
@@ -75,6 +87,13 @@ struct ServerStats {
   // resident model on their partition -- the cross-model interference a
   // consolidated multi-model layout pays for sharing partitions.
   std::size_t model_swaps = 0;
+  // Fault casualties among the included records: attempts killed by a
+  // worker/server failure and queries dropped on deadline expiry.  Both
+  // are excluded from every latency/throughput/utilization figure above
+  // (their sentinel timestamps would poison the percentiles); `completed`
+  // counts only genuine completions.  Zero without fault injection.
+  std::size_t failed = 0;
+  std::size_t shed = 0;
   std::vector<WorkerStats> workers;
   // One entry per model id seen in the included records, ascending; a
   // single entry (model 0) for single-model runs.

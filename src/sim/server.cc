@@ -129,6 +129,8 @@ void InferenceServer::Reset() {
   reconfig_ready_ = 0;
   pending_layout_.clear();
   reconfig_gen_ = 0;
+  stale_done_.clear();
+  slowdown_ = 1.0;
   BuildWorkers(config_.partition_gpcs);
 }
 
@@ -151,6 +153,8 @@ void InferenceServer::BuildWorkers(const std::vector<int>& partition_gpcs) {
     }
   }
   snapshots_.reserve(workers_.size());
+  done_seq_.assign(workers_.size(), 0);
+  num_failed_ = 0;
   view_.OnLayoutChange(workers_.size());
 }
 
@@ -217,6 +221,9 @@ SimTime InferenceServer::ActualTicks(int model_id, int gpcs, int batch) {
   double sec = config_.reference_engine
                    ? repertoire_->ActualSec(model_id, gpcs, batch)
                    : compiled_.ActualSec(model_id, gpcs, batch);
+  // Degraded-replica multiplier (fault injection); exactly 1.0 -- the
+  // clean-run value -- takes no branch into the multiply.
+  if (slowdown_ != 1.0) sec *= slowdown_;
   if (config_.latency_noise_sigma > 0.0) {
     const double sigma = config_.latency_noise_sigma;
     // Mean-one log-normal multiplier so noise does not shift mean latency.
@@ -254,6 +261,19 @@ int InferenceServer::ConsultScheduler(const workload::Query& query,
 
 void InferenceServer::StartHead(PartitionWorker& worker, SimTime now) {
   if (reconfiguring_) return;  // dispatch held until the new layout is up
+  if (config_.deadline > 0) {
+    // Every start passes through here with the query at head position, so
+    // this is the one shed point: heads whose start deadline has lapsed
+    // are dropped before they can occupy the partition.
+    while (worker.CanStart() &&
+           now > records_[worker.Head().id].arrival + config_.deadline) {
+      const workload::Query dropped = worker.PopHead();
+      QueryRecord& rec = records_[dropped.id];
+      rec.shed = true;
+      rec.finished = now;
+      SyncIdle(worker);
+    }
+  }
   if (!worker.CanStart()) return;
   const workload::Query& head = worker.Head();
   SimTime actual = ActualTicks(head.model_id, worker.gpcs(), head.batch);
@@ -268,8 +288,12 @@ void InferenceServer::StartHead(PartitionWorker& worker, SimTime now) {
   rec.worker = worker.index();
   rec.worker_gpcs = worker.gpcs();
   rec.model_swap = swap;
-  Push(now + actual, EventType::kWorkerDone,
-       static_cast<std::uint32_t>(worker.index()));
+  // The completion's seq is remembered per worker so a mid-flight failure
+  // can cancel it (see FailWorker / stale_done_).
+  const std::uint64_t seq = next_seq_++;
+  done_seq_[static_cast<std::size_t>(worker.index())] = seq;
+  PushWithSeq(now + actual, seq, EventType::kWorkerDone,
+              static_cast<std::uint32_t>(worker.index()));
 }
 
 void InferenceServer::Dispatch(const workload::Query& query, SimTime now) {
@@ -283,6 +307,12 @@ void InferenceServer::Dispatch(const workload::Query& query, SimTime now) {
   const int idx = ConsultScheduler(query, now, /*orphan=*/false);
   if (idx == sched::kNoAssignment) {
     if (!scheduler_.UsesCentralQueue()) {
+      if (num_failed_ > 0) {
+        // Total outage: even bind-immediately schedulers have nowhere to
+        // put this; park it until RecoverWorker replays the queue.
+        central_queue_.push_back(query);
+        return;
+      }
       throw std::logic_error(
           "scheduler returned kNoAssignment but has no central queue");
     }
@@ -293,6 +323,7 @@ void InferenceServer::Dispatch(const workload::Query& query, SimTime now) {
     throw std::out_of_range("scheduler returned invalid worker index");
   }
   PartitionWorker& worker = workers_[static_cast<std::size_t>(idx)];
+  assert(!worker.failed());
   records_[query.id].dispatched = now;
   worker.Enqueue(query,
                  EstimateTicks(query.model_id, worker.gpcs(), query.batch));
@@ -494,15 +525,21 @@ void InferenceServer::ProcessEvent(const Event& ev) {
       break;
     }
     case EventType::kWorkerDone: {
+      // A completion cancelled by a worker failure (the query was aborted
+      // mid-flight); the seq was filed stale by FailWorker.
+      if (!stale_done_.empty() && stale_done_.erase(ev.seq) > 0) break;
       PartitionWorker& worker = workers_[ev.payload];
       const workload::Query done = worker.Finish();
       records_[done.id].finished = now;
       SyncIdle(worker);  // may have gone idle (empty local queue)
       if (reconfiguring_) break;  // draining: nothing new starts
-      // Start next local query, or pull from the central queue.
-      if (worker.CanStart()) {
-        StartHead(worker, now);
-      } else if (scheduler_.UsesCentralQueue() && !central_queue_.empty()) {
+      // Start next local query, then pull from the central queue for as
+      // long as the worker stays unoccupied -- deadline sheds can burn
+      // through several expired entries before one actually starts (a
+      // clean run pulls at most one, exactly the pre-fault behavior).
+      if (worker.CanStart()) StartHead(worker, now);
+      while (!worker.busy() && scheduler_.UsesCentralQueue() &&
+             !central_queue_.empty()) {
         const workload::Query next = central_queue_.front();
         central_queue_.pop_front();
         records_[next.id].dispatched = now;
@@ -550,7 +587,116 @@ void InferenceServer::AdvanceTo(SimTime when) {
 
 SimResult InferenceServer::Finish() {
   DrainEvents(0, /*bounded=*/false);
+  if (!central_queue_.empty()) {
+    // Only reachable under fault injection: a total outage (every worker
+    // failed) parked these arrivals and no recovery came.  They die with
+    // the outage so every record ends terminal.
+    for (const workload::Query& q : central_queue_) {
+      QueryRecord& rec = records_[q.id];
+      rec.failed = true;
+      rec.finished = now_;
+    }
+    central_queue_.clear();
+  }
   return SimResult{std::move(records_)};
+}
+
+std::vector<workload::Query> InferenceServer::FailWorker(int index,
+                                                         bool requeue_orphans) {
+  if (index < 0 || index >= static_cast<int>(workers_.size())) {
+    throw std::out_of_range("FailWorker: no such worker");
+  }
+  PartitionWorker& worker = workers_[static_cast<std::size_t>(index)];
+  std::vector<workload::Query> removed;
+  if (worker.failed()) return removed;
+  if (worker.busy()) {
+    // Cancel the in-flight completion and kill its query.
+    stale_done_.insert(done_seq_[static_cast<std::size_t>(index)]);
+    const workload::Query victim = worker.Abort();
+    QueryRecord& rec = records_[victim.id];
+    rec.failed = true;
+    rec.finished = now_;
+    removed.push_back(victim);
+  }
+  std::vector<workload::Query> orphans = worker.TakeQueue();
+  worker.SetFailed(true);
+  ++num_failed_;
+  SyncIdle(worker);
+  if (requeue_orphans) {
+    for (const workload::Query& q : orphans) {
+      QueryRecord& rec = records_[q.id];
+      ++rec.retries;
+      if (reconfiguring_) {
+        ++rec.reconfig_stalls;
+        central_queue_.push_back(q);
+        continue;
+      }
+      const int idx = ConsultScheduler(q, now_, /*orphan=*/true);
+      if (idx == sched::kNoAssignment) {
+        // Central-queue scheduler preference, or a total outage: park
+        // until a pull or a recovery.
+        central_queue_.push_back(q);
+        continue;
+      }
+      if (idx < 0 || idx >= static_cast<int>(workers_.size())) {
+        throw std::out_of_range("scheduler returned invalid worker index");
+      }
+      PartitionWorker& target = workers_[static_cast<std::size_t>(idx)];
+      assert(!target.failed());
+      records_[q.id].dispatched = now_;
+      target.Enqueue(q, EstimateTicks(q.model_id, target.gpcs(), q.batch));
+      SyncIdle(target);
+      StartHead(target, now_);
+    }
+  } else {
+    for (const workload::Query& q : orphans) {
+      QueryRecord& rec = records_[q.id];
+      rec.failed = true;
+      rec.finished = now_;
+      removed.push_back(q);
+    }
+  }
+  return removed;
+}
+
+void InferenceServer::RecoverWorker(int index) {
+  if (index < 0 || index >= static_cast<int>(workers_.size())) {
+    throw std::out_of_range("RecoverWorker: no such worker");
+  }
+  PartitionWorker& worker = workers_[static_cast<std::size_t>(index)];
+  if (!worker.failed()) return;
+  worker.SetFailed(false);
+  --num_failed_;
+  SyncIdle(worker);
+  if (reconfiguring_) return;  // held work re-dispatches at window close
+  if (scheduler_.UsesCentralQueue()) {
+    ReofferCentralQueue(now_);
+  } else if (!central_queue_.empty()) {
+    // Arrivals parked by a total outage: replay through the scheduler now
+    // that capacity is back.
+    std::deque<workload::Query> parked = std::move(central_queue_);
+    central_queue_.clear();
+    for (const workload::Query& q : parked) Dispatch(q, now_);
+  }
+}
+
+std::vector<workload::Query> InferenceServer::FailCentralQueue() {
+  std::vector<workload::Query> removed(central_queue_.begin(),
+                                       central_queue_.end());
+  central_queue_.clear();
+  for (const workload::Query& q : removed) {
+    QueryRecord& rec = records_[q.id];
+    rec.failed = true;
+    rec.finished = now_;
+  }
+  return removed;
+}
+
+void InferenceServer::SetSlowdownFactor(double factor) {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("SetSlowdownFactor: factor must be > 0");
+  }
+  slowdown_ = factor;
 }
 
 SimResult InferenceServer::Run(const workload::QueryTrace& trace) {

@@ -107,6 +107,12 @@ struct ServerConfig {
   // switch).  0 (the default) models free swaps; single-model runs never
   // swap, so the knob cannot perturb them either way.
   SimTime model_swap_cost = 0;
+  // Per-query start deadline, relative to the query's (local) arrival; a
+  // query whose head-of-queue turn comes more than `deadline` ticks after
+  // it arrived is dropped (QueryRecord::shed) instead of started.  0 (the
+  // default) disables shedding entirely -- no code path changes, so
+  // deadline-free runs are bit-identical to the pre-fault engine.
+  SimTime deadline = 0;
   // true re-enables the pre-optimization engine (uncompiled profile
   // lookups, per-consultation snapshot vectors, every arrival heaped).
   // Kept as the golden-determinism baseline and as the denominator of
@@ -175,8 +181,48 @@ class InferenceServer {
   void BeginReconfigure(std::vector<int> new_layout, SimTime downtime);
 
   // Drains every remaining event (including a pending reconfiguration)
-  // and returns the per-query records.
+  // and returns the per-query records.  Queries still parked by a total
+  // outage (every worker failed, no recovery) are marked failed rather
+  // than left dangling, so every record ends terminal: completed, failed,
+  // or shed.
   SimResult Finish();
+
+  // --- Fault injection -------------------------------------------------
+  // Fails worker `index` at the current time (a lost MIG slice).  The
+  // in-flight query, if any, is killed -- its record marked failed, its
+  // pending completion event cancelled -- and returned.  Queued-but-
+  // unstarted entries are, with `requeue_orphans`, re-placed through the
+  // scheduler's orphan hook onto surviving workers (parked centrally when
+  // every worker is down); without it they are marked failed and returned
+  // too (the whole-server-crash path, where the caller re-routes them
+  // across the fleet).  A failed worker reports failed in its WorkerState,
+  // never reports idle, and receives no work until RecoverWorker.  Note: a
+  // live reconfiguration replaces the worker set, so failure marks do not
+  // survive BeginReconfigure.  No-op (empty return) if already failed.
+  std::vector<workload::Query> FailWorker(int index,
+                                          bool requeue_orphans = true);
+
+  // Heals worker `index`; parked/central work is re-offered immediately.
+  void RecoverWorker(int index);
+
+  // Removes every centrally held query (awaiting dispatch or parked by an
+  // outage), marking each record failed at the current time, and returns
+  // them -- the whole-server-crash path, where the fleet driver re-routes
+  // them to surviving replicas.
+  std::vector<workload::Query> FailCentralQueue();
+
+  // Multiplies every subsequent query's *actual* execution time by
+  // `factor` (a degraded replica / brownout).  Scheduler estimates are
+  // deliberately unchanged: the scheduler plans against the profile while
+  // the hardware underdelivers, exactly the estimate/actual divergence a
+  // real slowdown causes.  1.0 restores nominal speed; factor must be > 0.
+  void SetSlowdownFactor(double factor);
+
+  int num_failed_workers() const { return num_failed_; }
+  // Current worker count -- the *live* layout's size, which tracks
+  // BeginReconfigure swaps (callers iterating workers to fail a whole
+  // server must use this, not the configured layout).
+  int num_workers() const { return static_cast<int>(workers_.size()); }
 
   SimTime now() const { return now_; }
   bool reconfiguring() const { return reconfiguring_; }
@@ -334,6 +380,16 @@ class InferenceServer {
   SimTime reconfig_ready_ = 0;
   std::vector<int> pending_layout_;
   std::uint32_t reconfig_gen_ = 0;
+
+  // Fault-injection state.  `done_seq_[i]` is the event seq of worker i's
+  // pending completion (written at every start), so FailWorker can cancel
+  // it through `stale_done_`; the kWorkerDone handler drops cancelled
+  // seqs.  All empty/neutral without fault injection: the clean-run cost
+  // is one empty() check per completion.
+  std::vector<std::uint64_t> done_seq_;
+  std::set<std::uint64_t> stale_done_;
+  int num_failed_ = 0;
+  double slowdown_ = 1.0;
 };
 
 }  // namespace pe::sim

@@ -48,6 +48,31 @@ workload::Query PartitionWorker::Finish() {
   return done;
 }
 
+workload::Query PartitionWorker::Abort() {
+  assert(busy());
+  workload::Query victim = *current_;
+  current_.reset();
+  current_estimated_ = 0;
+  busy_until_ = 0;
+  ++version_;
+  return victim;
+}
+
+workload::Query PartitionWorker::PopHead() {
+  assert(!queue_.empty());
+  Pending head = queue_.front();
+  queue_.pop_front();
+  queued_estimated_ -= head.estimated;
+  ++version_;
+  return head.query;
+}
+
+void PartitionWorker::SetFailed(bool failed) {
+  if (failed_ == failed) return;
+  failed_ = failed;
+  ++version_;
+}
+
 std::vector<workload::Query> PartitionWorker::TakeQueue() {
   std::vector<workload::Query> orphans;
   orphans.reserve(queue_.size());
@@ -75,6 +100,7 @@ sched::WorkerState PartitionWorker::Snapshot(SimTime now) const {
   s.wait_ticks = EstimatedWait(now);
   s.queue_length = queue_.size();
   s.resident_model = resident_model_;
+  s.failed = failed_;
   return s;
 }
 

@@ -46,8 +46,13 @@ class PartitionWorker {
   std::uint64_t version() const { return version_; }
 
   bool busy() const { return current_.has_value(); }
-  bool idle() const { return !busy() && queue_.empty(); }
+  bool idle() const { return !failed_ && !busy() && queue_.empty(); }
   std::size_t queue_length() const { return queue_.size(); }
+
+  // Fault state: a failed partition (lost MIG slice) executes nothing and
+  // never reports idle; the scheduler skips it until recovery.
+  bool failed() const { return failed_; }
+  void SetFailed(bool failed);
 
   // Appends a query to the local queue with its estimated execution time.
   void Enqueue(const workload::Query& query, SimTime estimated);
@@ -64,6 +69,15 @@ class PartitionWorker {
 
   // Completes the in-flight query; the worker becomes free.
   workload::Query Finish();
+
+  // Kills the in-flight query mid-execution (partition failure); the
+  // worker becomes free immediately and the victim is returned so the
+  // caller can record/retry it.  Requires busy().
+  workload::Query Abort();
+
+  // Pops the head query without starting it (deadline shed); requires a
+  // non-empty queue.
+  workload::Query PopHead();
 
   // Removes and returns every not-yet-started local-queue entry in FIFO
   // order, leaving the queue empty.  The in-flight query (if any) is
@@ -91,6 +105,7 @@ class PartitionWorker {
   int index_;
   int gpcs_;
   int resident_model_ = -1;
+  bool failed_ = false;
   std::uint64_t version_ = 0;
   std::deque<Pending> queue_;
   SimTime queued_estimated_ = 0;  // running sum over queue_

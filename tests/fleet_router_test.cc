@@ -233,6 +233,67 @@ TEST(Router, UnplacedModelThrowsLogicErrorNamingTheModel) {
   }
 }
 
+TEST(Router, OnPlacementChangeRebuildsTheCostTables) {
+  // The load-aware policies snapshot each server's layout geometry
+  // (largest partition, lane count) and derived cost tables at
+  // construction.  A failover repartition edits the placement underneath
+  // the router; OnPlacementChange must rebuild those tables -- after the
+  // call the router routes exactly like one freshly built over the edited
+  // placement, while a router that skipped the call keeps serving the
+  // stale costs (the regression this test pins).
+  auto placement = UniformPlacement(4, 2);
+  for (int s = 0; s < 4; ++s) {
+    placement.mutable_server(s).partition_gpcs = {7};  // one lane each
+  }
+  const auto trace = MakeTrace(2000, 2, /*seed=*/41);
+
+  auto stale = MakeRouter(RouterPolicy::kLeastLoaded, placement, nullptr, 1);
+  auto refreshed =
+      MakeRouter(RouterPolicy::kLeastLoaded, placement, nullptr, 1);
+  // Repartition server 0 into seven 1-GPC lanes: its backlog charges drop
+  // 7x, so post-edit routing must favor it.
+  placement.mutable_server(0).partition_gpcs = {1, 1, 1, 1, 1, 1, 1};
+  refreshed->OnPlacementChange();
+  auto fresh = MakeRouter(RouterPolicy::kLeastLoaded, placement, nullptr, 1);
+
+  const auto want = RouteSerially(*fresh, trace);
+  EXPECT_EQ(RouteSerially(*refreshed, trace), want);
+  EXPECT_NE(RouteSerially(*stale, trace), want);
+}
+
+TEST(SplitByAssignment, DropsPreShedQueriesAndKeepsDenseIds) {
+  // The failover driver routes around planned downtime and marks
+  // no-healthy-replica queries with -1; the split must skip exactly those
+  // while renumbering the survivors densely.
+  const auto placement = UniformPlacement(3, 2);
+  const auto trace = MakeTrace(900, 2, /*seed=*/53);
+  auto router = MakeRouter(RouterPolicy::kHash, placement, nullptr, 1);
+  auto assignment = router->RouteAll(trace);
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < assignment.size(); i += 7) {
+    assignment[i] = -1;
+    ++dropped;
+  }
+  const auto split = SplitByAssignment(trace, assignment, placement);
+  ASSERT_EQ(split.arena.size(), trace.size() - dropped);
+  std::size_t total = 0;
+  for (int s = 0; s < 3; ++s) {
+    const auto queries = split.Server(s);
+    const auto gids = split.GlobalIds(s);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(queries[i].id, i);  // dense after the drops
+      EXPECT_NE(gids[i] % 7, 0u);   // no dropped query survived
+    }
+    total += queries.size();
+  }
+  EXPECT_EQ(total, trace.size() - dropped);
+
+  // Size mismatch between trace and assignment is a caller bug.
+  assignment.pop_back();
+  EXPECT_THROW(SplitByAssignment(trace, assignment, placement),
+               std::logic_error);
+}
+
 TEST(Placement, ValidatesAndShards) {
   EXPECT_THROW(UniformPlacement(0, 2), std::invalid_argument);
   EXPECT_THROW(UniformPlacement(2, 0), std::invalid_argument);

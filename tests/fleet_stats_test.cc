@@ -54,6 +54,8 @@ void ExpectIdenticalServerStats(const sim::ServerStats& fast,
       << label;
   EXPECT_EQ(fast.reconfig_stalled, ref.reconfig_stalled) << label;
   EXPECT_EQ(fast.model_swaps, ref.model_swaps) << label;
+  EXPECT_EQ(fast.failed, ref.failed) << label;
+  EXPECT_EQ(fast.shed, ref.shed) << label;
 
   ASSERT_EQ(fast.workers.size(), ref.workers.size()) << label;
   for (std::size_t w = 0; w < ref.workers.size(); ++w) {
@@ -161,6 +163,83 @@ TEST(FleetStats, FallbackOrderOnUnsortedTraceAndForeignIds) {
   const auto r2 = tb.Run(workload::QueryTrace(std::move(sparse)), /*jobs=*/2);
   ExpectIdenticalFleetStats(r2.Stats(tb.sla_target(), 0.1, 3),
                             r2.StatsReference(tb.sla_target()), "sparse ids");
+}
+
+TEST(FleetStats, CasualtiesAreCountedButExcludedFromThePercentilePool) {
+  // A failed attempt's `finished` is the failure instant and a shed
+  // query's is its drop time -- sampling either would poison the
+  // percentiles.  Hand-build a one-server result where the casualty
+  // "latency" dwarfs every genuine completion: the latency figures must
+  // not move, while failed/shed are tallied separately.
+  fleet::FleetResult result;
+  sim::SimResult sr;
+  const SimTime ms = MsToTicks(1.0);
+  for (int i = 0; i < 12; ++i) {
+    sim::QueryRecord r;
+    r.id = static_cast<std::uint64_t>(i);
+    r.arrival = static_cast<SimTime>(i) * 10 * ms;
+    r.dispatched = r.arrival;
+    r.started = r.arrival + ms;
+    r.worker = 0;
+    r.worker_gpcs = 7;
+    if (i == 5) {
+      r.failed = true;
+      r.finished = r.arrival + 100'000 * ms;  // absurd sentinel latency
+    } else if (i == 9) {
+      r.shed = true;
+      r.finished = r.arrival + 50'000 * ms;
+    } else {
+      r.finished = r.started + (2 + i % 4) * ms;
+    }
+    sr.records.push_back(r);
+  }
+  result.per_server.push_back(std::move(sr));
+  result.global_ids = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  result.id_offsets = {0, 12};
+  result.global_models = {{0}};
+  result.worker_base = {0};
+
+  for (const int jobs : {1, 2}) {
+    const auto stats =
+        result.Stats(/*sla_target=*/20 * ms, /*warmup_fraction=*/0.0, jobs);
+    const auto& agg = stats.aggregate;
+    EXPECT_EQ(agg.completed, 10u);
+    EXPECT_EQ(agg.failed, 1u);
+    EXPECT_EQ(agg.shed, 1u);
+    // Pool = completions only: the worst genuine latency is 6 ms
+    // (1 ms queue + 5 ms service), nowhere near the casualty sentinels.
+    EXPECT_EQ(agg.max_latency_ms, 6.0);
+    EXPECT_LE(agg.p99_latency_ms, 6.0);
+    EXPECT_EQ(agg.sla_violation_rate, 0.0);
+    ExpectIdenticalFleetStats(
+        stats, result.StatsReference(20 * ms, /*warmup_fraction=*/0.0),
+        "hand-built casualties jobs " + std::to_string(jobs));
+    ASSERT_EQ(stats.per_server.size(), 1u);
+    EXPECT_EQ(stats.per_server[0].failed, 1u);
+    EXPECT_EQ(stats.per_server[0].shed, 1u);
+  }
+}
+
+TEST(FleetStats, FaultedRunsAgreeWithTheReferenceEverywhere) {
+  // End-to-end: a sole-replica crash produces real failed/shed records
+  // spread across servers; the zero-copy aggregate must still match the
+  // merged-vector reference field for field at every jobs count.
+  FleetTestbedConfig fc = MixedFleet(3, fleet::RouterPolicy::kHash, 5);
+  fc.replicas = 1;
+  const FleetTestbed tb(fc);
+  const auto trace = tb.GenerateFleetTrace(1500.0, 3000, /*seed=*/5);
+  fleet::FaultPlan plan;
+  plan.name = "manual-crash";
+  plan.events.push_back({trace.queries().back().arrival / 3,
+                         fleet::FaultKind::kServerCrash, /*server=*/1});
+  const auto result = tb.RunWithFaults(trace, plan, /*jobs=*/2);
+  ASSERT_GT(result.fault.failed + result.fault.shed, 0u);
+  const auto ref = result.StatsReference(tb.sla_target());
+  EXPECT_GT(ref.aggregate.failed + ref.aggregate.shed, 0u);
+  for (const int jobs : {1, 3}) {
+    ExpectIdenticalFleetStats(result.Stats(tb.sla_target(), 0.1, jobs), ref,
+                              "faulted jobs " + std::to_string(jobs));
+  }
 }
 
 TEST(FleetStats, UnplacedModelRoutingErrorNamesTheModel) {

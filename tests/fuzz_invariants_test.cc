@@ -11,7 +11,9 @@
 #include <algorithm>
 #include <map>
 
+#include "core/fleet_runner.h"
 #include "core/server_builder.h"
+#include "fleet/fault.h"
 #include "hw/mig.h"
 #include "perf/model_zoo.h"
 
@@ -111,6 +113,91 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(core::ToString(info.param.kind)) + "_" +
              std::to_string(info.param.seed);
     });
+
+// Randomized fault schedules over a small sharded fleet: whatever breaks
+// whenever, the failover driver must classify every injected query exactly
+// once (completed + failed + shed == injected), leave no record
+// un-terminal at Finish, and replay bit-identically.
+TEST(FuzzFaultInvariants, RandomFaultSchedulesConserveEveryQuery) {
+  core::FleetTestbedConfig fc;
+  fc.mix.models.push_back({"resnet", 0.6, 6.0, 0.9});
+  fc.mix.models.push_back({"mobilenet", 0.4, 4.0, 0.8});
+  fc.mix.swap_cost_us = 200.0;
+  fc.num_servers = 4;
+  fc.placement = fleet::PlacementKind::kSharded;
+  fc.replicas = 2;
+  const core::FleetTestbed tb(fc);
+
+  for (const std::uint64_t seed : {31ull, 32ull, 33ull, 34ull}) {
+    Rng rng(seed);
+    const auto trace =
+        tb.GenerateFleetTrace(rng.Uniform(300.0, 1200.0), 2500, seed);
+    const SimTime span = trace.queries().back().arrival;
+
+    fleet::FaultPlan plan;
+    plan.name = "fuzz";
+    const int incidents = static_cast<int>(rng.UniformInt(2, 6));
+    for (int k = 0; k < incidents; ++k) {
+      const int server =
+          static_cast<int>(rng.UniformInt(0, fc.num_servers - 1));
+      const auto t0 = static_cast<SimTime>(rng.Uniform(0.1, 0.8) *
+                                           static_cast<double>(span));
+      const auto dur = static_cast<SimTime>(rng.Uniform(0.05, 0.2) *
+                                            static_cast<double>(span));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:  // crash, sometimes permanent
+          plan.events.push_back({t0, fleet::FaultKind::kServerCrash, server});
+          if (rng.UniformInt(0, 3) > 0) {
+            plan.events.push_back(
+                {t0 + dur, fleet::FaultKind::kServerRecover, server});
+          }
+          break;
+        case 1: {  // single-slice outage
+          const auto lanes = static_cast<std::int64_t>(
+              tb.placement().server(server).partition_gpcs.size());
+          const int w = static_cast<int>(rng.UniformInt(0, lanes - 1));
+          plan.events.push_back(
+              {t0, fleet::FaultKind::kWorkerFail, server, w});
+          plan.events.push_back(
+              {t0 + dur, fleet::FaultKind::kWorkerRecover, server, w});
+          break;
+        }
+        default:  // brownout window
+          plan.events.push_back({t0, fleet::FaultKind::kSlowdownBegin, server,
+                                 -1, rng.Uniform(1.5, 6.0)});
+          plan.events.push_back(
+              {t0 + dur, fleet::FaultKind::kSlowdownEnd, server});
+      }
+    }
+    std::stable_sort(plan.events.begin(), plan.events.end(),
+                     [](const fleet::FaultEvent& a, const fleet::FaultEvent& b) {
+                       return a.time < b.time;
+                     });
+    plan.max_retries = static_cast<int>(rng.UniformInt(0, 3));
+    plan.deadline =
+        rng.UniformInt(0, 1) ? MsToTicks(rng.Uniform(100.0, 1000.0)) : 0;
+
+    const auto result = tb.RunWithFaults(trace, plan, /*jobs=*/2);
+    const auto& f = result.fault;
+    EXPECT_EQ(f.injected, trace.size()) << "seed " << seed;
+    EXPECT_EQ(f.completed + f.failed + f.shed, f.injected)
+        << "seed " << seed;
+    // No stuck server: every record the engines emitted ended terminal.
+    for (const auto& sr : result.per_server) {
+      for (const auto& r : sr.records) {
+        EXPECT_TRUE(r.finished > 0 || r.failed || r.shed)
+            << "seed " << seed << " query " << r.id;
+      }
+    }
+    // Same plan, different jobs: bit-identical terminal accounting.
+    const auto replay = tb.RunWithFaults(trace, plan, /*jobs=*/1);
+    EXPECT_EQ(replay.fault.completed, f.completed) << "seed " << seed;
+    EXPECT_EQ(replay.fault.failed, f.failed) << "seed " << seed;
+    EXPECT_EQ(replay.fault.shed, f.shed) << "seed " << seed;
+    EXPECT_EQ(replay.fault.retried, f.retried) << "seed " << seed;
+    EXPECT_EQ(replay.fault.makespan, f.makespan) << "seed " << seed;
+  }
+}
 
 // With noise on, estimates diverge from actuals; invariants must still
 // hold (the scheduler may be wrong, the simulator must not be).

@@ -1,0 +1,183 @@
+// Engine-level fault injection semantics: FailWorker kills the in-flight
+// attempt and re-places (or returns) queued work, RecoverWorker replays
+// parked queries, FailCentralQueue empties the server for the
+// whole-server-crash path, SetSlowdownFactor stretches actual execution
+// without touching estimates, and Finish leaves no record un-terminal
+// even under a total outage.
+#include "sim/server.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sched/fifs.h"
+
+namespace pe::sim {
+namespace {
+
+// Fixed-latency world (same toy as sim_server_test): GPU(1) takes 10 ms,
+// GPU(7) takes 2 ms, any batch.
+profile::ProfileTable MakeProfile() {
+  profile::ProfileTable t("toy", {1, 7}, {32});
+  t.Set(1, 32, {10e-3, 0.9});
+  t.Set(7, 32, {2e-3, 0.5});
+  return t;
+}
+
+LatencyFn FixedLatency() {
+  return [](int gpcs, int batch) {
+    (void)batch;
+    return gpcs == 1 ? 10e-3 : 2e-3;
+  };
+}
+
+workload::QueryTrace MakeTrace(std::size_t n, SimTime gap, int batch = 8) {
+  std::vector<workload::Query> qs;
+  for (std::size_t i = 0; i < n; ++i) {
+    workload::Query q;
+    q.id = i;
+    q.arrival = static_cast<SimTime>(i) * gap;
+    q.batch = batch;
+    qs.push_back(q);
+  }
+  return workload::QueryTrace(std::move(qs));
+}
+
+ServerConfig Config(std::vector<int> gpcs) {
+  ServerConfig c;
+  c.partition_gpcs = std::move(gpcs);
+  c.sla_target = MsToTicks(15.0);
+  c.seed = 1;
+  return c;
+}
+
+TEST(FaultInjection, FailWorkerKillsTheInFlightAttempt) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  InferenceServer server(Config({7}), profile, fifs, FixedLatency());
+  server.InjectTrace(MakeTrace(1, 0));
+  server.AdvanceTo(MsToTicks(1.0));  // mid-flight on the 2 ms worker
+  const auto lost = server.FailWorker(0);
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0].id, 0u);
+  EXPECT_EQ(server.num_failed_workers(), 1);
+  const auto result = server.Finish();
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_TRUE(result.records[0].failed);
+  EXPECT_FALSE(result.records[0].shed);
+  // `finished` records the failure instant, not a completion.
+  EXPECT_EQ(result.records[0].finished, MsToTicks(1.0));
+}
+
+TEST(FaultInjection, FailWorkerIsIdempotentAndRecoverRestoresService) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  InferenceServer server(Config({7}), profile, fifs, FixedLatency());
+  server.AdvanceTo(MsToTicks(1.0));
+  EXPECT_FALSE(server.FailWorker(0).size());  // idle worker: nothing lost
+  EXPECT_TRUE(server.FailWorker(0).empty());  // already failed: no-op
+  EXPECT_EQ(server.num_failed_workers(), 1);
+
+  // Arrivals during the outage park centrally (sole worker is down)...
+  workload::Query q;
+  q.id = 0;
+  q.arrival = MsToTicks(2.0);
+  q.batch = 8;
+  server.InjectQuery(q);
+  server.AdvanceTo(MsToTicks(5.0));
+  // ...and replay on recovery.
+  server.RecoverWorker(0);
+  EXPECT_EQ(server.num_failed_workers(), 0);
+  const auto result = server.Finish();
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_FALSE(result.records[0].failed);
+  EXPECT_EQ(result.records[0].finished, MsToTicks(7.0));
+}
+
+TEST(FaultInjection, OrphansRequeueOntoSurvivingWorkers) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  // Two 2 ms workers, four simultaneous arrivals: two start, two queue.
+  InferenceServer server(Config({7, 7}), profile, fifs, FixedLatency());
+  server.InjectTrace(MakeTrace(4, 0));
+  server.AdvanceTo(MsToTicks(1.0));
+  server.FailWorker(0, /*requeue_orphans=*/true);
+  const auto result = server.Finish();
+  ASSERT_EQ(result.records.size(), 4u);
+  std::size_t failed = 0;
+  for (const auto& r : result.records) {
+    if (r.failed) {
+      ++failed;
+    } else {
+      // Every survivor completed on the one healthy worker.
+      EXPECT_EQ(r.worker, 1);
+      EXPECT_GT(r.finished, r.started);
+    }
+  }
+  EXPECT_EQ(failed, 1u);  // exactly the in-flight attempt on worker 0
+}
+
+TEST(FaultInjection, WholeServerCrashReturnsEveryInSystemQuery) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  InferenceServer server(Config({7, 7}), profile, fifs, FixedLatency());
+  server.InjectTrace(MakeTrace(6, 0));
+  server.AdvanceTo(MsToTicks(1.0));
+  // The fleet driver's crash sequence: fail every worker without local
+  // requeue, then drain the central queue.
+  std::vector<workload::Query> lost;
+  for (int w = 0; w < server.num_workers(); ++w) {
+    for (auto& q : server.FailWorker(w, /*requeue_orphans=*/false)) {
+      lost.push_back(q);
+    }
+  }
+  for (auto& q : server.FailCentralQueue()) lost.push_back(q);
+  EXPECT_EQ(lost.size(), 6u);  // 2 in-flight + 4 queued, all returned
+  const auto result = server.Finish();
+  for (const auto& r : result.records) {
+    EXPECT_TRUE(r.failed) << "query " << r.id;
+    EXPECT_EQ(r.finished, MsToTicks(1.0));
+  }
+}
+
+TEST(FaultInjection, TotalOutageParksArrivalsAndFinishFailsThem) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  InferenceServer server(Config({7}), profile, fifs, FixedLatency());
+  server.FailWorker(0);
+  server.InjectTrace(MakeTrace(3, MsToTicks(0.5)));
+  // No recovery ever happens: Finish must still terminate every record.
+  const auto result = server.Finish();
+  ASSERT_EQ(result.records.size(), 3u);
+  for (const auto& r : result.records) {
+    EXPECT_TRUE(r.failed) << "query " << r.id;
+  }
+}
+
+TEST(FaultInjection, SlowdownStretchesActualExecutionOnly) {
+  const auto profile = MakeProfile();
+  sched::FifsScheduler fifs;
+  InferenceServer server(Config({7}), profile, fifs, FixedLatency());
+  server.SetSlowdownFactor(3.0);
+  server.InjectTrace(MakeTrace(1, 0));
+  auto result = server.Finish();
+  // 2 ms nominal x 3: the degraded replica underdelivers.
+  EXPECT_EQ(result.records[0].finished - result.records[0].started,
+            MsToTicks(6.0));
+
+  // Back to nominal: 1.0 restores the clean-run service time.
+  InferenceServer healed(Config({7}), profile, fifs, FixedLatency());
+  healed.SetSlowdownFactor(2.0);
+  healed.SetSlowdownFactor(1.0);
+  healed.InjectTrace(MakeTrace(1, 0));
+  result = healed.Finish();
+  EXPECT_EQ(result.records[0].finished - result.records[0].started,
+            MsToTicks(2.0));
+
+  EXPECT_THROW(server.SetSlowdownFactor(0.0), std::invalid_argument);
+  EXPECT_THROW(server.SetSlowdownFactor(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pe::sim

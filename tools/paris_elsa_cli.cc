@@ -67,6 +67,11 @@
 //   --replicas R        replicas per model under sharded placement (2)
 //   --rate QPS          total offered load across the fleet
 //                       (300 x --servers when omitted)
+//   --faults F          deterministic fault schedule, optionally
+//                       parameterized: none|serverloss|flaky|brownout|
+//                       cascade [:key=val,...] (see docs/FAULTS.md);
+//                       omitted = fault-free batch path
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -832,7 +837,18 @@ int CmdFleet(const ArgParser& args) {
       ResolveMixWorkload(args, tb.mix(), replay, rate_qps, num_queries, seed);
   const auto& trace = workload.trace;
   if (replay) rate_qps = trace.OfferedQps();
-  const auto result = tb.Run(trace, jobs);
+  // --faults NAME[:k=v,...] runs the fault-tolerant driver; "none" (or no
+  // flag) takes the fault-free batch path unchanged.
+  fleet::FleetResult result;
+  std::string faults_label = "none";
+  if (const auto fref = args.GetString("faults")) {
+    const fleet::FaultPlan plan =
+        tb.ResolveFaults(fleet::ParseFaultRef(*fref), trace);
+    faults_label = *fref;
+    result = tb.RunWithFaults(trace, plan, jobs);
+  } else {
+    result = tb.Run(trace, jobs);
+  }
   const auto stats = result.Stats(tb.sla_target(), /*warmup_fraction=*/0.1,
                                   jobs);
 
@@ -849,6 +865,24 @@ int CmdFleet(const ArgParser& args) {
             Table::Num(100 * stats.aggregate.sla_violation_rate, 2)});
   t.AddRow({"model swaps",
             Table::Int(static_cast<long long>(stats.aggregate.model_swaps))});
+  if (stats.fault.faulted) {
+    const fleet::FaultSummary& ft = stats.fault;
+    double min_avail = 1.0;
+    for (const double a : ft.availability) min_avail = std::min(min_avail, a);
+    t.AddRow({"faults", faults_label});
+    t.AddRow({"injected", Table::Int(static_cast<long long>(ft.injected))});
+    t.AddRow({"completed", Table::Int(static_cast<long long>(ft.completed))});
+    t.AddRow({"failed", Table::Int(static_cast<long long>(ft.failed))});
+    t.AddRow({"shed", Table::Int(static_cast<long long>(ft.shed))});
+    t.AddRow({"retried", Table::Int(static_cast<long long>(ft.retried))});
+    t.AddRow({"rerouted", Table::Int(static_cast<long long>(ft.rerouted))});
+    t.AddRow({"repartitions",
+              Table::Int(static_cast<long long>(ft.repartitions))});
+    t.AddRow({"min availability", Table::Num(min_avail, 4)});
+    if (ft.incident_completions > 0) {
+      t.AddRow({"p99 incident ms", Table::Num(ft.p99_incident_ms, 3)});
+    }
+  }
 
   Table per_server({"server", "routed", "qps", "p95 ms", "viol. %"});
   for (std::size_t s = 0; s < stats.per_server.size(); ++s) {
@@ -876,6 +910,7 @@ int CmdFleet(const ArgParser& args) {
   data.Set("offered_qps", rate_qps);
   data.Set("swap_cost_us", fc.mix.swap_cost_us);
   data.Set("seed", seed);
+  if (stats.fault.faulted) data.Set("faults", faults_label);
   auto report = core::MakeBenchReport("cli_fleet", false, jobs);
   report.Set("data", std::move(data));
   MaybeWriteJson(args, std::move(report));
@@ -925,7 +960,8 @@ void PrintUsage(std::ostream& os) {
         "[--epochs N] [--drift T] [--drift-median M] [--downtime-ms D] "
         "[--models A,B] [--shares X,Y] [--medians X,Y] [--swap-cost-us C] "
         "[--budget G] [--gpus N] [--servers N] [--policy P] "
-        "[--placement K] [--replicas R] [--help]\n";
+        "[--placement K] [--replicas R] [--faults NAME[:k=v,...]] "
+        "[--help]\n";
 }
 
 }  // namespace
@@ -937,7 +973,8 @@ int main(int argc, char** argv) {
       "max-batch", "sla-n", "seed", "jobs", "json", "csv", "scenario",
       "capture-trace", "replay-trace", "epochs", "drift", "drift-median",
       "downtime-ms", "models", "shares", "medians", "swap-cost-us", "budget",
-      "gpus", "servers", "policy", "placement", "replicas", "help", "h"};
+      "gpus", "servers", "policy", "placement", "replicas", "faults", "help",
+      "h"};
   try {
     const auto sub = args.Subcommand();
     if (args.HasFlag("help") || args.HasFlag("h") ||
